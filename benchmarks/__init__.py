@@ -1,0 +1,1 @@
+"""Experiment benchmark harness: one module per figure/claim-set."""

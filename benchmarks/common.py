@@ -1,0 +1,31 @@
+"""Shared helpers for the experiment benchmark harness.
+
+Each benchmark regenerates one figure/claim-set from the paper, prints
+the rows/series the paper reports plus a PAPER-vs-MEASURED claims table,
+and asserts the claims hold.  ``pytest benchmarks/ --benchmark-only``
+runs everything; individual experiments run as plain pytest tests too.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.claims import ClaimCheck, claims_table
+
+__all__ = ["report", "run_once"]
+
+
+def report(title: str, body: str, checks: list[ClaimCheck]) -> None:
+    """Print a uniform experiment report and assert every claim."""
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+    print(body)
+    print()
+    print(claims_table(checks))
+    failed = [c for c in checks if not c.holds]
+    assert not failed, f"claims diverged: {[c.claim_id for c in failed]}"
+
+
+def run_once(benchmark, func):
+    """Benchmark an expensive function with a single measured round."""
+    return benchmark.pedantic(func, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,134 @@
+"""E10 / §4.5: the auto-delete trim fallback on the bit-exact device.
+
+Fills an SOS device near capacity, then forces the §4.5 scenario -- PLC
+wear retires blocks and the device shrinks under the live data.  The
+daemon's trim policy must auto-delete the most expendable files until
+~3% of (current) capacity is free, then return to degradation-only
+mode, preserving the high-value files.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.claims import ClaimCheck, Comparison
+from repro.analysis.reporting import format_table
+from repro.core.config import default_config
+from repro.core.sos_device import SOSDevice
+from repro.core.trim_policy import TrimMode
+from repro.flash.geometry import Geometry
+from repro.host.files import FileAttributes, FileKind
+
+from .common import report, run_once
+
+GEOM = Geometry(page_size_bytes=512, pages_per_block=16, blocks_per_plane=48,
+                planes_per_die=2, dies=1)
+
+
+def compute():
+    # NOTE: the paper's "e.g. 3%" headroom assumes a real-size device; on
+    # this small bit-exact geometry the FTL's per-stream GC reserve alone
+    # is ~3% of capacity, so we exercise the identical mechanism at a 10%
+    # target (the policy is scale-free: the target is a config knob).
+    device = SOSDevice(default_config(seed=55, geometry=GEOM, trim_free_target=0.10))
+    rng = np.random.default_rng(3)
+    keepers = []
+    for i in range(4):
+        record = device.create_file(
+            f"/photos/keeper{i}", FileKind.PHOTO, 4000,
+            attributes=FileAttributes(
+                user_favorite=True, has_known_faces=True, access_count=150,
+            ),
+            content=lambda o: rng.bytes(400),
+        )
+        keepers.append(record.path)
+    junk = []
+    # fill SPARE with junk downloads (demoted by the daemon as we go --
+    # new data always lands on SYS first, per the write path of section 4.4)
+    i = 0
+    now = 0.0
+    spare_cap = device.ftl.stream_capacity_pages("spare")
+    while device.ftl.stream_live_pages("spare") < 0.85 * spare_cap:
+        record = device.create_file(
+            f"/downloads/junk{i}", FileKind.DOWNLOAD, 4000,
+            attributes=FileAttributes(
+                created_years=now, last_access_years=now,
+                duplicate_count=4, access_count=1,
+            ),
+            content=lambda o: rng.bytes(400),
+        )
+        junk.append(record.path)
+        i += 1
+        if i % 4 == 0:
+            now += 0.002
+            device.advance_time(now)
+            device.run_daemon()
+    # fill SYS with system files (rule layer pins them to SYS)
+    sys_cap = device.ftl.stream_capacity_pages("sys")
+    j = 0
+    while device.ftl.stream_live_pages("sys") < 0.88 * sys_cap:
+        device.create_file(
+            f"/system/pkg{j}", FileKind.APP_EXECUTABLE, 4000,
+            content=lambda o: rng.bytes(400),
+        )
+        j += 1
+    capacity_before = device.filesystem.capacity_pages()
+    free_before = device.filesystem.free_pages()
+    # force section 4.5: wear retires free SPARE blocks -> capacity shrinks
+    stream = device.ftl.stream("spare")
+    for block_index in list(stream.free):
+        if device.trim.under_pressure():
+            break
+        if len(stream.free) <= stream.config.gc_free_block_threshold + 1:
+            break  # keep enough room for the FTL to keep operating
+        stream.free.remove(block_index)
+        device.chip.retire_block(block_index)
+    assert device.trim.under_pressure(), "staged shrink must create pressure"
+    device.advance_time(now + 0.1)
+    report_run = device.run_daemon()
+    capacity_after = device.filesystem.capacity_pages()
+    free_after = device.filesystem.free_pages()
+    live_paths = {r.path for r in device.filesystem.live_files()}
+    return {
+        "capacity_before": capacity_before,
+        "capacity_after": capacity_after,
+        "free_before": free_before,
+        "free_after": free_after,
+        "trim_event": report_run.trim,
+        "mode": device.trim.mode,
+        "keepers_alive": sum(1 for p in keepers if p in live_paths),
+        "keepers_total": len(keepers),
+        "junk_total": len(junk),
+        "free_target": device.trim.headroom_pages_needed(),
+    }
+
+
+def test_bench_e10_trim_policy(benchmark):
+    r = run_once(benchmark, compute)
+    rows = [
+        ["capacity (pages)", r["capacity_before"], r["capacity_after"]],
+        ["free (pages)", r["free_before"], r["free_after"]],
+    ]
+    body = format_table(["metric", "before shrink", "after trim"], rows,
+                        title="Device state around the §4.5 trim episode")
+    event = r["trim_event"]
+    assert event is not None, "capacity shrink must trigger a trim event"
+    checks = [
+        ClaimCheck("s45.capacity-shrank", "worn blocks reduced capacity "
+                   "(after/before below 1)", 1.0,
+                   r["capacity_after"] / r["capacity_before"], Comparison.AT_MOST),
+        ClaimCheck("s45.trim-freed-target", "trim freed at least the ~3% "
+                   "headroom target (free/target)", 1.0,
+                   r["free_after"] / max(1, r["free_target"]), Comparison.AT_LEAST),
+        ClaimCheck("s45.back-to-degradation", "mode returns to degradation-only "
+                   "(1 = yes)", 1.0,
+                   1.0 if r["mode"] is TrimMode.DEGRADATION_ONLY else 0.0,
+                   rel_tol=0.001),
+        ClaimCheck("s45.deletes-bounded", "trim deleted only what it needed "
+                   "(files deleted below half the junk)", r["junk_total"] / 2,
+                   float(event.files_deleted), Comparison.AT_MOST),
+        ClaimCheck("s45.keepers-survive", "high-value files survive the trim",
+                   float(r["keepers_total"]), float(r["keepers_alive"]),
+                   rel_tol=0.001),
+    ]
+    report("E10 (§4.5): auto-delete trim under capacity pressure", body, checks)

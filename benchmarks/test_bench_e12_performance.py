@@ -1,0 +1,97 @@
+"""E12 / §4.5 ("Performance"): PLC access speeds suffice for SOS.
+
+Regenerates the performance argument:
+
+* PLC reads/programs are slower than TLC/QLC -- quantified;
+* SPARE traffic is large sequential media reads, where queue-depth
+  pipelining keeps PLC bandwidth comfortably above media bitrates
+  (a 4K stream needs ~3-8 MB/s);
+* error tolerance removes the read-retry path: at end-of-life RBER,
+  an error-tolerant read is substantially faster than a strict read
+  that walks the retry ladder;
+* SYS sits on pseudo-QLC, which performs like QLC -- "the performance
+  and endurance of recent QLC generations matches that of early
+  generation TLC memories".
+"""
+
+from __future__ import annotations
+
+from repro.analysis.claims import ClaimCheck, Comparison
+from repro.analysis.reporting import format_table
+from repro.ecc.policy import POLICIES, ProtectionLevel
+from repro.flash.cell import CellTechnology, native_mode, pseudo_mode
+from repro.flash.error_model import ErrorModel
+from repro.flash.timing import TimingModel
+
+from .common import report
+
+PAGE_BYTES = 4096
+#: a comfortable 4K-video streaming bitrate (MB/s)
+VIDEO_BITRATE_MBPS = 8.0
+
+
+def compute():
+    modes = {
+        "TLC": native_mode(CellTechnology.TLC),
+        "QLC": native_mode(CellTechnology.QLC),
+        "pQLC(PLC) [SYS]": pseudo_mode(CellTechnology.PLC, 4),
+        "PLC [SPARE]": native_mode(CellTechnology.PLC),
+    }
+    rows = {}
+    for name, mode in modes.items():
+        timing = TimingModel(mode)
+        times = timing.times()
+        rows[name] = {
+            "read_us": times.read_us,
+            "program_us": times.program_us,
+            "seq_mbps": times.sequential_read_mbps(PAGE_BYTES, queue_depth=4),
+        }
+    # end-of-life SPARE read latency: strict (retry ladder) vs tolerant
+    plc = native_mode(CellTechnology.PLC)
+    worn_rber = ErrorModel(plc).rber(pec=450, years_since_write=0.75)
+    p_fail = POLICIES[ProtectionLevel.STRONG].page_failure_prob(
+        worn_rber, PAGE_BYTES * 8
+    )
+    timing = TimingModel(plc)
+    strict_us = timing.expected_read_us(p_fail)
+    tolerant_us = timing.expected_read_us(p_fail, error_tolerant=True)
+    return rows, worn_rber, p_fail, strict_us, tolerant_us
+
+
+def test_bench_e12_performance(benchmark):
+    rows, worn_rber, p_fail, strict_us, tolerant_us = benchmark(compute)
+    table = [
+        [name, f"{r['read_us']:.0f}", f"{r['program_us']:.0f}",
+         f"{r['seq_mbps']:.0f}"]
+        for name, r in rows.items()
+    ]
+    body = format_table(
+        ["mode", "read (us)", "program (us)", "seq read (MB/s, QD4)"],
+        table,
+        title="Latency/bandwidth by operating mode",
+    ) + (
+        f"\n\nend-of-life SPARE page (RBER {worn_rber:.2e}, hard-decode "
+        f"failure {p_fail:.2f}): strict read {strict_us:.0f} us, "
+        f"error-tolerant read {tolerant_us:.0f} us"
+    )
+    checks = [
+        ClaimCheck("s45.plc-slower", "PLC reads are slower than TLC (ratio)",
+                   1.5, rows["PLC [SPARE]"]["read_us"] / rows["TLC"]["read_us"],
+                   Comparison.AT_LEAST),
+        ClaimCheck("s45.seq-suffices", "PLC sequential bandwidth clears a 4K "
+                   "stream by a wide margin (x bitrate)", 5.0,
+                   rows["PLC [SPARE]"]["seq_mbps"] / VIDEO_BITRATE_MBPS,
+                   Comparison.AT_LEAST),
+        ClaimCheck("s45.tolerance-speeds-reads", "error tolerance reduces "
+                   "end-of-life read latency (strict/tolerant)", 1.5,
+                   strict_us / tolerant_us, Comparison.AT_LEAST),
+        ClaimCheck("s45.sys-is-qlc-class", "SYS (pseudo-QLC) reads match "
+                   "native QLC", 1.0,
+                   rows["pQLC(PLC) [SYS]"]["read_us"] / rows["QLC"]["read_us"],
+                   rel_tol=0.001),
+        ClaimCheck("s45.qlc-near-tlc", "QLC within ~3x of TLC (the §4.5 "
+                   "generation-matching argument)", 3.0,
+                   rows["QLC"]["read_us"] / rows["TLC"]["read_us"],
+                   Comparison.AT_MOST),
+    ]
+    report("E12 (§4.5): PLC access speeds suffice for SOS", body, checks)

@@ -1,0 +1,56 @@
+"""E14 / §2.3.2-§2.3.3: fleet replacement churn drives flash production.
+
+Regenerates the paper's fleet-level conclusion: because personal devices
+are discarded every ~2.5-4 years with their soldered flash (§2.3.3:
+reuse ~never happens), over half of annual flash bits feed devices whose
+capacity will be re-manufactured **over three times** in a decade --
+and quantifies the embodied carbon of that churn.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.claims import ClaimCheck, Comparison
+from repro.analysis.reporting import format_table
+from repro.carbon.fleet import FleetConfig, simulate_fleet
+
+from .common import report
+
+
+def compute():
+    return simulate_fleet(FleetConfig())
+
+
+def test_bench_e14_fleet_replacement(benchmark):
+    outcome = benchmark(compute)
+    rows = [
+        [c.name, f"{c.share * 100:.0f}%", f"{c.installed_eb_start:.0f}",
+         f"{c.manufactured_eb:.0f}", f"{c.replacement_multiplier:.1f}x",
+         f"{c.embodied_mt:.0f}"]
+        for c in outcome.classes
+    ]
+    body = format_table(
+        ["class", "bit share", "installed (EB)", "manufactured/decade (EB)",
+         "replacement multiplier", "embodied (Mt CO2e)"],
+        rows,
+        title="Fleet simulation, 10 years, 10%/yr demand growth",
+    )
+    personal_mult = outcome.personal_replacement_multiplier()
+    ssd_mult = next(c.replacement_multiplier for c in outcome.classes if c.name == "ssd")
+    checks = [
+        ClaimCheck("s232.replaced-3x", "personal-device capacity "
+                   "re-manufactured over 3x per decade", 3.0, personal_mult,
+                   Comparison.AT_LEAST),
+        ClaimCheck("s232.personal-majority", "over half of manufactured bits "
+                   "go to personal devices", 0.5, outcome.personal_bit_share(),
+                   Comparison.AT_LEAST),
+        ClaimCheck("s232.phones-churn-most", "phones churn faster than SSDs "
+                   "(multiplier ratio)", 1.5,
+                   next(c.replacement_multiplier for c in outcome.classes
+                        if c.name == "smartphone") / ssd_mult,
+                   Comparison.AT_LEAST),
+        ClaimCheck("s233.no-reuse", "no flash is reused across replacements "
+                   "(reuse-adjusted manufacturing equals gross)", 0.0,
+                   sum(1 for c in outcome.classes if c.replacement_multiplier <= 1.0)
+                   / len(outcome.classes), Comparison.AT_MOST),
+    ]
+    report("E14 (§2.3.2-§2.3.3): fleet replacement churn", body, checks)

@@ -1,0 +1,66 @@
+"""E15 / §1+§3: embodied carbon dominates the storage footprint.
+
+Regenerates the premise SOS is built on: "production-related emissions
+effectively account for most of the carbon footprint of modern devices"
+-- so reducing silicon (density) matters more than reducing power.
+Three storage classes, lifetime use-phase energy vs embodied carbon,
+plus the SSD-share-of-device claim (§1: SSDs are 33-80% of a computer's
+footprint -- here checked as: the storage embodied footprint is the
+same order as the rest of a phone's embodied budget).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.claims import ClaimCheck, Comparison
+from repro.analysis.reporting import format_table
+from repro.carbon.operational import use_phase
+
+from .common import report
+
+#: iPhone-14-class total embodied footprint (kg CO2e) for the share check.
+PHONE_TOTAL_EMBODIED_KG = 61.0
+
+CASES = [
+    ("mobile_ufs", 128.0, 2.5),
+    ("consumer_ssd", 1000.0, 6.0),
+    ("enterprise_ssd", 2000.0, 6.0),
+]
+
+
+def compute():
+    return {name: use_phase(name, gb, years) for name, gb, years in CASES}
+
+
+def test_bench_e15_embodied_vs_operational(benchmark):
+    results = benchmark(compute)
+    rows = []
+    for name, phase in results.items():
+        rows.append([
+            name, f"{phase.capacity_gb:.0f}", f"{phase.service_years:.1f}",
+            f"{phase.energy_kwh:.1f}", f"{phase.operational_kg:.2f}",
+            f"{phase.embodied_kg:.1f}", f"{phase.embodied_share * 100:.0f}%",
+        ])
+    body = format_table(
+        ["class", "GB", "years", "lifetime kWh", "operational kg",
+         "embodied kg", "embodied share"],
+        rows,
+        title="Use-phase vs production carbon by storage class",
+    )
+    mobile = results["mobile_ufs"]
+    enterprise = results["enterprise_ssd"]
+    phone_flash_share = mobile.embodied_kg / PHONE_TOTAL_EMBODIED_KG
+    checks = [
+        ClaimCheck("s1.embodied-dominates-mobile", "personal flash: embodied "
+                   ">= 10x operational", 10.0, mobile.embodied_to_operational,
+                   Comparison.AT_LEAST),
+        ClaimCheck("s1.embodied-majority-everywhere", "embodied is the "
+                   "majority of the footprint even for enterprise SSDs",
+                   0.5, enterprise.embodied_share, Comparison.AT_LEAST),
+        ClaimCheck("s1.iphone-share", "flash share of an iPhone-14-class "
+                   "embodied budget (paper: 12-31%)", 0.12, phone_flash_share,
+                   Comparison.BETWEEN, paper_upper=0.40),
+        ClaimCheck("s3.op-energy-small", "a phone's storage burns only a few "
+                   "kWh over its whole life", 5.0, mobile.energy_kwh,
+                   Comparison.AT_MOST),
+    ]
+    report("E15 (§1/§3): embodied vs operational carbon", body, checks)

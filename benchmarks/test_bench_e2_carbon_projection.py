@@ -1,0 +1,61 @@
+"""E2 / §1+§3: flash production carbon footprint, 2021 -> 2030.
+
+Regenerates the paper's trajectory: 765 EB and ~122 Mt CO2e (~28M
+people-equivalents) in 2021, growing past 150M people-equivalents and
+~1.7% of world emissions by 2030 despite density improvements.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.charts import series_chart
+from repro.analysis.claims import ClaimCheck, Comparison
+from repro.analysis.reporting import format_table
+from repro.carbon.projection import project
+
+from .common import report
+
+
+def compute():
+    return project()
+
+
+def test_bench_e2_carbon_projection(benchmark):
+    points = benchmark(compute)
+    rows = [
+        [p.year, f"{p.capacity_eb:.0f}", f"{p.intensity_kg_per_gb:.3f}",
+         f"{p.emissions_mt:.0f}", f"{p.people_equivalent_millions:.0f}",
+         f"{p.share_of_world_2030 * 100:.2f}%"]
+        for p in points
+    ]
+    body = format_table(
+        ["year", "capacity (EB)", "kg CO2e/GB", "emissions (Mt)",
+         "people-equiv (M)", "share of world"],
+        rows,
+        title="Flash production carbon projection",
+    )
+    body += "\n\n" + series_chart(
+        "emissions (Mt)", [p.year for p in points], [p.emissions_mt for p in points]
+    )
+    body += "\n" + series_chart(
+        "kg CO2e/GB  ", [p.year for p in points],
+        [p.intensity_kg_per_gb for p in points],
+    )
+    p2021, p2030 = points[0], points[-1]
+    checks = [
+        ClaimCheck("s1.capacity-2021", "2021 flash production (EB)", 765.0,
+                   p2021.capacity_eb, rel_tol=0.01),
+        ClaimCheck("s1.emissions-2021", "2021 emissions (Mt CO2e)", 122.0,
+                   p2021.emissions_mt, rel_tol=0.05),
+        ClaimCheck("s1.people-2021", "2021 people-equivalents (M)", 28.0,
+                   p2021.people_equivalent_millions, rel_tol=0.05),
+        ClaimCheck("s1.people-2030", "2030 people-equivalents (M)", 150.0,
+                   p2030.people_equivalent_millions, Comparison.AT_LEAST),
+        ClaimCheck("abstract.share-2030", "2030 share of world emissions", 0.017,
+                   p2030.share_of_world_2030, rel_tol=0.12),
+        ClaimCheck("s3.growth-monotone", "emissions grow every year despite "
+                   "density gains (fraction of years growing)", 1.0,
+                   sum(1 for a, b in zip(points, points[1:])
+                       if b.emissions_mt > a.emissions_mt) / (len(points) - 1),
+                   rel_tol=0.001),
+    ]
+    report("E2 (§1/§3): flash production carbon footprint 2021-2030", body, checks)

@@ -1,0 +1,61 @@
+"""E4 / §3: carbon-credit cost as a fraction of flash price.
+
+Regenerates the closing example of §3: EU ETS at $111/tonne on
+0.16 kg CO2e/GB amounts to ~40% of a $45/TB QLC SSD's price -- and shows
+how the surcharge scales with density and carbon price.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.claims import ClaimCheck
+from repro.analysis.reporting import format_table
+from repro.carbon.credits import EU_ETS_PEAK_2022, CarbonPrice, credit_cost_per_tb, price_increase_fraction
+from repro.carbon.embodied import intensity_kg_per_gb
+from repro.flash.cell import CellTechnology
+
+from .common import report
+
+QLC_PRICE_PER_TB = 45.0
+
+
+def compute():
+    sweep = []
+    for usd_per_tonne in (25, 50, 111, 200):
+        price = CarbonPrice(usd_per_tonne=float(usd_per_tonne))
+        for tech in (CellTechnology.TLC, CellTechnology.QLC, CellTechnology.PLC):
+            intensity = intensity_kg_per_gb(tech)
+            sweep.append(
+                (
+                    usd_per_tonne,
+                    tech.name,
+                    credit_cost_per_tb(price, intensity),
+                    credit_cost_per_tb(price, intensity) / QLC_PRICE_PER_TB,
+                )
+            )
+    headline = price_increase_fraction(EU_ETS_PEAK_2022, QLC_PRICE_PER_TB)
+    return sweep, headline
+
+
+def test_bench_e4_carbon_credits(benchmark):
+    sweep, headline = benchmark(compute)
+    rows = [
+        [f"${p}/t", tech, f"${cost:.2f}", f"{frac * 100:.1f}%"]
+        for p, tech, cost, frac in sweep
+    ]
+    body = format_table(
+        ["carbon price", "technology", "credit $/TB", "vs $45/TB QLC price"],
+        rows,
+        title="Carbon-credit surcharge sweep",
+    )
+    plc_at_peak = next(
+        frac for p, tech, _, frac in sweep if p == 111 and tech == "PLC"
+    )
+    checks = [
+        ClaimCheck("s3.credit-40pct", "EU peak credit as fraction of $45/TB QLC",
+                   0.40, headline, rel_tol=0.05),
+        ClaimCheck("s3.credit-per-tb", "credit $/TB at baseline intensity",
+                   17.76, credit_cost_per_tb(EU_ETS_PEAK_2022), rel_tol=0.01),
+        ClaimCheck("s41.denser-pays-less", "PLC credit relative to TLC credit",
+                   0.6, plc_at_peak / headline, rel_tol=0.01),
+    ]
+    report("E4 (§3): carbon credits vs flash price", body, checks)

@@ -1,0 +1,97 @@
+"""E7 / §4.3: wear leveling disabled on SPARE.
+
+Regenerates the Jiao-et-al argument the paper adopts: on a partition of
+write-once media plus a little churn, static wear leveling spends extra
+program/erase cycles moving cold data for wear balance -- cycles that a
+read-dominant partition never earns back.  Disabling it lowers *total*
+wear; the cost is wear concentration in the churn-heavy blocks, which
+SOS tolerates because worn SPARE blocks retire/resuscitate individually
+(capacity variance) rather than failing the device.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.claims import ClaimCheck, Comparison
+from repro.analysis.reporting import format_table
+from repro.ecc.policy import POLICIES, ProtectionLevel
+from repro.flash.cell import CellTechnology, native_mode
+from repro.sim.lifetime import Partition, PartitionSpec
+
+from .common import report
+
+YEARS = 3
+#: media-dominated SPARE traffic: mostly write-once, a little churn
+NEW_GB_PER_DAY = 0.9
+CHURN_GB_PER_DAY = 0.15
+
+
+def _run(wear_leveling: bool):
+    spec = PartitionSpec(
+        name="spare",
+        mode=native_mode(CellTechnology.PLC),
+        protection=POLICIES[ProtectionLevel.NONE],
+        capacity_gb=32.0,
+        wear_leveling=wear_leveling,
+        max_rber=4e-4,
+        resuscitation_bits=(),
+        scrub_enabled=False,
+    )
+    partition = Partition(spec)
+    for day in range(YEARS * 365):
+        now = day / 365.0
+        partition.host_write(NEW_GB_PER_DAY, now, churn=False)
+        partition.host_write(CHURN_GB_PER_DAY, now, churn=True)
+        partition.host_delete(NEW_GB_PER_DAY * 0.9)  # steady-state churn
+        if day % 30 == 0:
+            partition.maintain(now)
+    total_wear = sum(g.pec * g.capacity_gb for g in partition.groups)
+    return {
+        "mean_pec": partition.mean_pec(),
+        "max_pec": partition.max_pec(),
+        "total_wear_gb_cycles": total_wear,
+        "retired": partition.retired_count,
+        "capacity_gb": partition.capacity_gb(),
+    }
+
+
+def compute():
+    return {"wl_on": _run(True), "wl_off": _run(False)}
+
+
+def test_bench_e7_wear_leveling(benchmark):
+    result = benchmark.pedantic(compute, rounds=1, iterations=1)
+    rows = [
+        [
+            name,
+            f"{r['mean_pec']:.1f}",
+            f"{r['max_pec']:.1f}",
+            f"{r['total_wear_gb_cycles']:.0f}",
+            r["retired"],
+            f"{r['capacity_gb']:.1f}",
+        ]
+        for name, r in result.items()
+    ]
+    body = format_table(
+        ["policy", "mean PEC", "max PEC", "total wear (GB-cycles)",
+         "groups retired", "capacity left (GB)"],
+        rows,
+        title=f"SPARE partition after {YEARS} years of media-dominated traffic",
+    )
+    on, off = result["wl_on"], result["wl_off"]
+    checks = [
+        ClaimCheck("s43.wl-total-wear", "disabling WL reduces total wear "
+                   "(off/on ratio below 1)", 1.0,
+                   off["total_wear_gb_cycles"] / on["total_wear_gb_cycles"],
+                   Comparison.AT_MOST),
+        ClaimCheck("s43.wl-mean-pec", "mean PEC lower without WL", 1.0,
+                   off["mean_pec"] / on["mean_pec"], Comparison.AT_MOST),
+        ClaimCheck("s43.wl-concentration", "wear skews toward churn blocks "
+                   "without WL (max/mean PEC at least 1.25x)", 1.25,
+                   off["max_pec"] / off["mean_pec"], Comparison.AT_LEAST),
+        ClaimCheck("s43.wl-even", "WL keeps wear even (max/mean below 1.1)",
+                   1.1, on["max_pec"] / on["mean_pec"], Comparison.AT_MOST),
+        ClaimCheck("s43.capacity-survives", "WL-off capacity loss stays "
+                   "bounded (>= 75% capacity after 3y)", 24.0,
+                   off["capacity_gb"], Comparison.AT_LEAST),
+    ]
+    report("E7 (§4.3): wear leveling considered harmful on SPARE", body, checks)

@@ -1,0 +1,50 @@
+"""E1 / Figure 1: flash market share by device type (2020).
+
+Regenerates the paper's pie-chart data and the derived observation that
+personal devices absorb ~half of annual flash bit production.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.charts import bar_chart
+from repro.analysis.claims import ClaimCheck, Comparison
+from repro.analysis.reporting import format_table
+from repro.carbon.market import MARKET_SHARE_2020, personal_share
+
+from .common import report
+
+
+def compute():
+    shares = dict(MARKET_SHARE_2020)
+    return {
+        "shares": shares,
+        "personal_strict": personal_share(include_memory_cards=False),
+        "personal_broad": personal_share(include_memory_cards=True),
+    }
+
+
+def test_bench_fig1_market_share(benchmark):
+    result = benchmark(compute)
+    rows = [[name, f"{frac * 100:.0f}%"] for name, frac in result["shares"].items()]
+    rows.append(["personal (phone+tablet)", f"{result['personal_strict'] * 100:.0f}%"])
+    body = format_table(["device type", "share of flash bits"], rows,
+                        title="Figure 1: flash market share by device type (2020)")
+    body += "\n\n" + bar_chart(
+        list(result["shares"]),
+        [v * 100 for v in result["shares"].values()],
+        title="(the paper's pie, as bars)",
+        unit="%",
+    )
+    checks = [
+        ClaimCheck("fig1.smartphone", "smartphone share", 0.38,
+                   result["shares"]["smartphone"], rel_tol=0.01),
+        ClaimCheck("fig1.ssd", "SSD share", 0.32, result["shares"]["ssd"], rel_tol=0.01),
+        ClaimCheck("fig1.tablet", "tablet share", 0.08, result["shares"]["tablet"],
+                   rel_tol=0.01),
+        ClaimCheck("fig1.sum", "shares sum to 1", 1.0,
+                   sum(result["shares"].values()), rel_tol=0.001),
+        ClaimCheck("s232.personal-half", "personal devices ~half of bits",
+                   0.40, result["personal_strict"], Comparison.BETWEEN,
+                   paper_upper=0.60),
+    ]
+    report("E1 (Figure 1): flash market share by device type", body, checks)

@@ -1,0 +1,19 @@
+"""SOS: Sustainability-Oriented Storage.
+
+A complete reproduction of "Degrading Data to Save the Planet"
+(Zuck, Porter, Tsafrir -- HotOS 2023) as a trace-driven simulation stack:
+
+* :mod:`repro.flash`     -- NAND cell/block/chip substrate with error physics
+* :mod:`repro.ecc`       -- BCH/Hamming codecs and analytic protection models
+* :mod:`repro.ftl`       -- flash translation layer (GC, wear leveling, zones)
+* :mod:`repro.host`      -- file model, capacity-variant file system
+* :mod:`repro.classify`  -- ML file classifier (SYS vs SPARE, auto-delete)
+* :mod:`repro.media`     -- error-tolerant media codec + quality metrics
+* :mod:`repro.carbon`    -- embodied-carbon, market, and credit models
+* :mod:`repro.core`      -- the SOS device itself (the paper's contribution)
+* :mod:`repro.sim`       -- multi-year lifetime simulator and baselines
+* :mod:`repro.workloads` -- synthetic mobile workloads and traces
+* :mod:`repro.analysis`  -- experiment reporting helpers
+"""
+
+__version__ = "1.0.0"

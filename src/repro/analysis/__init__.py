@@ -1,0 +1,20 @@
+"""Experiment reporting: tables, series, and paper-claim checks."""
+
+from .charts import bar_chart, series_chart, sparkline
+from .claims import ClaimCheck, Comparison, claims_table
+from .registry import EXPERIMENTS, Experiment, find_experiment
+from .reporting import format_series, format_table
+
+__all__ = [
+    "bar_chart",
+    "series_chart",
+    "sparkline",
+    "ClaimCheck",
+    "Comparison",
+    "claims_table",
+    "EXPERIMENTS",
+    "Experiment",
+    "find_experiment",
+    "format_series",
+    "format_table",
+]

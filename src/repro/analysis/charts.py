@@ -1,0 +1,71 @@
+"""Terminal charts: bar charts and sparklines for experiment output.
+
+The paper's Figure 1 is a pie chart and its lifetime arguments are
+trend lines; the benchmark harness renders the same shapes as text so
+``pytest -s`` output *is* the figure regeneration.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["bar_chart", "sparkline", "series_chart"]
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    title: str | None = None,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart scaled to the largest value."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must be the same length")
+    if not labels:
+        return title or ""
+    peak = max(values)
+    label_width = max(len(str(label)) for label in labels)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        filled = int(round(width * value / peak)) if peak > 0 else 0
+        bar = "█" * filled
+        lines.append(
+            f"{str(label).ljust(label_width)}  {bar} {value:g}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float], lo: float | None = None,
+              hi: float | None = None) -> str:
+    """One-line sparkline of a series using unicode block glyphs."""
+    if not values:
+        return ""
+    lo = min(values) if lo is None else lo
+    hi = max(values) if hi is None else hi
+    span = hi - lo
+    out = []
+    for value in values:
+        if span == 0:
+            index = 4
+        else:
+            index = int((value - lo) / span * (len(_BLOCKS) - 1))
+            index = max(0, min(len(_BLOCKS) - 1, index))
+        out.append(_BLOCKS[index])
+    return "".join(out)
+
+
+def series_chart(
+    name: str, xs: Sequence[float], ys: Sequence[float], unit: str = ""
+) -> str:
+    """Sparkline plus endpoints annotation for one (x, y) series."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must be the same length")
+    if not xs:
+        return f"{name}: (empty)"
+    return (
+        f"{name}: {sparkline(ys)}  "
+        f"[{xs[0]:g} -> {xs[-1]:g}]  {ys[0]:.3g}{unit} -> {ys[-1]:.3g}{unit}"
+    )

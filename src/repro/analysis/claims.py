@@ -1,0 +1,80 @@
+"""Paper-claim bookkeeping: compare measured values against the paper.
+
+A position paper states numbers loosely ("e.g., 5%", "over 150M", "~40%"),
+so each claim carries a comparison style:
+
+* ``APPROX`` -- measured within a relative tolerance of the paper value;
+* ``AT_LEAST`` / ``AT_MOST`` -- one-sided bounds;
+* ``BETWEEN`` -- the paper gives a range.
+
+Benchmarks assemble :class:`ClaimCheck` rows and print a uniform
+PAPER-vs-MEASURED table; EXPERIMENTS.md records the same rows.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from .reporting import format_table
+
+__all__ = ["Comparison", "ClaimCheck", "claims_table"]
+
+
+class Comparison(enum.Enum):
+    """How a measured value is judged against the paper's figure."""
+
+    APPROX = "approx"
+    AT_LEAST = "at_least"
+    AT_MOST = "at_most"
+    BETWEEN = "between"
+
+
+@dataclass(frozen=True, slots=True)
+class ClaimCheck:
+    """One paper claim and its measured counterpart."""
+
+    claim_id: str
+    description: str
+    paper_value: float
+    measured: float
+    comparison: Comparison = Comparison.APPROX
+    rel_tol: float = 0.15
+    #: upper bound for BETWEEN (paper_value is the lower bound)
+    paper_upper: float | None = None
+
+    @property
+    def holds(self) -> bool:
+        """Whether the measurement satisfies the claim."""
+        if self.comparison is Comparison.APPROX:
+            if self.paper_value == 0:
+                return abs(self.measured) <= self.rel_tol
+            return abs(self.measured - self.paper_value) <= self.rel_tol * abs(self.paper_value)
+        if self.comparison is Comparison.AT_LEAST:
+            return self.measured >= self.paper_value
+        if self.comparison is Comparison.AT_MOST:
+            return self.measured <= self.paper_value
+        if self.paper_upper is None:
+            raise ValueError("BETWEEN requires paper_upper")
+        return self.paper_value <= self.measured <= self.paper_upper
+
+    @property
+    def paper_text(self) -> str:
+        """Paper-side value rendered for the table."""
+        if self.comparison is Comparison.BETWEEN:
+            return f"[{self.paper_value:g}, {self.paper_upper:g}]"
+        prefix = {
+            Comparison.APPROX: "~",
+            Comparison.AT_LEAST: ">=",
+            Comparison.AT_MOST: "<=",
+        }[self.comparison]
+        return f"{prefix}{self.paper_value:g}"
+
+
+def claims_table(checks: list[ClaimCheck], title: str = "paper vs measured") -> str:
+    """Uniform PAPER-vs-MEASURED table for a benchmark's claims."""
+    rows = [
+        [c.claim_id, c.description, c.paper_text, f"{c.measured:.4g}", "OK" if c.holds else "DIVERGES"]
+        for c in checks
+    ]
+    return format_table(["id", "claim", "paper", "measured", "verdict"], rows, title=title)

@@ -1,0 +1,83 @@
+"""Experiment registry: the machine-readable index of EXPERIMENTS.md.
+
+One record per figure/claim-set experiment, consumed by the CLI
+(``python -m repro.cli experiments``) and usable by tooling that wants
+to run or cross-reference specific experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Experiment", "EXPERIMENTS", "find_experiment"]
+
+
+@dataclass(frozen=True, slots=True)
+class Experiment:
+    """One reproducible experiment."""
+
+    experiment_id: str
+    title: str
+    paper_source: str
+    bench_path: str
+
+
+EXPERIMENTS: list[Experiment] = [
+    Experiment("E1", "Flash market share by device type", "Figure 1",
+               "benchmarks/test_bench_fig1_market_share.py"),
+    Experiment("E2", "Flash production carbon, 2021-2030", "§1/§3",
+               "benchmarks/test_bench_e2_carbon_projection.py"),
+    Experiment("E3", "Wear gap between device life and endurance", "§2.3",
+               "benchmarks/test_bench_e3_wear_gap.py"),
+    Experiment("E4", "Carbon credits vs flash price", "§3",
+               "benchmarks/test_bench_e4_carbon_credits.py"),
+    Experiment("E5", "Density and capacity gains of the SOS split", "§4.1-§4.2",
+               "benchmarks/test_bench_e5_density_gain.py"),
+    Experiment("E6", "Approximate storage on low-endurance PLC", "§4.2-§4.3",
+               "benchmarks/test_bench_e6_approx_storage.py"),
+    Experiment("E7", "Wear leveling disabled on SPARE", "§4.3",
+               "benchmarks/test_bench_e7_wear_leveling.py"),
+    Experiment("E8", "Capacity variance and resuscitation", "§4.3",
+               "benchmarks/test_bench_e8_capacity_variance.py"),
+    Experiment("E9", "Machine-driven data classification", "§4.4-§4.5",
+               "benchmarks/test_bench_e9_classifier.py"),
+    Experiment("E10", "Auto-delete trim under capacity pressure", "§4.5",
+               "benchmarks/test_bench_e10_trim_policy.py"),
+    Experiment("E11", "SOS vs baselines over a device life", "Figure 2/§4",
+               "benchmarks/test_bench_e11_end_to_end.py"),
+    Experiment("E12", "PLC access speeds suffice", "§4.5 Performance",
+               "benchmarks/test_bench_e12_performance.py"),
+    Experiment("E13", "Data reduction vs density", "§5",
+               "benchmarks/test_bench_e13_data_reduction.py"),
+    Experiment("E14", "Fleet replacement churn", "§2.3.2-§2.3.3",
+               "benchmarks/test_bench_e14_fleet_replacement.py"),
+    Experiment("E15", "Embodied vs operational carbon", "§1/§3",
+               "benchmarks/test_bench_e15_embodied_vs_operational.py"),
+    Experiment("E16", "Population wear distribution", "§2.3.1-§2.3.2",
+               "benchmarks/test_bench_e16_population_wear.py"),
+    Experiment("A1", "ECC strength on SPARE", "ablation",
+               "benchmarks/test_bench_a1_ecc_ablation.py"),
+    Experiment("A2", "SYS/SPARE split ratio sweep", "ablation",
+               "benchmarks/test_bench_a2_split_sweep.py"),
+    Experiment("A3", "Classifier conservativeness threshold", "ablation",
+               "benchmarks/test_bench_a3_threshold_sweep.py"),
+    Experiment("A4", "Cloud repair on/off", "ablation (§4.3)",
+               "benchmarks/test_bench_a4_cloud_repair.py"),
+    Experiment("A5", "Re-evaluation under preference drift", "ablation (§4.4)",
+               "benchmarks/test_bench_a5_reevaluation.py"),
+    Experiment("A6", "Calibration sensitivity grid", "ablation",
+               "benchmarks/test_bench_a6_sensitivity.py"),
+    Experiment("A7", "GC policy on the SPARE churn profile", "ablation",
+               "benchmarks/test_bench_a7_gc_policy.py"),
+    Experiment("A8", "Less-pervasive tracking", "ablation (§4.5 Security)",
+               "benchmarks/test_bench_a8_privacy.py"),
+]
+
+
+def find_experiment(experiment_id: str) -> Experiment:
+    """Look up an experiment by id (case-insensitive)."""
+    wanted = experiment_id.upper()
+    for experiment in EXPERIMENTS:
+        if experiment.experiment_id == wanted:
+            return experiment
+    raise KeyError(f"unknown experiment {experiment_id!r}")

@@ -1,0 +1,57 @@
+"""Shared formatting for experiment output.
+
+Every benchmark prints the same artifacts: an aligned text table of the
+rows/series the paper reports, and paper-vs-measured claim lines.  These
+helpers keep that output uniform across the harness.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["format_table", "format_series"]
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str | None = None
+) -> str:
+    """Render an aligned text table.
+
+    Numbers are formatted to 4 significant digits; everything else via
+    ``str``.
+    """
+    rendered = [[_cell(v) for v in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rendered)) if rendered else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(headers))))
+    return "\n".join(lines)
+
+
+def format_series(name: str, xs: Sequence[float], ys: Sequence[float]) -> str:
+    """Render an (x, y) series as a compact one-per-line listing."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must be the same length")
+    lines = [f"series: {name}"]
+    for x, y in zip(xs, ys):
+        lines.append(f"  {_cell(x):>12}  {_cell(y)}")
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)

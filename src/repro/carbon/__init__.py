@@ -1,0 +1,77 @@
+"""Carbon accounting: embodied intensity, market shares, credits, projections.
+
+Encodes the constants the paper's §1/§3 arguments are built from
+(0.16 kg CO2e/GB, 765 EB 2021 production, Figure 1 market shares,
+$111/t EU ETS peak) and the models that recompute its headline numbers.
+"""
+
+from .credits import (
+    EU_ETS_PEAK_2022,
+    CarbonPrice,
+    credit_cost_per_tb,
+    price_increase_fraction,
+)
+from .embodied import (
+    BASELINE_INTENSITY_KG_PER_GB,
+    BASELINE_TECHNOLOGY,
+    DeviceCarbon,
+    device_embodied_kg,
+    intensity_kg_per_gb,
+    mixed_intensity_kg_per_gb,
+)
+from .fleet import ClassOutcome, FleetConfig, FleetOutcome, simulate_fleet
+from .operational import (
+    GRID_KG_PER_KWH,
+    POWER_PROFILES,
+    PowerProfile,
+    UsePhase,
+    use_phase,
+)
+from .market import (
+    DEVICE_CLASSES,
+    MARKET_SHARE_2020,
+    DeviceClass,
+    decade_production_multiplier,
+    personal_share,
+    replacements_per_decade,
+)
+from .projection import (
+    WORLD_PER_CAPITA_TONNES,
+    ProjectionConfig,
+    YearPoint,
+    people_equivalent,
+    project,
+)
+
+__all__ = [
+    "EU_ETS_PEAK_2022",
+    "CarbonPrice",
+    "credit_cost_per_tb",
+    "price_increase_fraction",
+    "BASELINE_INTENSITY_KG_PER_GB",
+    "BASELINE_TECHNOLOGY",
+    "DeviceCarbon",
+    "device_embodied_kg",
+    "intensity_kg_per_gb",
+    "mixed_intensity_kg_per_gb",
+    "ClassOutcome",
+    "FleetConfig",
+    "FleetOutcome",
+    "simulate_fleet",
+    "GRID_KG_PER_KWH",
+    "POWER_PROFILES",
+    "PowerProfile",
+    "UsePhase",
+    "use_phase",
+    "DEVICE_CLASSES",
+    "MARKET_SHARE_2020",
+    "DeviceClass",
+    "decade_production_multiplier",
+    "personal_share",
+    "replacements_per_decade",
+    "WORLD_PER_CAPITA_TONNES",
+    "ProjectionConfig",
+    "YearPoint",
+    "people_equivalent",
+    "project",
+]

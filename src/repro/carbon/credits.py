@@ -1,0 +1,58 @@
+"""Carbon-credit pricing and its impact on flash economics.
+
+§3 closes with the cost argument: at the recent EU ETS peak of $111 per
+tonne CO2e, the embodied carbon of flash (0.16 kg/GB) corresponds to a
+~40% surcharge on a $45/TB QLC SSD -- "carbon-related direct costs may
+soon become a major factor in the flash storage market".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .embodied import BASELINE_INTENSITY_KG_PER_GB
+
+__all__ = ["CarbonPrice", "EU_ETS_PEAK_2022", "credit_cost_per_tb", "price_increase_fraction"]
+
+
+@dataclass(frozen=True, slots=True)
+class CarbonPrice:
+    """A carbon-credit price point."""
+
+    usd_per_tonne: float
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.usd_per_tonne < 0:
+            raise ValueError("carbon price cannot be negative")
+
+    @property
+    def usd_per_kg(self) -> float:
+        """Price per kg CO2e."""
+        return self.usd_per_tonne / 1000.0
+
+
+#: "European Union prices have recently peaked at $111/CO2e ton" (§3).
+EU_ETS_PEAK_2022 = CarbonPrice(usd_per_tonne=111.0, label="EU ETS 2022 peak")
+
+
+def credit_cost_per_tb(
+    price: CarbonPrice, intensity_kg_per_gb: float = BASELINE_INTENSITY_KG_PER_GB
+) -> float:
+    """Carbon-credit cost (USD) embedded in one TB of flash."""
+    return price.usd_per_kg * intensity_kg_per_gb * 1000.0  # 1000 GB/TB
+
+
+def price_increase_fraction(
+    price: CarbonPrice,
+    ssd_usd_per_tb: float,
+    intensity_kg_per_gb: float = BASELINE_INTENSITY_KG_PER_GB,
+) -> float:
+    """Carbon cost as a fraction of the SSD's market price per TB.
+
+    The paper's example: $111/t on 0.16 kg/GB over a $45/TB QLC drive
+    is ~0.40 (a 40% price increase).
+    """
+    if ssd_usd_per_tb <= 0:
+        raise ValueError("SSD price must be positive")
+    return credit_cost_per_tb(price, intensity_kg_per_gb) / ssd_usd_per_tb

@@ -1,0 +1,93 @@
+"""Embodied (production) carbon model for flash storage.
+
+§3 of the paper: flash manufacturing emissions are dominated by fab power
+during die production, and Tannu & Nair's HotCarbon '22 analysis puts the
+embodied intensity at **0.16 kg CO2e per GB** for current (TLC-class)
+flash.  Because fab emissions scale with *wafer area processed*, not with
+bits shipped, storing more bits per cell divides the per-GB intensity:
+a QLC die ships 4/3 the bits of a TLC die from the same silicon.
+
+That proportionality is the entire quantitative engine behind SOS's
+sustainability claim (§4.1: "using denser flash memories ... straight-
+forwardly optimizes material utilization, which proportionally reduces
+the associated carbon footprint for the same storage capacity").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.flash.cell import CellMode, CellTechnology
+
+__all__ = [
+    "BASELINE_INTENSITY_KG_PER_GB",
+    "BASELINE_TECHNOLOGY",
+    "intensity_kg_per_gb",
+    "mixed_intensity_kg_per_gb",
+    "device_embodied_kg",
+    "DeviceCarbon",
+]
+
+#: Tannu & Nair (HotCarbon '22): embodied carbon of current flash.
+BASELINE_INTENSITY_KG_PER_GB = 0.16
+
+#: Technology the baseline intensity refers to (the market's TLC default).
+BASELINE_TECHNOLOGY = CellTechnology.TLC
+
+
+def intensity_kg_per_gb(mode: CellMode | CellTechnology) -> float:
+    """Embodied kg CO2e per GB for flash operated at a given density.
+
+    Wafer emissions are fixed per cell, so intensity scales inversely with
+    *operating* bits per cell.  A pseudo-QLC block on PLC silicon has the
+    wafer cost of PLC silicon but ships only 4 bits/cell, so its intensity
+    is the PLC wafer cost divided by 4 operating bits -- i.e. keyed on
+    operating bits, same as native QLC silicon (both ship 4 bits per
+    manufactured cell of equal wafer cost in this model).
+    """
+    operating_bits = (
+        mode.operating_bits if isinstance(mode, CellMode) else mode.bits_per_cell
+    )
+    return BASELINE_INTENSITY_KG_PER_GB * (
+        BASELINE_TECHNOLOGY.bits_per_cell / operating_bits
+    )
+
+
+def mixed_intensity_kg_per_gb(split: dict[CellMode | CellTechnology, float]) -> float:
+    """Capacity-weighted intensity of a multi-partition device.
+
+    ``split`` maps mode -> fraction of device *capacity* (must sum to 1).
+    """
+    total = sum(split.values())
+    if abs(total - 1.0) > 1e-9:
+        raise ValueError(f"capacity fractions must sum to 1, got {total}")
+    return sum(intensity_kg_per_gb(mode) * frac for mode, frac in split.items())
+
+
+@dataclass(frozen=True, slots=True)
+class DeviceCarbon:
+    """Embodied carbon summary for one device configuration."""
+
+    capacity_gb: float
+    intensity_kg_per_gb: float
+
+    @property
+    def total_kg(self) -> float:
+        """Total embodied kg CO2e for the device."""
+        return self.capacity_gb * self.intensity_kg_per_gb
+
+    def reduction_vs(self, other: "DeviceCarbon") -> float:
+        """Fractional carbon reduction of this device versus another
+        at equal capacity (positive = this device is greener)."""
+        return 1.0 - self.intensity_kg_per_gb / other.intensity_kg_per_gb
+
+
+def device_embodied_kg(
+    capacity_gb: float, split: dict[CellMode | CellTechnology, float]
+) -> DeviceCarbon:
+    """Embodied carbon of a device with a given capacity split."""
+    if capacity_gb <= 0:
+        raise ValueError("capacity must be positive")
+    return DeviceCarbon(
+        capacity_gb=capacity_gb, intensity_kg_per_gb=mixed_intensity_kg_per_gb(split)
+    )

@@ -1,0 +1,117 @@
+"""Operational (use-phase) energy and carbon of flash storage.
+
+§1/§3's premise: "power consumption during systems operational phase has
+significantly improved ... As a result, production-related emissions
+effectively account for most of the carbon footprint of modern devices"
+[Gupta et al. 'Chasing Carbon', Tannu & Nair].  SOS attacks embodied
+carbon precisely because the operational side is already small.
+
+This module quantifies that premise: a power profile per storage class
+(mobile UFS parts idle in the milliwatts and are active a few percent of
+the time; enterprise SSDs burn watts around the clock), integrated over
+the device's service life and converted through a grid carbon intensity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .embodied import BASELINE_INTENSITY_KG_PER_GB
+
+__all__ = ["PowerProfile", "POWER_PROFILES", "UsePhase", "use_phase", "GRID_KG_PER_KWH"]
+
+#: World-average grid carbon intensity (kg CO2e per kWh), ~2022.
+GRID_KG_PER_KWH = 0.44
+
+_HOURS_PER_YEAR = 8766.0
+
+
+@dataclass(frozen=True, slots=True)
+class PowerProfile:
+    """Power behaviour of one storage class.
+
+    Attributes
+    ----------
+    active_w / idle_w:
+        Power draw while serving I/O and while idle.
+    duty_cycle:
+        Fraction of powered time spent active.
+    powered_fraction:
+        Fraction of wall-clock time the device is powered at all
+        (phones sleep; servers do not).
+    """
+
+    name: str
+    active_w: float
+    idle_w: float
+    duty_cycle: float
+    powered_fraction: float = 1.0
+
+    def mean_watts(self) -> float:
+        """Average draw over wall-clock time."""
+        powered = self.active_w * self.duty_cycle + self.idle_w * (1 - self.duty_cycle)
+        return powered * self.powered_fraction
+
+
+#: Published-datasheet-class profiles (UFS mobile storage vs SATA/NVMe SSDs).
+POWER_PROFILES: dict[str, PowerProfile] = {
+    "mobile_ufs": PowerProfile(
+        name="mobile_ufs", active_w=0.3, idle_w=0.005, duty_cycle=0.02,
+        powered_fraction=0.9,
+    ),
+    "consumer_ssd": PowerProfile(
+        name="consumer_ssd", active_w=4.0, idle_w=0.3, duty_cycle=0.05,
+        powered_fraction=0.35,
+    ),
+    "enterprise_ssd": PowerProfile(
+        name="enterprise_ssd", active_w=9.0, idle_w=2.5, duty_cycle=0.30,
+        powered_fraction=1.0,
+    ),
+}
+
+
+@dataclass(frozen=True, slots=True)
+class UsePhase:
+    """Lifetime operational energy/carbon vs embodied carbon."""
+
+    profile: str
+    capacity_gb: float
+    service_years: float
+    energy_kwh: float
+    operational_kg: float
+    embodied_kg: float
+
+    @property
+    def embodied_share(self) -> float:
+        """Embodied fraction of the storage device's total footprint."""
+        total = self.operational_kg + self.embodied_kg
+        return self.embodied_kg / total if total else 0.0
+
+    @property
+    def embodied_to_operational(self) -> float:
+        """Ratio of embodied to operational carbon."""
+        if self.operational_kg == 0:
+            return float("inf")
+        return self.embodied_kg / self.operational_kg
+
+
+def use_phase(
+    profile_name: str,
+    capacity_gb: float,
+    service_years: float,
+    intensity_kg_per_gb: float = BASELINE_INTENSITY_KG_PER_GB,
+    grid_kg_per_kwh: float = GRID_KG_PER_KWH,
+) -> UsePhase:
+    """Integrate a power profile over a service life and compare phases."""
+    if capacity_gb <= 0 or service_years <= 0:
+        raise ValueError("capacity and service life must be positive")
+    profile = POWER_PROFILES[profile_name]
+    energy_kwh = profile.mean_watts() * service_years * _HOURS_PER_YEAR / 1000.0
+    return UsePhase(
+        profile=profile_name,
+        capacity_gb=capacity_gb,
+        service_years=service_years,
+        energy_kwh=energy_kwh,
+        operational_kg=energy_kwh * grid_kg_per_kwh,
+        embodied_kg=capacity_gb * intensity_kg_per_gb,
+    )

@@ -1,0 +1,35 @@
+"""Machine-driven data classification (§4.4).
+
+A synthetic labelled corpus stands in for the paper's scanned-user-files
+training pool; Gaussian Naive Bayes and logistic regression (both from
+scratch) learn criticality; :class:`FileClassifier` adds the rule layer
+and conservative demotion threshold; :class:`AutoDeletePredictor`
+reproduces the 79%-accuracy deletion-prediction operating point.
+"""
+
+from .auto_delete import AutoDeleteMetrics, AutoDeletePredictor, train_auto_delete
+from .classifier import ClassifierMetrics, FileClassifier, train_classifier
+from .corpus import CorpusConfig, LabelledFile, generate_corpus
+from .drift import DriftConfig, drift_corpus
+from .features import FEATURE_NAMES, extract_features, feature_matrix
+from .logistic import LogisticRegression
+from .naive_bayes import GaussianNaiveBayes
+
+__all__ = [
+    "AutoDeleteMetrics",
+    "AutoDeletePredictor",
+    "train_auto_delete",
+    "ClassifierMetrics",
+    "FileClassifier",
+    "train_classifier",
+    "CorpusConfig",
+    "DriftConfig",
+    "drift_corpus",
+    "LabelledFile",
+    "generate_corpus",
+    "FEATURE_NAMES",
+    "extract_features",
+    "feature_matrix",
+    "LogisticRegression",
+    "GaussianNaiveBayes",
+]

@@ -1,0 +1,63 @@
+"""Feature extraction for file classification.
+
+Turns a :class:`~repro.host.files.FileRecord` into a fixed-length numeric
+vector covering the attribute families §4.4 names: file type, recency and
+access history, provenance (shared / screenshot / duplicates), explicit
+user signals (favorites), content markers (sensitivity, known faces), and
+size.  The same vector feeds both learners so they are comparable.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.host.files import FileKind, FileRecord
+
+__all__ = ["FEATURE_NAMES", "extract_features", "feature_matrix"]
+
+_KIND_ORDER = list(FileKind)
+
+FEATURE_NAMES: list[str] = [
+    "age_years",
+    "idle_years",
+    "log_access_count",
+    "log_modify_count",
+    "shared_from_other",
+    "user_favorite",
+    "has_known_faces",
+    "is_screenshot",
+    "log_duplicate_count",
+    "cloud_backed",
+    "sensitivity_score",
+    "log_size",
+] + [f"kind_{kind.value}" for kind in _KIND_ORDER]
+
+
+def extract_features(record: FileRecord, now_years: float) -> np.ndarray:
+    """Feature vector for one file at simulation time ``now_years``."""
+    attrs = record.attributes
+    base = [
+        record.age_years(now_years),
+        record.idle_years(now_years),
+        math.log1p(attrs.access_count),
+        math.log1p(attrs.modify_count),
+        float(attrs.shared_from_other),
+        float(attrs.user_favorite),
+        float(attrs.has_known_faces),
+        float(attrs.is_screenshot),
+        math.log1p(attrs.duplicate_count),
+        float(attrs.cloud_backed),
+        attrs.sensitivity_score,
+        math.log1p(record.size_bytes),
+    ]
+    kind_onehot = [1.0 if record.kind is kind else 0.0 for kind in _KIND_ORDER]
+    return np.array(base + kind_onehot, dtype=np.float64)
+
+
+def feature_matrix(records: list[FileRecord], now_years: float) -> np.ndarray:
+    """Stacked feature matrix, one row per record."""
+    if not records:
+        return np.empty((0, len(FEATURE_NAMES)))
+    return np.stack([extract_features(r, now_years) for r in records])

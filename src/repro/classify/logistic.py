@@ -1,0 +1,84 @@
+"""L2-regularized logistic regression, from scratch (numpy only).
+
+Trained by full-batch gradient descent with feature standardization and a
+fixed iteration budget -- deterministic given the data.  Logistic
+regression is the "heavier" of the two learners and provides calibrated
+confidence scores, which SOS's conservative placement thresholds (§4.2)
+consume directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["LogisticRegression"]
+
+
+class LogisticRegression:
+    """Binary logistic regression with L2 regularization.
+
+    Parameters
+    ----------
+    l2:
+        Regularization strength (0 disables).
+    lr:
+        Gradient-descent learning rate.
+    n_iter:
+        Full-batch iterations.
+    """
+
+    def __init__(self, l2: float = 1e-3, lr: float = 0.5, n_iter: int = 500) -> None:
+        self.l2 = l2
+        self.lr = lr
+        self.n_iter = n_iter
+        self.weights_: np.ndarray | None = None
+        self.bias_: float = 0.0
+        self._mu: np.ndarray | None = None
+        self._sigma: np.ndarray | None = None
+
+    @staticmethod
+    def _sigmoid(z: np.ndarray) -> np.ndarray:
+        return 0.5 * (1.0 + np.tanh(0.5 * z))  # numerically stable
+
+    def _standardize(self, X: np.ndarray) -> np.ndarray:
+        assert self._mu is not None and self._sigma is not None
+        return (X - self._mu) / self._sigma
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "LogisticRegression":
+        """Fit on binary labels (0/1 or bool).  Returns self."""
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if set(np.unique(y)) - {0.0, 1.0}:
+            raise ValueError("labels must be binary (0/1)")
+        self._mu = X.mean(axis=0)
+        self._sigma = X.std(axis=0)
+        self._sigma[self._sigma == 0.0] = 1.0
+        Xs = self._standardize(X)
+        n, d = Xs.shape
+        w = np.zeros(d)
+        b = 0.0
+        for _ in range(self.n_iter):
+            p = self._sigmoid(Xs @ w + b)
+            err = p - y
+            grad_w = Xs.T @ err / n + self.l2 * w
+            grad_b = float(err.mean())
+            w -= self.lr * grad_w
+            b -= self.lr * grad_b
+        self.weights_ = w
+        self.bias_ = b
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """P(label == 1) per row."""
+        if self.weights_ is None:
+            raise RuntimeError("fit() must be called first")
+        Xs = self._standardize(np.asarray(X, dtype=np.float64))
+        return self._sigmoid(Xs @ self.weights_ + self.bias_)
+
+    def predict(self, X: np.ndarray, threshold: float = 0.5) -> np.ndarray:
+        """Binary predictions at a decision threshold."""
+        return (self.predict_proba(X) >= threshold).astype(np.int64)
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Accuracy at threshold 0.5."""
+        return float(np.mean(self.predict(X) == np.asarray(y, dtype=np.int64)))

@@ -1,0 +1,76 @@
+"""Gaussian Naive Bayes classifier, from scratch (numpy only).
+
+Per-class Gaussian likelihoods over each feature with variance smoothing.
+Naive Bayes is the lightweight option for an on-device daemon: training
+is a single pass and prediction is a handful of vector ops, befitting the
+"privileged system daemon ... periodic review" deployment of §4.4.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["GaussianNaiveBayes"]
+
+
+class GaussianNaiveBayes:
+    """Binary/multiclass Gaussian NB with variance smoothing."""
+
+    def __init__(self, var_smoothing: float = 1e-9) -> None:
+        self.var_smoothing = var_smoothing
+        self.classes_: np.ndarray | None = None
+        self._theta: np.ndarray | None = None  # class means
+        self._var: np.ndarray | None = None  # class variances
+        self._log_prior: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "GaussianNaiveBayes":
+        """Fit per-class Gaussians.  Returns self."""
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y)
+        if X.ndim != 2 or X.shape[0] != y.shape[0]:
+            raise ValueError("X must be (n_samples, n_features) aligned with y")
+        self.classes_ = np.unique(y)
+        n_classes, n_features = self.classes_.size, X.shape[1]
+        self._theta = np.zeros((n_classes, n_features))
+        self._var = np.zeros((n_classes, n_features))
+        priors = np.zeros(n_classes)
+        eps = self.var_smoothing * float(X.var(axis=0).max() or 1.0)
+        for idx, cls in enumerate(self.classes_):
+            rows = X[y == cls]
+            if rows.shape[0] == 0:
+                raise ValueError(f"class {cls} has no samples")
+            self._theta[idx] = rows.mean(axis=0)
+            self._var[idx] = rows.var(axis=0) + eps
+            priors[idx] = rows.shape[0] / X.shape[0]
+        self._log_prior = np.log(priors)
+        return self
+
+    def _joint_log_likelihood(self, X: np.ndarray) -> np.ndarray:
+        if self._theta is None:
+            raise RuntimeError("fit() must be called first")
+        X = np.asarray(X, dtype=np.float64)
+        jll = []
+        for idx in range(self.classes_.size):  # type: ignore[union-attr]
+            diff = X - self._theta[idx]
+            log_like = -0.5 * np.sum(
+                np.log(2.0 * np.pi * self._var[idx]) + diff**2 / self._var[idx], axis=1
+            )
+            jll.append(self._log_prior[idx] + log_like)  # type: ignore[index]
+        return np.stack(jll, axis=1)
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Class membership probabilities, rows sum to 1."""
+        jll = self._joint_log_likelihood(X)
+        jll -= jll.max(axis=1, keepdims=True)
+        probs = np.exp(jll)
+        return probs / probs.sum(axis=1, keepdims=True)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Most likely class per row."""
+        jll = self._joint_log_likelihood(X)
+        assert self.classes_ is not None
+        return self.classes_[np.argmax(jll, axis=1)]
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Accuracy on (X, y)."""
+        return float(np.mean(self.predict(X) == np.asarray(y)))

@@ -1,0 +1,211 @@
+"""Command-line interface to the SOS reproduction.
+
+Usage::
+
+    python -m repro.cli <command> [options]
+
+Commands
+--------
+``density``
+    The §4.1/§4.2 density and carbon arithmetic for a given split.
+``project``
+    The 2021->2030 flash carbon projection (E2).
+``market``
+    Figure 1 market shares and fleet replacement churn (E1/E14).
+``credits``
+    Carbon-credit surcharge on flash prices (E4).
+``lifetime``
+    Run the lifetime engine: SOS vs baselines for a mix/years (E11).
+``classify``
+    Train the classifiers on a fresh synthetic corpus and report their
+    operating points (E9).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.reporting import format_table
+
+__all__ = ["main"]
+
+
+def _cmd_density(args: argparse.Namespace) -> None:
+    from repro.carbon.embodied import intensity_kg_per_gb, mixed_intensity_kg_per_gb
+    from repro.core.config import default_config
+    from repro.core.partitions import capacity_gain_over, density_gain
+    from repro.flash.cell import CellTechnology
+
+    config = default_config(spare_fraction=args.spare_fraction)
+    sos = mixed_intensity_kg_per_gb(
+        {config.sys_mode: 1 - args.spare_fraction, config.spare_mode: args.spare_fraction}
+    )
+    tlc = intensity_kg_per_gb(CellTechnology.TLC)
+    rows = [
+        ["mean operating bits/cell", f"{config.mean_operating_bits:.2f}"],
+        ["density gain vs TLC", f"{density_gain(config) * 100:.1f}%"],
+        ["capacity gain vs QLC",
+         f"{capacity_gain_over(config, CellTechnology.QLC) * 100:.1f}%"],
+        ["embodied intensity", f"{sos:.4f} kg CO2e/GB"],
+        ["carbon reduction vs TLC", f"{(1 - sos / tlc) * 100:.1f}%"],
+    ]
+    print(format_table(["metric", "value"], rows,
+                       title=f"SOS split: {args.spare_fraction:.0%} SPARE"))
+
+
+def _cmd_project(args: argparse.Namespace) -> None:
+    from repro.carbon.projection import ProjectionConfig, project
+
+    points = project(ProjectionConfig(bit_growth_rate=args.growth))
+    rows = [
+        [p.year, f"{p.capacity_eb:.0f}", f"{p.emissions_mt:.0f}",
+         f"{p.people_equivalent_millions:.0f}"]
+        for p in points
+    ]
+    print(format_table(
+        ["year", "capacity (EB)", "emissions (Mt CO2e)", "people-equiv (M)"],
+        rows, title="Flash production carbon projection"))
+
+
+def _cmd_market(args: argparse.Namespace) -> None:
+    from repro.carbon.fleet import FleetConfig, simulate_fleet
+    from repro.carbon.market import MARKET_SHARE_2020
+
+    outcome = simulate_fleet(FleetConfig())
+    rows = [
+        [c.name, f"{MARKET_SHARE_2020[c.name] * 100:.0f}%",
+         f"{c.replacement_multiplier:.1f}x", f"{c.embodied_mt:.0f}"]
+        for c in outcome.classes
+    ]
+    print(format_table(
+        ["class", "bit share (Fig 1)", "capacity rebuilt / decade",
+         "embodied Mt CO2e / decade"],
+        rows, title="Flash market and replacement churn"))
+    print(f"\npersonal devices: {outcome.personal_bit_share() * 100:.0f}% of "
+          f"manufactured bits, rebuilt "
+          f"{outcome.personal_replacement_multiplier():.1f}x per decade")
+
+
+def _cmd_credits(args: argparse.Namespace) -> None:
+    from repro.carbon.credits import CarbonPrice, credit_cost_per_tb, price_increase_fraction
+    from repro.carbon.embodied import intensity_kg_per_gb
+    from repro.flash.cell import CellTechnology
+
+    price = CarbonPrice(usd_per_tonne=args.price)
+    rows = []
+    for tech in (CellTechnology.TLC, CellTechnology.QLC, CellTechnology.PLC):
+        intensity = intensity_kg_per_gb(tech)
+        cost = credit_cost_per_tb(price, intensity)
+        rows.append([tech.name, f"${cost:.2f}",
+                     f"{cost / args.ssd_price * 100:.1f}%"])
+    print(format_table(
+        ["technology", "credit $/TB", f"vs ${args.ssd_price:.0f}/TB price"],
+        rows, title=f"Carbon credits at ${args.price:.0f}/tonne"))
+    headline = price_increase_fraction(price, args.ssd_price)
+    print(f"\nbaseline-intensity surcharge: {headline * 100:.1f}% of the drive price")
+
+
+def _cmd_lifetime(args: argparse.Namespace) -> None:
+    from repro.sim.baselines import ALL_BUILDERS
+    from repro.sim.engine import run_lifetime
+    from repro.workloads.mobile import MobileWorkload, WorkloadConfig
+
+    summaries = MobileWorkload(
+        WorkloadConfig(mix=args.mix, days=args.years * 365, seed=args.seed)
+    ).daily_summaries()
+    rows = []
+    for name, builder in ALL_BUILDERS.items():
+        result = run_lifetime(builder(args.capacity_gb), summaries)
+        final = result.final
+        rows.append([
+            name, f"{result.embodied_kg:.2f}",
+            f"{final.sys_wear_fraction * 100:.1f}%",
+            f"{final.spare_quality:.3f}", f"{final.capacity_gb:.1f}",
+            "yes" if result.survived() else "degraded",
+        ])
+    print(format_table(
+        ["device", "embodied kg", "worst wear", "media quality",
+         "capacity left (GB)", f"healthy at {args.years}y"],
+        rows,
+        title=f"{args.capacity_gb:.0f} GB, {args.years}y, '{args.mix}' mix"))
+
+
+def _cmd_experiments(args: argparse.Namespace) -> None:
+    from repro.analysis.registry import EXPERIMENTS
+
+    rows = [
+        [e.experiment_id, e.title, e.paper_source, e.bench_path]
+        for e in EXPERIMENTS
+    ]
+    print(format_table(["id", "experiment", "paper", "bench"], rows,
+                       title=f"{len(EXPERIMENTS)} reproducible experiments "
+                             f"(run: pytest <bench> --benchmark-only -s)"))
+
+
+def _cmd_classify(args: argparse.Namespace) -> None:
+    from repro.classify.auto_delete import train_auto_delete
+    from repro.classify.classifier import train_classifier
+    from repro.classify.corpus import CorpusConfig, generate_corpus
+
+    corpus = generate_corpus(CorpusConfig(n_files=args.files), seed=args.seed)
+    _, metrics = train_classifier(corpus, now_years=2.0, seed=args.seed)
+    _, auto = train_auto_delete(corpus, now_years=2.0, seed=args.seed)
+    rows = [
+        ["criticality accuracy", f"{metrics.accuracy:.3f}"],
+        ["critical precision / recall",
+         f"{metrics.precision_critical:.3f} / {metrics.recall_critical:.3f}"],
+        ["files demoted to SPARE", f"{metrics.spare_fraction:.3f}"],
+        ["critical files demoted", f"{metrics.critical_demotion_rate:.3f}"],
+        ["auto-delete accuracy (paper cites 79%)", f"{auto.accuracy:.3f}"],
+    ]
+    print(format_table(["metric", "value"], rows,
+                       title=f"classifiers on a {args.files}-file corpus"))
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="SOS (HotOS '23) reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("density", help="density/carbon arithmetic (§4.1-§4.2)")
+    p.add_argument("--spare-fraction", type=float, default=0.5)
+    p.set_defaults(func=_cmd_density)
+
+    p = sub.add_parser("project", help="2021-2030 carbon projection (E2)")
+    p.add_argument("--growth", type=float, default=0.31)
+    p.set_defaults(func=_cmd_project)
+
+    p = sub.add_parser("market", help="market shares + fleet churn (E1/E14)")
+    p.set_defaults(func=_cmd_market)
+
+    p = sub.add_parser("credits", help="carbon-credit surcharge (E4)")
+    p.add_argument("--price", type=float, default=111.0)
+    p.add_argument("--ssd-price", type=float, default=45.0)
+    p.set_defaults(func=_cmd_credits)
+
+    p = sub.add_parser("lifetime", help="lifetime engine: SOS vs baselines (E11)")
+    p.add_argument("--mix", default="typical",
+                   choices=("light", "typical", "heavy", "adversarial"))
+    p.add_argument("--years", type=int, default=3)
+    p.add_argument("--capacity-gb", type=float, default=64.0)
+    p.add_argument("--seed", type=int, default=7)
+    p.set_defaults(func=_cmd_lifetime)
+
+    p = sub.add_parser("experiments", help="list all reproducible experiments")
+    p.set_defaults(func=_cmd_experiments)
+
+    p = sub.add_parser("classify", help="train + evaluate the classifiers (E9)")
+    p.add_argument("--files", type=int, default=4000)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_classify)
+
+    args = parser.parse_args(argv)
+    args.func(args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

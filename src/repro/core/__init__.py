@@ -1,0 +1,54 @@
+"""SOS core: the paper's contribution (§4).
+
+Partition construction and density arithmetic, classifier-driven
+placement, degradation forecasting, preemptive scrubbing, cloud-backed
+repair, the auto-delete trim fallback, the periodic daemon, and the
+:class:`SOSDevice` facade tying them together.
+"""
+
+from .config import SOSConfig, default_config
+from .daemon import ClassifierDaemon, DaemonRunReport
+from .degradation import DegradationMonitor, PageForecast
+from .partitions import (
+    PartitionedDevice,
+    build_partitions,
+    capacity_gain_over,
+    density_gain,
+)
+from .placement import PlacementEngine, PlacementStats
+from .repair import BackupStats, CloudBackup
+from .report import SustainabilityReport, build_report, render_report
+from .scrubber import Scrubber, ScrubReport
+from .tolerance import DEFAULT_DECLARATIONS, ToleranceLevel, ToleranceRegistry
+from .sos_device import DeviceSnapshot, SOSDevice
+from .trim_policy import TrimEvent, TrimMode, TrimPolicy
+
+__all__ = [
+    "SOSConfig",
+    "default_config",
+    "ClassifierDaemon",
+    "DaemonRunReport",
+    "DegradationMonitor",
+    "PageForecast",
+    "PartitionedDevice",
+    "build_partitions",
+    "capacity_gain_over",
+    "density_gain",
+    "PlacementEngine",
+    "PlacementStats",
+    "BackupStats",
+    "CloudBackup",
+    "SustainabilityReport",
+    "build_report",
+    "render_report",
+    "Scrubber",
+    "ScrubReport",
+    "DEFAULT_DECLARATIONS",
+    "ToleranceLevel",
+    "ToleranceRegistry",
+    "DeviceSnapshot",
+    "SOSDevice",
+    "TrimEvent",
+    "TrimMode",
+    "TrimPolicy",
+]

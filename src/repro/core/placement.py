@@ -1,0 +1,110 @@
+"""Placement engine: applies classifier hints to file extents.
+
+The glue between §4.4's classifier and §4.2's partitions.  New data lands
+on SYS (pseudo-QLC) by default; once the classifier deems a file
+non-critical with sufficient confidence, every page of the file is
+relocated to SPARE.  Promotions (SPARE -> SYS) happen when a re-evaluation
+raises a file's criticality -- user preferences "tend to change over
+time" (§4.4) -- or when the scrubber rescues degraded-but-valuable data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.host.block_layer import BlockLayer
+from repro.host.files import FileRecord
+from repro.host.hints import Placement, PlacementHint
+
+__all__ = ["PlacementEngine", "PlacementStats"]
+
+
+@dataclass(slots=True)
+class PlacementStats:
+    """Cumulative placement activity."""
+
+    demotions: int = 0
+    promotions: int = 0
+    pages_moved: int = 0
+    hints_ignored_low_confidence: int = 0
+    #: demotions deferred because SPARE lacked room (retried next review)
+    hints_deferred_no_room: int = 0
+
+
+class PlacementEngine:
+    """Applies placement hints to files through the block layer.
+
+    Parameters
+    ----------
+    block_layer:
+        Host block layer with sticky per-LPN placement.
+    min_demote_confidence:
+        Hints demoting to SPARE below this confidence are ignored --
+        a second conservative gate on top of the classifier threshold.
+    """
+
+    def __init__(self, block_layer: BlockLayer, min_demote_confidence: float = 0.6) -> None:
+        self.block_layer = block_layer
+        self.min_demote_confidence = min_demote_confidence
+        self.stats = PlacementStats()
+        self._file_placement: dict[int, Placement] = {}
+
+    def placement_of(self, file: FileRecord) -> Placement:
+        """Current placement of a file (default SYS)."""
+        return self._file_placement.get(file.file_id, Placement.SYS)
+
+    def apply_hint(self, file: FileRecord, hint: PlacementHint) -> bool:
+        """Apply one hint; returns True when pages actually moved."""
+        if hint.file_id != file.file_id:
+            raise ValueError("hint/file mismatch")
+        current = self.placement_of(file)
+        if hint.placement is current:
+            return False
+        if (
+            hint.placement is Placement.SPARE
+            and hint.confidence < self.min_demote_confidence
+        ):
+            self.stats.hints_ignored_low_confidence += 1
+            return False
+        if hint.placement is Placement.SPARE and not self._spare_has_room(
+            len(file.extents)
+        ):
+            self.stats.hints_deferred_no_room += 1
+            return False
+        for lpn in file.extents:
+            self.block_layer.relocate(lpn, hint.placement)
+            self.stats.pages_moved += 1
+        self._file_placement[file.file_id] = hint.placement
+        if hint.placement is Placement.SPARE:
+            self.stats.demotions += 1
+        else:
+            self.stats.promotions += 1
+        return True
+
+    def _spare_has_room(self, pages_needed: int) -> bool:
+        """Whether SPARE can absorb a demotion without starving its GC.
+
+        Keeps one erase block's worth of pages beyond the GC reserve so
+        the stream never deadlocks mid-relocation.
+        """
+        ftl = self.block_layer.ftl
+        spare = self.block_layer.spare_stream
+        capacity = ftl.stream_capacity_pages(spare)
+        live = ftl.stream_live_pages(spare)
+        reserve_blocks = ftl.stream(spare).config.gc_free_block_threshold + 2
+        reserve = reserve_blocks * ftl.chip.geometry.pages_per_block
+        return capacity - live - reserve >= pages_needed
+
+    def promote(self, file: FileRecord) -> None:
+        """Force a file back to SYS (scrubber rescue path)."""
+        self.apply_hint(
+            file, PlacementHint(file.file_id, Placement.SYS, confidence=1.0)
+        )
+
+    def forget(self, file: FileRecord) -> None:
+        """Drop placement state for a deleted file."""
+        self._file_placement.pop(file.file_id, None)
+
+    def spare_files(self, files) -> list[FileRecord]:
+        """Subset of ``files`` currently placed on SPARE."""
+        return [f for f in files if self.placement_of(f) is Placement.SPARE]

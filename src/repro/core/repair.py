@@ -1,0 +1,70 @@
+"""Cloud-backed repair store (§4.3).
+
+"Many users backup data from personal devices in the cloud ... SOS can
+opportunistically take advantage of such backups by amending overly
+degraded local data copies through a cloud-backed copy.  However, SOS
+does not inherently rely on the existence of such redundant copies."
+
+The backup is modelled as a lossless page store covering only the LPNs of
+files whose ``cloud_backed`` attribute is set, with an availability flag
+so experiments can run with and without cloud connectivity (ablation A4).
+Fetch counts model the network cost of repairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CloudBackup", "BackupStats"]
+
+
+@dataclass(slots=True)
+class BackupStats:
+    """Cumulative backup activity."""
+
+    pages_stored: int = 0
+    pages_fetched: int = 0
+    fetch_misses: int = 0
+
+
+class CloudBackup:
+    """Lossless reference copies of cloud-backed pages.
+
+    Parameters
+    ----------
+    available:
+        When False the store accepts uploads but serves no fetches
+        (offline device / no backup subscription).
+    """
+
+    def __init__(self, available: bool = True) -> None:
+        self.available = available
+        self.stats = BackupStats()
+        self._pages: dict[int, bytes] = {}
+
+    def store_page(self, lpn: int, payload: bytes) -> None:
+        """Upload a clean page copy (called at write time for backed files)."""
+        self._pages[lpn] = bytes(payload)
+        self.stats.pages_stored += 1
+
+    def fetch_page(self, lpn: int) -> bytes | None:
+        """Retrieve the clean copy, or None if absent/unavailable."""
+        if not self.available:
+            return None
+        payload = self._pages.get(lpn)
+        if payload is None:
+            self.stats.fetch_misses += 1
+            return None
+        self.stats.pages_fetched += 1
+        return payload
+
+    def forget_page(self, lpn: int) -> None:
+        """Drop a page (file deleted)."""
+        self._pages.pop(lpn, None)
+
+    def covered(self, lpn: int) -> bool:
+        """Whether a clean copy exists (regardless of availability)."""
+        return lpn in self._pages
+
+    def __len__(self) -> int:
+        return len(self._pages)

@@ -1,0 +1,104 @@
+"""Preemptive scrubber: rescues endangered SPARE data (§4.3).
+
+Periodically forecasts SPARE page quality (see
+:class:`~repro.core.degradation.DegradationMonitor`) and acts on pages
+predicted to fall below the floor:
+
+1. if a clean cloud copy exists, **repair in place** -- rewrite from the
+   backup onto fresh SPARE blocks ("amending overly degraded local data
+   copies through a cloud-backed copy");
+2. otherwise **relocate** the page to the write head, moving it off the
+   worn block (the accrued errors travel with it -- approximate storage
+   cannot un-degrade without a reference copy);
+3. after rescue, run the stream health check so the vacated worn blocks
+   are retired or resuscitated at reduced density.
+
+Note wear leveling on SPARE stays disabled: the scrubber moves only
+*endangered* data, not cold data for wear balance -- the distinction
+§4.3 draws when it disables preemptive wear-variance migration but keeps
+preemptive quality rescue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.host.block_layer import BlockLayer
+
+from .degradation import DegradationMonitor, PageForecast
+from .repair import CloudBackup
+
+__all__ = ["Scrubber", "ScrubReport"]
+
+
+@dataclass(slots=True)
+class ScrubReport:
+    """Outcome of one scrub pass."""
+
+    pages_scanned: int = 0
+    pages_endangered: int = 0
+    pages_repaired_from_cloud: int = 0
+    pages_relocated: int = 0
+    blocks_retired: int = 0
+    blocks_resuscitated: int = 0
+
+
+class Scrubber:
+    """Quality-driven preemptive migration for the SPARE partition.
+
+    Parameters
+    ----------
+    block_layer:
+        Host block layer (relocation and rewrite path).
+    monitor:
+        Degradation forecaster.
+    backup:
+        Cloud backup store (may hold clean copies of some LPNs).
+    quality_floor:
+        Forecast quality below which a page is rescued.
+    """
+
+    def __init__(
+        self,
+        block_layer: BlockLayer,
+        monitor: DegradationMonitor,
+        backup: CloudBackup,
+        quality_floor: float = 0.85,
+    ) -> None:
+        self.block_layer = block_layer
+        self.monitor = monitor
+        self.backup = backup
+        self.quality_floor = quality_floor
+
+    def scrub(self, lpns: list[int]) -> ScrubReport:
+        """Scan the given LPNs and rescue endangered pages."""
+        report = ScrubReport()
+        ftl = self.monitor.ftl
+        retired_before = ftl.stats.blocks_retired
+        resuscitated_before = ftl.stats.blocks_resuscitated
+        # health first: rescues must land on healthy blocks, so a worn
+        # open block is abandoned before any rewrite happens
+        ftl.check_stream_health(self.monitor.spare_stream)
+        forecasts = self.monitor.scan(lpns)
+        report.pages_scanned = len(forecasts)
+        endangered = [f for f in forecasts if f.below_floor(self.quality_floor)]
+        report.pages_endangered = len(endangered)
+        for forecast in endangered:
+            self._rescue(forecast, report)
+        ftl.check_stream_health(self.monitor.spare_stream)
+        report.blocks_retired = ftl.stats.blocks_retired - retired_before
+        report.blocks_resuscitated = ftl.stats.blocks_resuscitated - resuscitated_before
+        return report
+
+    def _rescue(self, forecast: PageForecast, report: ScrubReport) -> None:
+        ftl = self.monitor.ftl
+        lpn = forecast.lpn
+        clean = self.backup.fetch_page(lpn)
+        if clean is not None:
+            # repair: rewrite the clean copy at the SPARE write head
+            ftl.write(lpn, clean, self.monitor.spare_stream)
+            report.pages_repaired_from_cloud += 1
+            return
+        # relocate best-effort: accrued errors travel with the data
+        ftl.relocate(lpn, self.monitor.spare_stream)
+        report.pages_relocated += 1

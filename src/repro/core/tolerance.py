@@ -1,0 +1,103 @@
+"""Per-application degradation tolerance (§4.2's future-work hook).
+
+"We will further investigate adjustments to existing file systems and
+applications to allow additional file formats to be stored
+approximately ... For example, a bank app is likely less tolerant to
+degradation in its related files than a social media app."
+
+This module implements that adjustment: applications declare a
+:class:`ToleranceLevel` for the files they own (by path prefix), and the
+declaration *overrides* the learned classifier in the safe direction
+only:
+
+* ``INTOLERANT`` (bank, auth, health): never demoted, whatever the model
+  thinks -- a correctness contract, not a preference;
+* ``TOLERANT`` (social caches, podcast downloads): demoted even at
+  middling confidence -- the app re-fetches on damage anyway;
+* ``DEFAULT``: the classifier decides (most apps).
+
+Overrides tighten or relax the *demotion gate*; promotions (rescues)
+are never blocked.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.host.files import FileRecord
+from repro.host.hints import Placement, PlacementHint
+
+__all__ = ["ToleranceLevel", "ToleranceRegistry", "DEFAULT_DECLARATIONS"]
+
+
+class ToleranceLevel(enum.Enum):
+    """Degradation tolerance an application declares for its files."""
+
+    INTOLERANT = "intolerant"
+    DEFAULT = "default"
+    TOLERANT = "tolerant"
+
+
+@dataclass(frozen=True, slots=True)
+class _Declaration:
+    path_prefix: str
+    level: ToleranceLevel
+    app: str
+
+
+#: Example declarations mirroring the paper's §4.2 illustration.
+DEFAULT_DECLARATIONS: list[tuple[str, str, ToleranceLevel]] = [
+    ("/data/bank/", "bank", ToleranceLevel.INTOLERANT),
+    ("/data/auth/", "authenticator", ToleranceLevel.INTOLERANT),
+    ("/data/health/", "health", ToleranceLevel.INTOLERANT),
+    ("/cache/social/", "social", ToleranceLevel.TOLERANT),
+    ("/cache/podcasts/", "podcasts", ToleranceLevel.TOLERANT),
+]
+
+
+class ToleranceRegistry:
+    """Path-prefix registry of application tolerance declarations."""
+
+    def __init__(self) -> None:
+        self._declarations: list[_Declaration] = []
+
+    def declare(self, path_prefix: str, app: str, level: ToleranceLevel) -> None:
+        """Register a declaration; longest matching prefix wins."""
+        if not path_prefix:
+            raise ValueError("path_prefix must be non-empty")
+        self._declarations.append(_Declaration(path_prefix, level, app))
+        self._declarations.sort(key=lambda d: -len(d.path_prefix))
+
+    @classmethod
+    def with_defaults(cls) -> "ToleranceRegistry":
+        """Registry pre-loaded with the §4.2 example declarations."""
+        registry = cls()
+        for prefix, app, level in DEFAULT_DECLARATIONS:
+            registry.declare(prefix, app, level)
+        return registry
+
+    def level_for(self, record: FileRecord) -> ToleranceLevel:
+        """Tolerance level for a file (longest-prefix match)."""
+        for declaration in self._declarations:
+            if record.path.startswith(declaration.path_prefix):
+                return declaration.level
+        return ToleranceLevel.DEFAULT
+
+    def apply(self, record: FileRecord, hint: PlacementHint) -> PlacementHint:
+        """Adjust a classifier hint per the owning app's declaration.
+
+        INTOLERANT files are pinned to SYS with full confidence.
+        TOLERANT files demote with full confidence (bypassing the
+        conservatism gate) -- unless the hint was a promotion, which is
+        always honoured.
+        """
+        level = self.level_for(record)
+        if level is ToleranceLevel.DEFAULT:
+            return hint
+        if level is ToleranceLevel.INTOLERANT:
+            return PlacementHint(hint.file_id, Placement.SYS, confidence=1.0)
+        # TOLERANT: strengthen demotions; leave promotions alone
+        if hint.placement is Placement.SPARE:
+            return PlacementHint(hint.file_id, Placement.SPARE, confidence=1.0)
+        return hint

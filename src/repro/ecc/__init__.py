@@ -1,0 +1,31 @@
+"""Error-correcting-code substrate.
+
+Bit-exact BCH and extended-Hamming codecs, a closed-form failure model for
+lifetime simulations, and named protection policies (NONE / WEAK / STRONG)
+that implement §4.2's protection spectrum for SYS and SPARE partitions.
+"""
+
+from .bch import BCHCode, DecodeFailure, DecodeResult
+from .gf import GF2m
+from .hamming import HammingResult, HammingSecDed
+from .model import CodewordSpec, codeword_failure_prob, page_failure_prob, residual_ber
+from .page_codec import PageCodec, PageReadResult
+from .policy import POLICIES, ProtectionLevel, ProtectionPolicy
+
+__all__ = [
+    "BCHCode",
+    "DecodeFailure",
+    "DecodeResult",
+    "GF2m",
+    "HammingResult",
+    "HammingSecDed",
+    "CodewordSpec",
+    "codeword_failure_prob",
+    "page_failure_prob",
+    "residual_ber",
+    "PageCodec",
+    "PageReadResult",
+    "POLICIES",
+    "ProtectionLevel",
+    "ProtectionPolicy",
+]

@@ -1,0 +1,94 @@
+"""Hamming SEC-DED code (single error correct, double error detect).
+
+The "weak protection" end of the paper's spectrum (§4.2): SPARE data may
+be stored with no ECC or with a lightweight code.  Hamming(2^r - 1 + 1
+extended) corrects one bit per codeword at a fraction of BCH's parity
+overhead, making it the natural weak-ECC operating point for approximate
+storage experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["HammingSecDed", "HammingResult"]
+
+
+@dataclass(frozen=True, slots=True)
+class HammingResult:
+    """Decode outcome for one extended-Hamming codeword."""
+
+    data_bits: np.ndarray
+    corrected: bool
+    detected_uncorrectable: bool
+
+
+class HammingSecDed:
+    """Extended Hamming code with ``r`` parity bits plus overall parity.
+
+    Codeword length ``n = 2^r`` bits (including the overall parity bit at
+    position 0); data length ``k = 2^r - r - 1``.
+    """
+
+    def __init__(self, r: int) -> None:
+        if r < 2:
+            raise ValueError("r must be >= 2")
+        self.r = r
+        self.n = (1 << r)  # includes overall parity at position 0
+        self.k = (1 << r) - r - 1
+
+    def encode(self, data_bits: np.ndarray) -> np.ndarray:
+        """Encode ``k`` data bits into an ``n``-bit extended codeword."""
+        data_bits = np.asarray(data_bits, dtype=np.uint8)
+        if data_bits.size != self.k:
+            raise ValueError(f"expected {self.k} data bits, got {data_bits.size}")
+        cw = np.zeros(self.n, dtype=np.uint8)
+        # place data bits at non-power-of-two positions >= 3
+        di = 0
+        for pos in range(1, self.n):
+            if pos & (pos - 1):  # not a power of two
+                cw[pos] = data_bits[di]
+                di += 1
+        # parity bits at power-of-two positions
+        for p in range(self.r):
+            mask = 1 << p
+            parity = 0
+            for pos in range(1, self.n):
+                if pos & mask and pos != mask:
+                    parity ^= int(cw[pos])
+            cw[mask] = parity
+        cw[0] = int(np.bitwise_xor.reduce(cw[1:]))
+        return cw
+
+    def decode(self, received: np.ndarray) -> HammingResult:
+        """Decode, correcting single errors and detecting double errors."""
+        received = np.asarray(received, dtype=np.uint8)
+        if received.size != self.n:
+            raise ValueError(f"expected {self.n} bits, got {received.size}")
+        syndrome = 0
+        for p in range(self.r):
+            mask = 1 << p
+            parity = 0
+            for pos in range(1, self.n):
+                if pos & mask:
+                    parity ^= int(received[pos])
+            if parity:
+                syndrome |= mask
+        overall = int(np.bitwise_xor.reduce(received))
+        cw = received.copy()
+        corrected = False
+        detected = False
+        if syndrome and overall:
+            cw[syndrome] ^= 1  # single error at `syndrome`
+            corrected = True
+        elif syndrome and not overall:
+            detected = True  # double error: detectable, uncorrectable
+        elif not syndrome and overall:
+            cw[0] ^= 1  # error in the overall parity bit itself
+            corrected = True
+        data = np.array(
+            [cw[pos] for pos in range(1, self.n) if pos & (pos - 1)], dtype=np.uint8
+        )
+        return HammingResult(data_bits=data, corrected=corrected, detected_uncorrectable=detected)

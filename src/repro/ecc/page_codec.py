@@ -1,0 +1,136 @@
+"""Page-level application of a protection policy.
+
+SSD controllers split each physical page into interleaved ECC codewords.
+:class:`PageCodec` reproduces that: it packs a byte payload into codeword
+data fields, encodes each, and lays the codewords out across the page.
+On read it decodes every codeword, counting corrections and uncorrectable
+words, and returns a best-effort payload -- uncorrectable words pass their
+(possibly corrupted) data bits through, which is precisely the behaviour
+approximate storage relies on (§4.2: errors reach the application and the
+application tolerates them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .bch import BCHCode, DecodeFailure
+from .hamming import HammingSecDed
+from .policy import ProtectionLevel, ProtectionPolicy
+
+__all__ = ["PageCodec", "PageReadResult"]
+
+
+@dataclass(frozen=True, slots=True)
+class PageReadResult:
+    """Outcome of decoding one page."""
+
+    payload: bytes
+    corrected_bits: int
+    uncorrectable_codewords: int
+
+    @property
+    def clean(self) -> bool:
+        """True when every codeword decoded successfully."""
+        return self.uncorrectable_codewords == 0
+
+
+class PageCodec:
+    """Encode/decode byte payloads onto fixed-size flash pages.
+
+    Parameters
+    ----------
+    policy:
+        Protection policy; determines codec and payload capacity.
+    page_size_bytes:
+        Physical page size the encoded output must fit.
+    """
+
+    def __init__(self, policy: ProtectionPolicy, page_size_bytes: int) -> None:
+        self.policy = policy
+        self.page_size_bytes = page_size_bytes
+        self._codec = policy.make_codec()
+        page_bits = page_size_bytes * 8
+        if self._codec is None:
+            self._codewords = 0
+            self.payload_bytes = page_size_bytes
+        else:
+            n, k = self._codec.n, self._codec.k
+            self._codewords = page_bits // n
+            if self._codewords == 0:
+                raise ValueError(
+                    f"page of {page_bits} bits cannot hold a single {n}-bit codeword"
+                )
+            self.payload_bytes = (self._codewords * k) // 8
+
+    def encode(self, payload: bytes) -> bytes:
+        """Encode ``payload`` (<= :attr:`payload_bytes`) into page bytes."""
+        if len(payload) > self.payload_bytes:
+            raise ValueError(
+                f"payload {len(payload)}B exceeds capacity {self.payload_bytes}B"
+            )
+        payload = payload.ljust(self.payload_bytes, b"\x00")
+        if self._codec is None:
+            return payload.ljust(self.page_size_bytes, b"\x00")
+        bits = np.unpackbits(np.frombuffer(payload, dtype=np.uint8))
+        k = self._codec.k
+        out_bits = []
+        for i in range(self._codewords):
+            chunk = np.zeros(k, dtype=np.uint8)
+            segment = bits[i * k: (i + 1) * k]
+            chunk[: segment.size] = segment
+            out_bits.append(self._encode_word(chunk))
+        page_bits = np.concatenate(out_bits)
+        pad = self.page_size_bytes * 8 - page_bits.size
+        if pad:
+            page_bits = np.concatenate([page_bits, np.zeros(pad, dtype=np.uint8)])
+        return np.packbits(page_bits).tobytes()
+
+    def decode(self, page: bytes) -> PageReadResult:
+        """Decode page bytes back into a payload, tolerating failures."""
+        if len(page) != self.page_size_bytes:
+            raise ValueError(f"expected {self.page_size_bytes}B page, got {len(page)}B")
+        if self._codec is None:
+            return PageReadResult(payload=page, corrected_bits=0, uncorrectable_codewords=0)
+        bits = np.unpackbits(np.frombuffer(page, dtype=np.uint8))
+        n, k = self._codec.n, self._codec.k
+        data_bits = []
+        corrected = 0
+        uncorrectable = 0
+        for i in range(self._codewords):
+            word = bits[i * n: (i + 1) * n]
+            word_data, word_corrected, failed = self._decode_word(word)
+            data_bits.append(word_data)
+            corrected += word_corrected
+            uncorrectable += int(failed)
+        all_bits = np.concatenate(data_bits)[: self.payload_bytes * 8]
+        payload = np.packbits(all_bits).tobytes()
+        return PageReadResult(
+            payload=payload, corrected_bits=corrected, uncorrectable_codewords=uncorrectable
+        )
+
+    # -- codec dispatch ------------------------------------------------------
+
+    def _encode_word(self, data_bits: np.ndarray) -> np.ndarray:
+        assert self._codec is not None
+        return self._codec.encode(data_bits)
+
+    def _decode_word(self, word: np.ndarray) -> tuple[np.ndarray, int, bool]:
+        assert self._codec is not None
+        if isinstance(self._codec, HammingSecDed):
+            result = self._codec.decode(word)
+            return result.data_bits, int(result.corrected), result.detected_uncorrectable
+        assert isinstance(self._codec, BCHCode)
+        try:
+            result = self._codec.decode(word)
+            return result.data_bits, result.corrected_errors, False
+        except DecodeFailure:
+            # best effort: pass raw data bits through (systematic layout)
+            return word[self._codec.n_parity:].copy(), 0, True
+
+    @property
+    def level(self) -> ProtectionLevel:
+        """Protection level of the underlying policy."""
+        return self.policy.level

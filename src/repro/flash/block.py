@@ -1,0 +1,252 @@
+"""Bit-exact erase-block simulation.
+
+A :class:`Block` stores real page payloads and injects bit errors on read
+according to the analytic :class:`~repro.flash.error_model.ErrorModel`, so
+that approximate-storage experiments (E6, A1) observe genuine corrupted
+bytes rather than summary statistics.
+
+Blocks follow NAND programming constraints from §2.1:
+
+* pages within a block must be programmed sequentially (no rewrite without
+  erase);
+* erase wipes the whole block and increments the block's PEC counter;
+* a block operated in a pseudo mode exposes proportionally fewer bytes.
+
+A block whose PEC exceeds its mode's rated endurance does not refuse
+writes -- real flash does not either -- but its RBER keeps climbing, which
+is exactly the degradation SOS exploits and guards against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .cell import CellMode
+from .error_model import ErrorModel
+from .geometry import Geometry
+
+__all__ = ["Block", "PageState", "ProgramError"]
+
+
+class ProgramError(Exception):
+    """Raised on violations of NAND programming rules."""
+
+
+@dataclass(slots=True)
+class PageState:
+    """Book-keeping for a single physical page."""
+
+    data: np.ndarray | None = None
+    written_at_years: float = 0.0
+    reads_since_write: int = 0
+    #: PEC of the block at the moment this page was programmed.
+    pec_at_write: int = 0
+
+
+@dataclass(slots=True)
+class _BlockStats:
+    programs: int = 0
+    reads: int = 0
+    injected_bit_errors: int = 0
+
+
+class Block:
+    """One erase block with real page payloads and stochastic bit errors.
+
+    Parameters
+    ----------
+    geometry:
+        Chip geometry (page size / pages per block at native density).
+    mode:
+        Operating :class:`CellMode`.  Page payload capacity scales with
+        ``mode.capacity_fraction()``.
+    rng:
+        Source of randomness for error injection.  Deterministic when
+        seeded by the caller.
+    """
+
+    def __init__(self, geometry: Geometry, mode: CellMode, rng: np.random.Generator) -> None:
+        self.geometry = geometry
+        self._rng = rng
+        self.pec = 0
+        self.retired = False
+        self.stats = _BlockStats()
+        self._mode = mode
+        self._error_model = ErrorModel(mode)
+        self._pages: list[PageState] = [PageState() for _ in range(geometry.pages_per_block)]
+        self._next_page = 0
+
+    # -- mode management -------------------------------------------------
+
+    @property
+    def mode(self) -> CellMode:
+        """Current operating mode of the block."""
+        return self._mode
+
+    def reconfigure(self, mode: CellMode) -> None:
+        """Switch the block's operating density (§4.3 resuscitation).
+
+        The block must be erased first; density changes mid-data are not
+        physically meaningful.  Accrued PEC carries over -- wear lives in
+        the silicon, not the mode.
+        """
+        if any(p.data is not None for p in self._pages):
+            raise ProgramError("cannot reconfigure a block holding data; erase first")
+        if mode.technology is not self._mode.technology:
+            raise ProgramError("cannot change manufactured technology of a block")
+        self._mode = mode
+        self._error_model = ErrorModel(mode)
+
+    @property
+    def page_capacity_bytes(self) -> int:
+        """Bytes per page (independent of operating mode)."""
+        return self.geometry.page_size_bytes
+
+    @property
+    def usable_pages(self) -> int:
+        """Pages exposed at the current operating density.
+
+        A wordline stores one page per operating bit (LSB/CSB/MSB/...), so
+        a pseudo mode exposes ``operating_bits / native_bits`` of the
+        native page count -- same page size, fewer pages.
+        """
+        return int(self.geometry.pages_per_block * self._mode.capacity_fraction())
+
+    @property
+    def rated_pec(self) -> int:
+        """Rated endurance of the current operating mode."""
+        return self._error_model.rated_pec
+
+    @property
+    def wear_ratio(self) -> float:
+        """PEC consumed as a fraction of the current mode's rating."""
+        return self.pec / self._error_model.rated_pec
+
+    # -- NAND operations -------------------------------------------------
+
+    def erase(self) -> None:
+        """Erase the block, wiping all pages and incrementing PEC."""
+        if self.retired:
+            raise ProgramError("block is retired")
+        self.pec += 1
+        self._pages = [PageState() for _ in range(self.geometry.pages_per_block)]
+        self._next_page = 0
+
+    def program(self, page_index: int, data: bytes) -> None:
+        """Program one page.  Pages must be written in order, once each."""
+        if self.retired:
+            raise ProgramError("block is retired")
+        if page_index != self._next_page:
+            raise ProgramError(
+                f"out-of-order program: expected page {self._next_page}, got {page_index}"
+            )
+        if page_index >= self.usable_pages:
+            raise ProgramError(
+                f"page {page_index} beyond usable range "
+                f"({self.usable_pages} pages in mode {self._mode.name})"
+            )
+        if len(data) > self.page_capacity_bytes:
+            raise ProgramError(
+                f"payload {len(data)}B exceeds page capacity "
+                f"{self.page_capacity_bytes}B in mode {self._mode.name}"
+            )
+        page = self._pages[page_index]
+        page.data = np.frombuffer(data.ljust(self.page_capacity_bytes, b"\x00"), dtype=np.uint8).copy()
+        page.written_at_years = self._now_years
+        page.reads_since_write = 0
+        page.pec_at_write = self.pec
+        self._next_page += 1
+        self.stats.programs += 1
+
+    def is_programmed(self, page_index: int) -> bool:
+        """Whether the page currently holds data."""
+        return self._pages[page_index].data is not None
+
+    @property
+    def free_pages(self) -> int:
+        """Pages still programmable before the next erase."""
+        return self.usable_pages - self._next_page
+
+    def read(self, page_index: int, now_years: float | None = None) -> bytes:
+        """Read a page, injecting bit errors per the block's error model.
+
+        Parameters
+        ----------
+        page_index:
+            Page to read.
+        now_years:
+            Simulation time of the read; defaults to the block clock set
+            via :meth:`advance_time`.
+        """
+        page = self._pages[page_index]
+        if page.data is None:
+            raise ProgramError(f"page {page_index} is not programmed")
+        now = self._now_years if now_years is None else now_years
+        age = max(0.0, now - page.written_at_years)
+        rber = self._error_model.rber(
+            pec=self.pec, years_since_write=age, reads_since_write=page.reads_since_write
+        )
+        page.reads_since_write += 1
+        self.stats.reads += 1
+        return self._corrupt(page.data, rber)
+
+    def read_clean(self, page_index: int) -> bytes:
+        """Read a page without error injection (oracle view for tests)."""
+        page = self._pages[page_index]
+        if page.data is None:
+            raise ProgramError(f"page {page_index} is not programmed")
+        return page.data.tobytes()
+
+    def rber_now(self, page_index: int, now_years: float | None = None) -> float:
+        """Predicted RBER for a page at the current stress point."""
+        page = self._pages[page_index]
+        if page.data is None:
+            raise ProgramError(f"page {page_index} is not programmed")
+        now = self._now_years if now_years is None else now_years
+        age = max(0.0, now - page.written_at_years)
+        return self._error_model.rber(self.pec, age, page.reads_since_write)
+
+    def retire(self) -> None:
+        """Mark the block unusable (worn out); §4.3 capacity variance."""
+        self.retired = True
+
+    def page_info(self, page_index: int) -> PageState:
+        """Book-keeping for one page (written time, read count)."""
+        return self._pages[page_index]
+
+    def last_write_time_years(self) -> float:
+        """Simulation time of the newest programmed page (0.0 if empty)."""
+        times = [p.written_at_years for p in self._pages if p.data is not None]
+        return max(times) if times else 0.0
+
+    def oldest_write_time_years(self) -> float:
+        """Simulation time of the oldest programmed page (0.0 if empty)."""
+        times = [p.written_at_years for p in self._pages if p.data is not None]
+        return min(times) if times else 0.0
+
+    # -- time ------------------------------------------------------------
+
+    _now_years: float = 0.0
+
+    def advance_time(self, now_years: float) -> None:
+        """Move the block clock forward (retention errors accumulate)."""
+        if now_years < self._now_years:
+            raise ValueError("time cannot move backwards")
+        self._now_years = now_years
+
+    # -- internals ---------------------------------------------------------
+
+    def _corrupt(self, data: np.ndarray, rber: float) -> bytes:
+        """Flip each stored bit independently with probability ``rber``."""
+        nbits = data.size * 8
+        nerrors = int(self._rng.binomial(nbits, rber))
+        if nerrors == 0:
+            return data.tobytes()
+        noisy = data.copy()
+        positions = self._rng.integers(0, nbits, size=nerrors)
+        for pos in np.unique(positions):
+            noisy[pos >> 3] ^= np.uint8(1 << (pos & 7))
+        self.stats.injected_bit_errors += int(np.unique(positions).size)
+        return noisy.tobytes()

@@ -1,0 +1,146 @@
+"""NAND flash cell technologies and pseudo-density operating modes.
+
+A physical cell is manufactured as a particular technology (SLC..PLC) and
+stores ``bits_per_cell`` bits by dividing its threshold-voltage window into
+``2**bits_per_cell`` levels.  Denser cells squeeze more levels into the same
+window, which shrinks the margin between adjacent levels and therefore
+reduces endurance and raises the raw bit error rate (RBER).
+
+The paper's §4.3 additionally requires *pseudo-modes*: a dense cell
+(e.g. PLC) may be **operated** at a lower density (pseudo-QLC, pseudo-TLC,
+pSLC).  Operating a dense cell at fewer bits per cell widens the per-level
+voltage margin, which recovers much of the endurance lost to density --
+this is how SOS "resuscitates" worn PLC blocks as pseudo-TLC, and why the
+SYS partition uses pseudo-QLC ("stored conservatively ... with decreased
+density") rather than native QLC silicon.
+
+The key abstraction is :class:`CellMode`, which pairs the manufactured
+technology with the operating density.  Endurance and error behaviour are
+functions of *both*: wear accrues on the physical cell, margins come from
+the operating mode.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = [
+    "CellTechnology",
+    "CellMode",
+    "native_mode",
+    "pseudo_mode",
+]
+
+
+class CellTechnology(enum.Enum):
+    """Manufactured NAND cell technology (bits the silicon was built for)."""
+
+    SLC = 1
+    MLC = 2
+    TLC = 3
+    QLC = 4
+    PLC = 5
+
+    @property
+    def bits_per_cell(self) -> int:
+        """Native storage density in bits per physical cell."""
+        return self.value
+
+    @property
+    def levels(self) -> int:
+        """Number of distinguishable threshold-voltage levels."""
+        return 2 ** self.value
+
+    def density_gain_over(self, other: "CellTechnology") -> float:
+        """Fractional density improvement of ``self`` relative to ``other``.
+
+        Example: ``PLC.density_gain_over(TLC)`` is ``(5-3)/3 == 0.666...``,
+        the paper's "66%" (§4.1).
+        """
+        return (self.bits_per_cell - other.bits_per_cell) / other.bits_per_cell
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+@dataclass(frozen=True, slots=True)
+class CellMode:
+    """A physical cell technology operated at a (possibly reduced) density.
+
+    Attributes
+    ----------
+    technology:
+        The manufactured cell type.  Wear-out physics belong to this.
+    operating_bits:
+        Bits per cell actually programmed.  Must not exceed the native
+        density.  When lower, the mode is a *pseudo* mode (pseudo-QLC on
+        PLC silicon, etc.) with wider voltage margins.
+    """
+
+    technology: CellTechnology
+    operating_bits: int
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.operating_bits <= self.technology.bits_per_cell:
+            raise ValueError(
+                f"operating_bits={self.operating_bits} invalid for "
+                f"{self.technology.name} (native {self.technology.bits_per_cell})"
+            )
+
+    @property
+    def is_pseudo(self) -> bool:
+        """True when the cell is operated below its native density."""
+        return self.operating_bits < self.technology.bits_per_cell
+
+    @property
+    def operating_levels(self) -> int:
+        """Voltage levels actually used by this mode."""
+        return 2**self.operating_bits
+
+    @property
+    def margin_factor(self) -> float:
+        """Relative per-level voltage margin versus native operation.
+
+        The native window holds ``2**native_bits`` levels; a pseudo mode
+        spreads ``2**operating_bits`` levels over the same window, so each
+        level enjoys ``2**(native-operating)`` times the margin.  Error and
+        endurance models scale with this.
+        """
+        return float(2 ** (self.technology.bits_per_cell - self.operating_bits))
+
+    @property
+    def name(self) -> str:
+        """Human-readable mode name, e.g. ``PLC`` or ``pQLC(PLC)``."""
+        if not self.is_pseudo:
+            return self.technology.name
+        pseudo = CellTechnology(self.operating_bits).name
+        return f"p{pseudo}({self.technology.name})"
+
+    def capacity_fraction(self) -> float:
+        """Fraction of native capacity delivered by this mode.
+
+        pseudo-QLC on PLC silicon delivers 4/5 of the native PLC capacity.
+        """
+        return self.operating_bits / self.technology.bits_per_cell
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+def native_mode(technology: CellTechnology) -> CellMode:
+    """The full-density operating mode for ``technology``."""
+    return CellMode(technology, technology.bits_per_cell)
+
+
+def pseudo_mode(technology: CellTechnology, operating_bits: int) -> CellMode:
+    """A reduced-density operating mode of ``technology``.
+
+    Raises ``ValueError`` if ``operating_bits`` is not strictly below the
+    native density (use :func:`native_mode` for full density).
+    """
+    if operating_bits >= technology.bits_per_cell:
+        raise ValueError(
+            f"pseudo mode requires operating_bits < {technology.bits_per_cell}"
+        )
+    return CellMode(technology, operating_bits)

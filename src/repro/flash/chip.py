@@ -1,0 +1,128 @@
+"""Bit-exact flash chip: an addressable collection of erase blocks.
+
+The chip exposes physical (block, page) addressing plus the management
+hooks SOS needs: per-block operating-mode reconfiguration, retirement,
+and a shared retention clock.  Logical addressing, allocation, and
+garbage collection live above this layer in :mod:`repro.ftl`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from .block import Block
+from .cell import CellMode, CellTechnology, native_mode
+from .geometry import Geometry
+
+__all__ = ["FlashChip", "PhysicalAddress"]
+
+
+PhysicalAddress = tuple[int, int]
+"""(block_index, page_index) pair addressing one physical page."""
+
+
+class FlashChip:
+    """A simulated NAND chip of homogeneous manufactured technology.
+
+    Parameters
+    ----------
+    geometry:
+        Physical shape of the chip.
+    technology:
+        Manufactured cell technology of every block.
+    mode:
+        Initial operating mode for all blocks; defaults to native density.
+    seed:
+        Seed for the chip-wide error-injection RNG.
+    """
+
+    def __init__(
+        self,
+        geometry: Geometry,
+        technology: CellTechnology,
+        mode: CellMode | None = None,
+        seed: int = 0,
+    ) -> None:
+        if mode is None:
+            mode = native_mode(technology)
+        if mode.technology is not technology:
+            raise ValueError("mode technology must match chip technology")
+        self.geometry = geometry
+        self.technology = technology
+        self._rng = np.random.default_rng(seed)
+        self.blocks: list[Block] = [
+            Block(geometry, mode, self._rng) for _ in range(geometry.total_blocks)
+        ]
+        self._now_years = 0.0
+
+    # -- capacity ----------------------------------------------------------
+
+    @property
+    def now_years(self) -> float:
+        """Current simulation time on the chip's retention clock."""
+        return self._now_years
+
+    def usable_capacity_bytes(self) -> int:
+        """Bytes currently addressable (live blocks at their modes)."""
+        return sum(
+            b.page_capacity_bytes * b.usable_pages for b in self.blocks if not b.retired
+        )
+
+    def live_blocks(self) -> Iterator[tuple[int, Block]]:
+        """Iterate (index, block) over non-retired blocks."""
+        return ((i, b) for i, b in enumerate(self.blocks) if not b.retired)
+
+    def retired_count(self) -> int:
+        """Number of retired (worn-out) blocks."""
+        return sum(1 for b in self.blocks if b.retired)
+
+    # -- NAND operations ---------------------------------------------------
+
+    def erase(self, block_index: int) -> None:
+        """Erase one block."""
+        self.blocks[block_index].erase()
+
+    def program(self, addr: PhysicalAddress, data: bytes) -> None:
+        """Program one physical page."""
+        block_index, page_index = addr
+        self.blocks[block_index].program(page_index, data)
+
+    def read(self, addr: PhysicalAddress) -> bytes:
+        """Read one physical page with error injection at chip time."""
+        block_index, page_index = addr
+        return self.blocks[block_index].read(page_index, self._now_years)
+
+    def read_clean(self, addr: PhysicalAddress) -> bytes:
+        """Oracle read without error injection (testing/repair reference)."""
+        block_index, page_index = addr
+        return self.blocks[block_index].read_clean(page_index)
+
+    # -- management --------------------------------------------------------
+
+    def reconfigure_block(self, block_index: int, mode: CellMode) -> None:
+        """Change one block's operating density (must be erased & empty)."""
+        self.blocks[block_index].reconfigure(mode)
+
+    def retire_block(self, block_index: int) -> None:
+        """Permanently retire a worn-out block."""
+        self.blocks[block_index].retire()
+
+    def advance_time(self, now_years: float) -> None:
+        """Advance the chip retention clock (monotonic)."""
+        if now_years < self._now_years:
+            raise ValueError("time cannot move backwards")
+        self._now_years = now_years
+        for block in self.blocks:
+            block.advance_time(now_years)
+
+    def mean_pec(self) -> float:
+        """Average PEC over live blocks (wear summary)."""
+        live = [b.pec for b in self.blocks if not b.retired]
+        return float(np.mean(live)) if live else 0.0
+
+    def max_pec(self) -> int:
+        """Maximum PEC over live blocks."""
+        live = [b.pec for b in self.blocks if not b.retired]
+        return max(live) if live else 0

@@ -1,0 +1,89 @@
+"""Physical geometry of a simulated NAND flash device.
+
+Mirrors the layout described in the paper's §2.1: data is read/written in
+*pages* (typically 4-16 KB), erased in *blocks* (groups of pages, 256 KB -
+4 MB), and blocks are grouped into planes and dies.  The geometry object is
+shared by the bit-exact chip simulator and the epoch-level lifetime model
+so both agree on capacities.
+
+Page capacity scales with the *operating* bits per cell: a block of
+``cells_per_page`` cells holds ``operating_bits`` logical pages' worth of
+bits per physical wordline.  We model this the standard way -- a physical
+page stores ``page_size_bytes`` at native density, and a pseudo mode
+delivers ``operating_bits / native_bits`` of that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Geometry", "SMALL_GEOMETRY", "MOBILE_GEOMETRY"]
+
+
+@dataclass(frozen=True, slots=True)
+class Geometry:
+    """Shape of one simulated flash chip at native density.
+
+    Attributes
+    ----------
+    page_size_bytes:
+        Bytes per physical page at native density.
+    pages_per_block:
+        Pages per erase block.
+    blocks_per_plane:
+        Erase blocks per plane.
+    planes_per_die:
+        Planes per die (parallelism unit; ignored for timing here).
+    dies:
+        Dies per chip.
+    """
+
+    page_size_bytes: int = 4096
+    pages_per_block: int = 64
+    blocks_per_plane: int = 256
+    planes_per_die: int = 2
+    dies: int = 1
+
+    def __post_init__(self) -> None:
+        for field in (
+            "page_size_bytes",
+            "pages_per_block",
+            "blocks_per_plane",
+            "planes_per_die",
+            "dies",
+        ):
+            if getattr(self, field) < 1:
+                raise ValueError(f"{field} must be >= 1")
+
+    @property
+    def total_blocks(self) -> int:
+        """Total erase blocks in the chip."""
+        return self.blocks_per_plane * self.planes_per_die * self.dies
+
+    @property
+    def block_size_bytes(self) -> int:
+        """Bytes per erase block at native density."""
+        return self.page_size_bytes * self.pages_per_block
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Raw chip capacity in bytes at native density."""
+        return self.block_size_bytes * self.total_blocks
+
+    @property
+    def total_pages(self) -> int:
+        """Total physical pages in the chip."""
+        return self.pages_per_block * self.total_blocks
+
+
+#: Tiny geometry for bit-exact unit tests (256 KB).
+SMALL_GEOMETRY = Geometry(
+    page_size_bytes=512, pages_per_block=8, blocks_per_plane=32, planes_per_die=2, dies=1
+)
+
+#: Mobile-like geometry used by the lifetime simulator (scaled down from a
+#: real 128 GB UFS part to keep simulations fast; capacities in experiments
+#: are expressed per-GB so the scale factor cancels).
+MOBILE_GEOMETRY = Geometry(
+    page_size_bytes=4096, pages_per_block=64, blocks_per_plane=512, planes_per_die=2, dies=2
+)

@@ -1,0 +1,95 @@
+"""Endurance and reliability parameter tables for NAND technologies.
+
+The paper's argument rests on published *relative* endurance figures
+(§2.2, §4.1):
+
+* early SLC endured ~100K program/erase cycles (PEC);
+* QLC endures ~1K PEC;
+* PLC endurance is expected to be ~6-10x below TLC and ~2x below QLC.
+
+We encode a single parameter table consistent with those ratios and with
+the broader literature (MLC ~10K, TLC ~3K).  All lifetime experiments pull
+their constants from here so the reproduction cannot silently diverge from
+the paper's premises.
+
+Pseudo-modes recover endurance: operating a cell below its native density
+widens voltage margins (see :class:`repro.flash.cell.CellMode`), so a
+pseudo-QLC block on PLC silicon behaves approximately like native QLC.
+We model pseudo-mode endurance as the native endurance of the *operating*
+density, capped by a silicon-quality factor of the underlying technology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .cell import CellMode, CellTechnology
+
+__all__ = [
+    "EnduranceSpec",
+    "ENDURANCE_TABLE",
+    "endurance_pec",
+    "RETENTION_SPEC_YEARS",
+    "retention_years",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class EnduranceSpec:
+    """Endurance and baseline error parameters for one native technology.
+
+    Attributes
+    ----------
+    rated_pec:
+        Program/erase cycles the technology is rated for at nominal
+        retention (the wear-out point used by warranties).
+    baseline_rber:
+        Raw bit error rate of a freshly written page on pristine silicon.
+    rber_growth:
+        Exponent base controlling how RBER grows with wear; see
+        :mod:`repro.flash.error_model`.
+    """
+
+    rated_pec: int
+    baseline_rber: float
+    rber_growth: float
+
+
+#: Native endurance table.  Ratios follow §2.2/§4.1 of the paper:
+#: SLC 100K, QLC 1K, PLC = QLC/2 = 500 = TLC/6 (within the 6-10x band).
+ENDURANCE_TABLE: dict[CellTechnology, EnduranceSpec] = {
+    CellTechnology.SLC: EnduranceSpec(rated_pec=100_000, baseline_rber=1e-8, rber_growth=2.0),
+    CellTechnology.MLC: EnduranceSpec(rated_pec=10_000, baseline_rber=1e-7, rber_growth=2.2),
+    CellTechnology.TLC: EnduranceSpec(rated_pec=3_000, baseline_rber=1e-6, rber_growth=2.4),
+    CellTechnology.QLC: EnduranceSpec(rated_pec=1_000, baseline_rber=5e-6, rber_growth=2.6),
+    CellTechnology.PLC: EnduranceSpec(rated_pec=500, baseline_rber=2e-5, rber_growth=2.8),
+}
+
+#: Silicon-quality derating applied when a dense technology is operated in a
+#: pseudo mode.  A pseudo-QLC block on PLC silicon does not *quite* reach
+#: native-QLC endurance because the underlying cells are smaller and noisier.
+_PSEUDO_QUALITY_FACTOR = 0.9
+
+#: Nominal retention (years until retention errors dominate at rated PEC)
+#: per *operating* density.  Denser operating points leak into adjacent
+#: levels sooner.  JEDEC consumer rating is 1 year at rated endurance.
+RETENTION_SPEC_YEARS: dict[int, float] = {1: 10.0, 2: 6.0, 3: 3.0, 4: 1.5, 5: 0.75}
+
+
+def endurance_pec(mode: CellMode) -> int:
+    """Rated PEC for a cell technology operated in ``mode``.
+
+    Native modes read straight from :data:`ENDURANCE_TABLE`.  Pseudo modes
+    take the native endurance of the operating density, derated by
+    :data:`_PSEUDO_QUALITY_FACTOR` for the denser underlying silicon.
+    """
+    native = ENDURANCE_TABLE[mode.technology].rated_pec
+    if not mode.is_pseudo:
+        return native
+    operating_native = ENDURANCE_TABLE[CellTechnology(mode.operating_bits)].rated_pec
+    return int(operating_native * _PSEUDO_QUALITY_FACTOR)
+
+
+def retention_years(mode: CellMode) -> float:
+    """Nominal data-retention horizon (years) for the operating density."""
+    return RETENTION_SPEC_YEARS[mode.operating_bits]

@@ -1,0 +1,125 @@
+"""NAND operation latency model.
+
+§4.5 ("Performance") argues PLC's slower access is acceptable because
+SPARE holds low-priority data "mostly accessed using large sequential
+reads", and that "error tolerance for degraded data ... can further
+reduce read times".  Testing that requires a latency model:
+
+* **program** time grows steeply with operating bits per cell -- each
+  extra bit doubles the number of target levels the incremental-step-
+  pulse-programming (ISPP) loop must discriminate;
+* **read** time grows with the number of sensing levels
+  (``2^bits - 1`` reference comparisons worst-case);
+* **read retry**: when a page fails hard-decision ECC, the controller
+  re-reads with shifted reference voltages several times (and finally a
+  soft-sensing pass) -- each retry adds a full sense latency.  Error-
+  tolerant reads skip retries entirely: whatever the first sense returns
+  is good enough, which is exactly the §4.5 latency win;
+* **erase** is roughly density-independent.
+
+Values are calibrated to public datasheet ranges (SLC ~25 us reads /
+~200 us programs; QLC ~120 us reads / ~2 ms programs) and extrapolated
+one step for PLC; experiments rely on the *ratios*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .cell import CellMode
+
+__all__ = ["TimingModel", "OperationTimes"]
+
+#: Base sense latency per reference-level group (us).
+_SENSE_BASE_US = 20.0
+#: Extra sense cost per additional operating bit (levels double per bit).
+_SENSE_PER_BIT_US = {1: 5.0, 2: 15.0, 3: 40.0, 4: 95.0, 5: 210.0}
+#: ISPP program time by operating bits (us).
+_PROGRAM_US = {1: 200.0, 2: 600.0, 3: 1200.0, 4: 2200.0, 5: 4200.0}
+#: Block erase time (us), density-independent to first order.
+_ERASE_US = 3500.0
+#: Data transfer over the channel per 4 KB page (us).
+_TRANSFER_US = 10.0
+
+
+@dataclass(frozen=True, slots=True)
+class OperationTimes:
+    """Latencies (microseconds) for one operating mode."""
+
+    read_us: float
+    program_us: float
+    erase_us: float
+
+    def sequential_read_mbps(self, page_bytes: int, queue_depth: int = 4) -> float:
+        """Sustained sequential read bandwidth (MB/s) at a queue depth.
+
+        Sequential streams pipeline sensing across planes/dies; queue
+        depth approximates that overlap.
+        """
+        effective_us = self.read_us / queue_depth + _TRANSFER_US
+        return page_bytes / effective_us  # bytes/us == MB/s
+
+
+class TimingModel:
+    """Latency calculator for a cell operating mode.
+
+    Parameters
+    ----------
+    mode:
+        Cell technology + operating density.
+    """
+
+    def __init__(self, mode: CellMode) -> None:
+        self.mode = mode
+        bits = mode.operating_bits
+        self._read_us = _SENSE_BASE_US + _SENSE_PER_BIT_US[bits]
+        self._program_us = _PROGRAM_US[bits]
+
+    def times(self) -> OperationTimes:
+        """Nominal (retry-free) operation latencies."""
+        return OperationTimes(
+            read_us=self._read_us, program_us=self._program_us, erase_us=_ERASE_US
+        )
+
+    def read_with_retries(self, retries: int) -> float:
+        """Read latency including ``retries`` re-sense passes (us).
+
+        Each retry is a full sense with shifted reference voltages; the
+        final soft-sensing pass (when ``retries >= 3``) costs 2x a sense.
+        """
+        if retries < 0:
+            raise ValueError("retries must be non-negative")
+        total = self._read_us * (1 + retries)
+        if retries >= 3:
+            total += self._read_us  # soft-sensing surcharge
+        return total
+
+    def expected_read_us(
+        self, page_failure_prob: float, max_retries: int = 4, error_tolerant: bool = False
+    ) -> float:
+        """Expected read latency given the page's hard-decode failure rate.
+
+        Parameters
+        ----------
+        page_failure_prob:
+            Probability the initial hard-decision decode fails.
+        max_retries:
+            Retry budget before returning best-effort data.
+        error_tolerant:
+            When True (SPARE semantics, §4.5) the first sense is always
+            accepted -- the application tolerates the errors -- so the
+            expected latency is simply the nominal read time.
+        """
+        if not 0.0 <= page_failure_prob <= 1.0:
+            raise ValueError("page_failure_prob must be a probability")
+        if error_tolerant:
+            return self._read_us
+        # retries succeed with the same (approximately independent)
+        # probability; truncated geometric expectation
+        expected = 0.0
+        p_continue = 1.0
+        for attempt in range(max_retries + 1):
+            p_stop = (1.0 - page_failure_prob) if attempt < max_retries else 1.0
+            expected += p_continue * p_stop * self.read_with_retries(attempt)
+            p_continue *= 1.0 - p_stop
+        return expected

@@ -1,0 +1,85 @@
+"""Worn-block handling: retirement and density resuscitation.
+
+§4.3 of the paper proposes two fates for a block that can no longer
+reliably store data at its operating density:
+
+* **retire** it, shrinking device capacity (capacity variance, exposed to
+  a tolerant host file system);
+* **resuscitate** it at a reduced density (e.g. worn PLC reborn as
+  pseudo-TLC), trading capacity for renewed margin, citing FlexFS-style
+  reduced-density reuse.
+
+A block is deemed unreliable when its *predicted* end-of-retention RBER
+exceeds what the partition's ECC can correct (for protected partitions)
+or a quality-driven RBER ceiling (for approximate partitions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.flash.block import Block
+from repro.flash.cell import CellMode
+from repro.flash.error_model import ErrorModel
+
+__all__ = ["BlockHealthPolicy", "BlockVerdict", "assess_block"]
+
+
+@dataclass(frozen=True, slots=True)
+class BlockHealthPolicy:
+    """Thresholds for declaring a block unreliable at its current mode.
+
+    Attributes
+    ----------
+    max_rber:
+        RBER ceiling the partition tolerates (derived from ECC strength or
+        acceptable quality loss).
+    retention_horizon_years:
+        Data must stay below ``max_rber`` for this long after a write.
+    resuscitation_modes:
+        Decreasing-density fallback ladder to try before retiring, e.g.
+        ``[pseudo_mode(PLC, 3), pseudo_mode(PLC, 1)]``.  Empty = retire
+        immediately.
+    """
+
+    max_rber: float
+    retention_horizon_years: float
+    resuscitation_modes: tuple[CellMode, ...] = ()
+
+
+@dataclass(frozen=True, slots=True)
+class BlockVerdict:
+    """Assessment outcome for one block."""
+
+    healthy: bool
+    #: mode to reconfigure to, if resuscitation is recommended
+    resuscitate_to: CellMode | None = None
+    #: True when the block should be retired outright
+    retire: bool = False
+
+
+def _mode_is_reliable(mode: CellMode, pec: int, policy: BlockHealthPolicy) -> bool:
+    """Whether a block at ``pec`` can hold data for the retention horizon."""
+    model = ErrorModel(mode)
+    predicted = model.rber(pec=pec, years_since_write=policy.retention_horizon_years)
+    return predicted <= policy.max_rber
+
+
+def assess_block(block: Block, policy: BlockHealthPolicy) -> BlockVerdict:
+    """Decide whether a block is healthy, resuscitable, or worn out.
+
+    The assessment uses the block's accrued PEC and the *predicted* RBER at
+    the policy's retention horizon -- i.e. "if I write data here today,
+    will it still be readable at the end of the horizon?", which is the
+    question an allocation-time health check must answer.
+    """
+    if block.retired:
+        return BlockVerdict(healthy=False, retire=True)
+    if _mode_is_reliable(block.mode, block.pec, policy):
+        return BlockVerdict(healthy=True)
+    for mode in policy.resuscitation_modes:
+        if mode.operating_bits >= block.mode.operating_bits:
+            continue  # only consider strictly lower densities
+        if _mode_is_reliable(mode, block.pec, policy):
+            return BlockVerdict(healthy=False, resuscitate_to=mode)
+    return BlockVerdict(healthy=False, retire=True)

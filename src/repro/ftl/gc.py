@@ -1,0 +1,92 @@
+"""Garbage-collection victim selection policies.
+
+Two classic policies:
+
+* **greedy** -- pick the block with the fewest valid pages (minimum
+  migration cost now);
+* **cost-benefit** -- weigh reclaimable space against migration cost and
+  block "age" (time since last write), preferring cold, mostly-invalid
+  blocks (Kawaguchi et al.).
+
+SOS's SPARE partition additionally cares about *wear*: migrating data off
+a block costs that block's remaining life nothing, but the destination
+pays a program and the victim pays an erase.  The cost-benefit policy can
+therefore be wear-weighted to prefer victims with remaining endurance.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Callable, Iterable
+
+from repro.flash.block import Block
+
+from .mapping import PageMap
+
+__all__ = ["GcPolicy", "select_victim"]
+
+
+class GcPolicy(enum.Enum):
+    """Victim-selection strategy."""
+
+    GREEDY = "greedy"
+    COST_BENEFIT = "cost_benefit"
+
+
+def _greedy_score(block_index: int, block: Block, page_map: PageMap, now: float) -> float:
+    """Lower is better: valid page count (ties broken by index upstream)."""
+    return float(page_map.valid_pages(block_index))
+
+
+def _cost_benefit_score(
+    block_index: int, block: Block, page_map: PageMap, now: float
+) -> float:
+    """Lower is better: negative of the classic (benefit/cost * age) score.
+
+    utilization u = valid/usable; benefit = (1-u), cost = (1+u) (one read
+    + one write per valid page, one erase amortized); age = years since
+    the block was last programmed, approximated by the oldest page write
+    time.  Wear-awareness: blocks already past rated endurance are
+    deprioritized by scaling age down.
+    """
+    usable = max(1, block.usable_pages)
+    u = page_map.valid_pages(block_index) / usable
+    if u >= 1.0:
+        return float("inf")  # nothing to reclaim
+    age = max(0.0, now - block.last_write_time_years())
+    wear_penalty = 1.0 / (1.0 + max(0.0, block.wear_ratio - 1.0))
+    score = ((1.0 - u) / (1.0 + u)) * (age + 1e-6) * wear_penalty
+    return -score
+
+
+_SCORERS: dict[GcPolicy, Callable[[int, Block, PageMap, float], float]] = {
+    GcPolicy.GREEDY: _greedy_score,
+    GcPolicy.COST_BENEFIT: _cost_benefit_score,
+}
+
+
+def select_victim(
+    candidates: Iterable[tuple[int, Block]],
+    page_map: PageMap,
+    policy: GcPolicy,
+    now_years: float = 0.0,
+) -> int | None:
+    """Choose a GC victim among ``candidates``; None if no block qualifies.
+
+    Candidates should be full (no free pages) and not retired; blocks that
+    are entirely valid are never chosen (no space to reclaim).
+    """
+    scorer = _SCORERS[policy]
+    best_index: int | None = None
+    best_score = float("inf")
+    for block_index, block in candidates:
+        if block.retired:
+            continue
+        valid = page_map.valid_pages(block_index)
+        if valid >= block.usable_pages:
+            continue
+        score = scorer(block_index, block, page_map, now_years)
+        if score < best_score:
+            best_score = score
+            best_index = block_index
+    return best_index

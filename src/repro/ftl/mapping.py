@@ -1,0 +1,114 @@
+"""Logical-to-physical page mapping with per-block validity tracking.
+
+A page-mapped FTL keeps, for every logical page number (LPN), the physical
+(block, page) currently holding its data, plus the reverse view garbage
+collection needs: which LPN each physical page holds and whether that copy
+is still live.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.flash.chip import PhysicalAddress
+
+__all__ = ["PageMap", "BlockUsage"]
+
+
+@dataclass(slots=True)
+class BlockUsage:
+    """Reverse-map state for one erase block."""
+
+    #: LPN stored at each physical page; None = unwritten or invalidated.
+    page_lpns: list[int | None] = field(default_factory=list)
+    valid_count: int = 0
+
+    def reset(self, pages: int) -> None:
+        """Clear after erase."""
+        self.page_lpns = [None] * pages
+        self.valid_count = 0
+
+
+class PageMap:
+    """Bidirectional LPN <-> physical-page map.
+
+    Parameters
+    ----------
+    total_blocks:
+        Number of erase blocks managed.
+    pages_per_block:
+        Native pages per block (usage arrays are sized for native; pseudo
+        modes simply never touch the tail entries).
+    """
+
+    def __init__(self, total_blocks: int, pages_per_block: int) -> None:
+        self.pages_per_block = pages_per_block
+        self._l2p: dict[int, PhysicalAddress] = {}
+        self._usage = [BlockUsage() for _ in range(total_blocks)]
+        for usage in self._usage:
+            usage.reset(pages_per_block)
+
+    # -- queries -------------------------------------------------------------
+
+    def lookup(self, lpn: int) -> PhysicalAddress | None:
+        """Physical address of an LPN, or None if unmapped."""
+        return self._l2p.get(lpn)
+
+    def is_mapped(self, lpn: int) -> bool:
+        """Whether the LPN currently has a live physical copy."""
+        return lpn in self._l2p
+
+    def valid_pages(self, block_index: int) -> int:
+        """Live pages in a block (GC cost input)."""
+        return self._usage[block_index].valid_count
+
+    def live_lpns(self, block_index: int) -> list[tuple[int, int]]:
+        """(page_index, lpn) pairs for live pages of a block."""
+        usage = self._usage[block_index]
+        out = []
+        for page_index, lpn in enumerate(usage.page_lpns):
+            if lpn is not None and self._l2p.get(lpn) == (block_index, page_index):
+                out.append((page_index, lpn))
+        return out
+
+    def mapped_count(self) -> int:
+        """Number of live logical pages device-wide."""
+        return len(self._l2p)
+
+    def all_mapped_lpns(self) -> list[int]:
+        """Sorted list of all live LPNs."""
+        return sorted(self._l2p)
+
+    # -- updates ---------------------------------------------------------------
+
+    def record_write(self, lpn: int, addr: PhysicalAddress) -> None:
+        """Point ``lpn`` at a freshly programmed page, invalidating any old copy."""
+        old = self._l2p.get(lpn)
+        if old is not None:
+            old_block, _old_page = old
+            self._usage[old_block].valid_count -= 1
+        block_index, page_index = addr
+        usage = self._usage[block_index]
+        usage.page_lpns[page_index] = lpn
+        usage.valid_count += 1
+        self._l2p[lpn] = addr
+
+    def invalidate(self, lpn: int) -> PhysicalAddress | None:
+        """Drop the mapping for ``lpn`` (trim); returns the freed address."""
+        addr = self._l2p.pop(lpn, None)
+        if addr is not None:
+            self._usage[addr[0]].valid_count -= 1
+        return addr
+
+    def on_erase(self, block_index: int) -> None:
+        """Reset reverse-map state after a block erase.
+
+        All live data must have been migrated first; erasing a block with
+        valid pages is a bug in the caller.
+        """
+        if self._usage[block_index].valid_count != 0:
+            raise RuntimeError(
+                f"erasing block {block_index} with "
+                f"{self._usage[block_index].valid_count} valid pages"
+            )
+        self._usage[block_index].reset(self.pages_per_block)

@@ -1,0 +1,57 @@
+"""Stream (zone) configuration: physically partitioned block sets.
+
+§4.3: "the device can manage data cooperatively with the host OS through
+SSD-specific abstractions, such as multi-stream or zoned interfaces,
+where the host is responsible for placing data blocks in relevant
+streams/zones with different management policies."
+
+A :class:`StreamConfig` bundles everything that differs between SOS's SYS
+and SPARE partitions: operating cell mode, ECC protection, GC policy,
+wear-leveling switch, and block-health thresholds.  The FTL assigns each
+stream a disjoint set of physical blocks (the paper's "two physically
+separate sets of flash blocks").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ecc.policy import ProtectionPolicy
+from repro.flash.cell import CellMode
+
+from .bad_blocks import BlockHealthPolicy
+from .gc import GcPolicy
+from .wear_leveling import WearLevelerConfig
+
+__all__ = ["StreamConfig"]
+
+
+@dataclass(frozen=True, slots=True)
+class StreamConfig:
+    """Management policy for one stream/zone.
+
+    Attributes
+    ----------
+    name:
+        Stream identifier (e.g. ``"sys"``, ``"spare"``).
+    mode:
+        Operating cell mode for the stream's blocks.
+    protection:
+        ECC policy applied to every page written to the stream.
+    gc_policy:
+        Victim-selection strategy for intra-stream garbage collection.
+    wear_leveling:
+        Static wear-leveling configuration (disabled on SPARE).
+    health:
+        Retirement/resuscitation thresholds.
+    gc_free_block_threshold:
+        Run GC when the stream's free-block pool drops to this size.
+    """
+
+    name: str
+    mode: CellMode
+    protection: ProtectionPolicy
+    gc_policy: GcPolicy = GcPolicy.GREEDY
+    wear_leveling: WearLevelerConfig = field(default_factory=WearLevelerConfig)
+    health: BlockHealthPolicy | None = None
+    gc_free_block_threshold: int = 2

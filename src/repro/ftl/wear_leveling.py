@@ -1,0 +1,74 @@
+"""Static wear leveling -- and the option to disable it.
+
+Classic static wear leveling bounds the PEC spread across blocks by
+periodically migrating *cold* data (long-lived valid pages) out of the
+least-worn blocks so those blocks rejoin the hot write path.
+
+§4.3 of the paper (citing Jiao et al., "Wear Leveling in SSDs Considered
+Harmful") **disables** preemptive wear leveling on the SPARE partition:
+every preemptive migration costs an extra program/erase on data that may
+be deleted before its block would ever have worn naturally, which *reduces*
+total lifetime under typical personal workloads.  Experiment E7 measures
+exactly this trade-off, so the leveler is a pluggable, per-stream policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.flash.block import Block
+
+from .mapping import PageMap
+
+__all__ = ["WearLevelerConfig", "WearLeveler"]
+
+
+@dataclass(frozen=True, slots=True)
+class WearLevelerConfig:
+    """Tuning for static wear leveling.
+
+    Attributes
+    ----------
+    enabled:
+        Master switch (False on SOS's SPARE partition).
+    pec_spread_threshold:
+        Trigger a leveling migration when ``max_pec - min_pec`` among live
+        blocks exceeds this.
+    """
+
+    enabled: bool = True
+    pec_spread_threshold: int = 20
+
+
+class WearLeveler:
+    """Detects wear imbalance and nominates cold blocks for migration."""
+
+    def __init__(self, config: WearLevelerConfig) -> None:
+        self.config = config
+        self.migrations_triggered = 0
+
+    def pick_cold_victim(
+        self, candidates: list[tuple[int, Block]], page_map: PageMap
+    ) -> int | None:
+        """Nominate the least-worn block holding valid data for forced GC.
+
+        Returns the block index to migrate, or None when leveling is
+        disabled or the wear spread is within threshold.  The caller
+        migrates the victim's valid pages to the hot write path; the freed
+        low-PEC block then absorbs future hot writes, equalizing wear.
+        """
+        if not self.config.enabled:
+            return None
+        live = [(i, b) for i, b in candidates if not b.retired]
+        if len(live) < 2:
+            return None
+        pecs = [b.pec for _, b in live]
+        if max(pecs) - min(pecs) <= self.config.pec_spread_threshold:
+            return None
+        # coldest = least-worn block that still holds valid data
+        holders = [(i, b) for i, b in live if page_map.valid_pages(i) > 0]
+        if not holders:
+            return None
+        victim_index, _ = min(holders, key=lambda item: item[1].pec)
+        self.migrations_triggered += 1
+        return victim_index

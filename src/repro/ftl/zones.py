@@ -1,0 +1,197 @@
+"""Zoned-namespace interface: the host-managed alternative of §4.3.
+
+"Alternatively, the device can manage data cooperatively with the host
+OS through SSD-specific abstractions, such as multi-stream or zoned
+interfaces, where the host is responsible for placing data blocks in
+relevant streams/zones with different management policies."
+
+This adapter exposes the bit-exact chip through ZNS-style semantics:
+
+* each zone is one erase block with a write pointer;
+* writes are **zone append** only (sequential, at the pointer);
+* ``reset`` erases the zone (one PEC);
+* zones carry a *class* (SYS-like or SPARE-like) fixing their operating
+  cell mode and ECC -- the host encodes SOS's placement decision simply
+  by choosing which zone to append to;
+* ``finish`` closes a partially written zone (no further appends).
+
+The FTL's stream interface (:mod:`repro.ftl.ftl`) and this zoned
+interface are two host-visible encodings of the same physical split;
+``tests/ftl/test_zones.py`` checks the equivalences that matter.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.ecc.page_codec import PageCodec, PageReadResult
+from repro.ecc.policy import ProtectionPolicy
+from repro.flash.cell import CellMode
+from repro.flash.chip import FlashChip
+
+__all__ = ["ZoneState", "ZoneClass", "ZoneInfo", "ZonedDevice", "ZoneError"]
+
+
+class ZoneError(Exception):
+    """Raised on zoned-interface protocol violations."""
+
+
+class ZoneState(enum.Enum):
+    """ZNS-style zone states (simplified)."""
+
+    EMPTY = "empty"
+    OPEN = "open"
+    FULL = "full"
+    FINISHED = "finished"
+    OFFLINE = "offline"
+
+
+@dataclass(frozen=True, slots=True)
+class ZoneClass:
+    """Management class for a set of zones (the SYS/SPARE analogue)."""
+
+    name: str
+    mode: CellMode
+    protection: ProtectionPolicy
+
+
+@dataclass(slots=True)
+class ZoneInfo:
+    """Host-visible descriptor of one zone."""
+
+    zone_id: int
+    zone_class: str
+    state: ZoneState
+    write_pointer: int
+    capacity_pages: int
+
+
+class ZonedDevice:
+    """A chip exposed as ZNS-style zones, one erase block per zone.
+
+    Parameters
+    ----------
+    chip:
+        Backing flash chip.
+    zone_classes:
+        class name -> :class:`ZoneClass`.
+    zone_assignment:
+        class name -> list of block indices (disjoint).
+    """
+
+    def __init__(
+        self,
+        chip: FlashChip,
+        zone_classes: dict[str, ZoneClass],
+        zone_assignment: dict[str, list[int]],
+    ) -> None:
+        if set(zone_classes) != set(zone_assignment):
+            raise ValueError("zone classes and assignment must match")
+        claimed: set[int] = set()
+        for indices in zone_assignment.values():
+            overlap = claimed.intersection(indices)
+            if overlap:
+                raise ValueError(f"blocks {sorted(overlap)} assigned twice")
+            claimed.update(indices)
+        self.chip = chip
+        self._classes = zone_classes
+        self._zone_class: dict[int, str] = {}
+        self._state: dict[int, ZoneState] = {}
+        self._codecs: dict[str, PageCodec] = {}
+        for name, zclass in zone_classes.items():
+            self._codecs[name] = PageCodec(
+                zclass.protection, chip.geometry.page_size_bytes
+            )
+            for block_index in zone_assignment[name]:
+                if chip.blocks[block_index].mode != zclass.mode:
+                    chip.reconfigure_block(block_index, zclass.mode)
+                self._zone_class[block_index] = name
+                self._state[block_index] = ZoneState.EMPTY
+
+    # -- introspection ---------------------------------------------------------
+
+    def zones(self, zone_class: str | None = None) -> list[ZoneInfo]:
+        """Descriptors of all zones (optionally one class)."""
+        out = []
+        for zone_id, name in sorted(self._zone_class.items()):
+            if zone_class is not None and name != zone_class:
+                continue
+            out.append(self.info(zone_id))
+        return out
+
+    def info(self, zone_id: int) -> ZoneInfo:
+        """Descriptor of one zone."""
+        block = self.chip.blocks[zone_id]
+        return ZoneInfo(
+            zone_id=zone_id,
+            zone_class=self._zone_class[zone_id],
+            state=self._state[zone_id],
+            write_pointer=block.usable_pages - block.free_pages,
+            capacity_pages=block.usable_pages,
+        )
+
+    def payload_bytes(self, zone_class: str) -> int:
+        """Per-append payload capacity for a zone class."""
+        return self._codecs[zone_class].payload_bytes
+
+    # -- data path ---------------------------------------------------------------
+
+    def append(self, zone_id: int, payload: bytes) -> int:
+        """Zone append; returns the page offset written."""
+        state = self._require_zone(zone_id)
+        if state in (ZoneState.FULL, ZoneState.FINISHED, ZoneState.OFFLINE):
+            raise ZoneError(f"zone {zone_id} is {state.value}; cannot append")
+        block = self.chip.blocks[zone_id]
+        codec = self._codecs[self._zone_class[zone_id]]
+        if len(payload) > codec.payload_bytes:
+            raise ZoneError(
+                f"payload {len(payload)}B exceeds zone class capacity "
+                f"{codec.payload_bytes}B"
+            )
+        offset = block.usable_pages - block.free_pages
+        self.chip.program((zone_id, offset), codec.encode(payload))
+        self._state[zone_id] = (
+            ZoneState.FULL if block.free_pages == 0 else ZoneState.OPEN
+        )
+        return offset
+
+    def read(self, zone_id: int, offset: int) -> PageReadResult:
+        """Read one page of a zone through its class codec."""
+        self._require_zone(zone_id)
+        raw = self.chip.read((zone_id, offset))
+        return self._codecs[self._zone_class[zone_id]].decode(raw)
+
+    def reset(self, zone_id: int) -> None:
+        """Reset (erase) a zone; costs one PEC."""
+        state = self._require_zone(zone_id)
+        if state is ZoneState.OFFLINE:
+            raise ZoneError(f"zone {zone_id} is offline")
+        self.chip.erase(zone_id)
+        self._state[zone_id] = ZoneState.EMPTY
+
+    def finish(self, zone_id: int) -> None:
+        """Close a zone to further appends without filling it."""
+        state = self._require_zone(zone_id)
+        if state not in (ZoneState.OPEN, ZoneState.EMPTY):
+            raise ZoneError(f"zone {zone_id} is {state.value}; cannot finish")
+        self._state[zone_id] = ZoneState.FINISHED
+
+    def set_offline(self, zone_id: int) -> None:
+        """Take a worn zone out of service (§4.3 capacity variance)."""
+        self._require_zone(zone_id)
+        self.chip.retire_block(zone_id)
+        self._state[zone_id] = ZoneState.OFFLINE
+
+    def usable_capacity_pages(self) -> int:
+        """Pages across all non-offline zones."""
+        return sum(
+            self.chip.blocks[zone_id].usable_pages
+            for zone_id, state in self._state.items()
+            if state is not ZoneState.OFFLINE
+        )
+
+    def _require_zone(self, zone_id: int) -> ZoneState:
+        if zone_id not in self._zone_class:
+            raise ZoneError(f"block {zone_id} is not an exposed zone")
+        return self._state[zone_id]

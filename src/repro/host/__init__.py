@@ -1,0 +1,34 @@
+"""Host substrate: file model, capacity-variant file system, block layer.
+
+The host half of Figure 2: a flat file system allocating logical-page
+extents, a block layer routing pages to device streams, and the hint
+channel carrying classification decisions to the device.
+"""
+
+from .block_layer import BlockLayer
+from .files import MEDIA_KINDS, SYSTEM_KINDS, FileAttributes, FileKind, FileRecord
+from .filesystem import FileSystem, FsFullError
+from .hints import Placement, PlacementHint
+from .reduction import ReductionReport, analyze, compress_savings, dedup_savings
+from .ufs import LunConfig, LunDescriptor, UfsDevice, UfsError
+
+__all__ = [
+    "BlockLayer",
+    "MEDIA_KINDS",
+    "SYSTEM_KINDS",
+    "FileAttributes",
+    "FileKind",
+    "FileRecord",
+    "FileSystem",
+    "FsFullError",
+    "Placement",
+    "PlacementHint",
+    "ReductionReport",
+    "analyze",
+    "compress_savings",
+    "dedup_savings",
+    "LunConfig",
+    "LunDescriptor",
+    "UfsDevice",
+    "UfsError",
+]

@@ -1,0 +1,187 @@
+"""UFS-style logical-unit frontend with power-loss semantics.
+
+§4.3: "the UFS mobile storage device standard, used in many Android
+phones, already supports optional LUNs with varying reliability during
+power failures as well as dynamic device capacity to extend device
+lifetime".  This module models exactly those two hooks, showing SOS
+needs no new device standard:
+
+* **LUNs** partition the logical space; each is provisioned from one
+  underlying stream and carries a ``reliable_writes`` attribute.  On a
+  reliable LUN an acknowledged write is durable across power loss (the
+  device flushes through to flash before acking); on a normal LUN,
+  recently acknowledged writes may still sit in the device's volatile
+  write buffer and vanish on a power cut;
+* **dynamic capacity**: a LUN's reported capacity re-queries the
+  underlying stream, so worn-block retirement surfaces to the host as
+  shrinking LUN capacity, which is how §4.3's capacity variance reaches
+  an unmodified UFS host stack.
+
+SOS maps SYS to a reliable LUN and SPARE to a normal, write-buffered
+LUN -- losing a few seconds of freshly demoted media on power loss is
+exactly the kind of degradation the SPARE contract already permits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ftl.ftl import Ftl
+
+__all__ = ["LunConfig", "LunDescriptor", "UfsDevice", "UfsError"]
+
+#: Device-side volatile write buffer depth (pages) for non-reliable LUNs.
+WRITE_BUFFER_PAGES = 8
+
+
+class UfsError(Exception):
+    """Raised on UFS protocol violations."""
+
+
+@dataclass(frozen=True, slots=True)
+class LunConfig:
+    """Provisioning-time configuration of one logical unit."""
+
+    lun_id: int
+    name: str
+    stream: str
+    reliable_writes: bool
+    bootable: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class LunDescriptor:
+    """Host-visible LUN state (b_provisioning-style descriptor)."""
+
+    lun_id: int
+    name: str
+    reliable_writes: bool
+    bootable: bool
+    #: current capacity in logical pages -- dynamic (§4.3)
+    capacity_pages: int
+    used_pages: int
+
+
+class UfsDevice:
+    """A UFS-like frontend over the stream FTL.
+
+    Parameters
+    ----------
+    ftl:
+        Backing FTL whose streams the LUNs map onto.
+    luns:
+        LUN configurations (stream names must exist in the FTL).
+    """
+
+    def __init__(self, ftl: Ftl, luns: list[LunConfig]) -> None:
+        streams = set(ftl.stream_names())
+        for lun in luns:
+            if lun.stream not in streams:
+                raise ValueError(f"LUN {lun.lun_id} references unknown stream "
+                                 f"{lun.stream!r}")
+        if len({lun.lun_id for lun in luns}) != len(luns):
+            raise ValueError("duplicate LUN ids")
+        self.ftl = ftl
+        self._luns = {lun.lun_id: lun for lun in luns}
+        #: per-LUN volatile write buffer: lpn -> payload (non-reliable only)
+        self._write_buffer: dict[int, dict[int, bytes]] = {
+            lun.lun_id: {} for lun in luns
+        }
+        self._lun_pages: dict[int, set[int]] = {lun.lun_id: set() for lun in luns}
+
+    # -- descriptors -------------------------------------------------------------
+
+    def describe(self, lun_id: int) -> LunDescriptor:
+        """Current descriptor of a LUN (capacity re-queried: dynamic)."""
+        lun = self._require(lun_id)
+        return LunDescriptor(
+            lun_id=lun.lun_id,
+            name=lun.name,
+            reliable_writes=lun.reliable_writes,
+            bootable=lun.bootable,
+            capacity_pages=self.ftl.stream_capacity_pages(lun.stream),
+            used_pages=len(self._lun_pages[lun_id]),
+        )
+
+    def luns(self) -> list[LunDescriptor]:
+        """Descriptors of all LUNs."""
+        return [self.describe(lun_id) for lun_id in sorted(self._luns)]
+
+    # -- data path ----------------------------------------------------------------
+
+    def write(self, lun_id: int, lpn: int, payload: bytes) -> None:
+        """Write one logical page to a LUN.
+
+        Reliable LUNs flush straight through to flash before returning.
+        Normal LUNs buffer the write; it reaches flash when the buffer
+        spills or on an explicit :meth:`sync`.
+        """
+        lun = self._require(lun_id)
+        self._lun_pages[lun_id].add(lpn)
+        if lun.reliable_writes:
+            self.ftl.write(lpn, payload, lun.stream)
+            return
+        buffer = self._write_buffer[lun_id]
+        buffer[lpn] = bytes(payload)
+        if len(buffer) > WRITE_BUFFER_PAGES:
+            self._spill(lun, buffer)
+
+    def read(self, lun_id: int, lpn: int) -> bytes:
+        """Read one logical page (buffer hits served from the buffer)."""
+        lun = self._require(lun_id)
+        if lpn not in self._lun_pages[lun_id]:
+            raise UfsError(f"LUN {lun_id} has no page {lpn}")
+        buffered = self._write_buffer[lun_id].get(lpn)
+        if buffered is not None:
+            return buffered
+        return self.ftl.read(lpn).payload
+
+    def sync(self, lun_id: int | None = None) -> int:
+        """Flush buffered writes to flash; returns pages flushed."""
+        flushed = 0
+        for current_id, lun in self._luns.items():
+            if lun_id is not None and current_id != lun_id:
+                continue
+            buffer = self._write_buffer[current_id]
+            flushed += len(buffer)
+            self._spill(lun, buffer)
+        return flushed
+
+    def trim(self, lun_id: int, lpn: int) -> None:
+        """Discard one logical page."""
+        self._require(lun_id)
+        self._lun_pages[lun_id].discard(lpn)
+        self._write_buffer[lun_id].pop(lpn, None)
+        if self.ftl.page_map.is_mapped(lpn):
+            self.ftl.trim(lpn)
+
+    # -- power loss ------------------------------------------------------------------
+
+    def power_cut(self) -> dict[int, int]:
+        """Sudden power loss: volatile buffers vanish.
+
+        Returns pages lost per LUN.  Reliable LUNs always report zero --
+        their writes were acked only after reaching flash.  Pages lost
+        from normal LUNs that were never flushed disappear entirely.
+        """
+        lost: dict[int, int] = {}
+        for lun_id, buffer in self._write_buffer.items():
+            lost[lun_id] = len(buffer)
+            for lpn in buffer:
+                if not self.ftl.page_map.is_mapped(lpn):
+                    self._lun_pages[lun_id].discard(lpn)
+            buffer.clear()
+        return lost
+
+    # -- internals ----------------------------------------------------------------------
+
+    def _require(self, lun_id: int) -> LunConfig:
+        lun = self._luns.get(lun_id)
+        if lun is None:
+            raise UfsError(f"no such LUN {lun_id}")
+        return lun
+
+    def _spill(self, lun: LunConfig, buffer: dict[int, bytes]) -> None:
+        for lpn, payload in buffer.items():
+            self.ftl.write(lpn, payload, lun.stream)
+        buffer.clear()

@@ -1,0 +1,49 @@
+"""Error-tolerant media model and approximate storage (§4.2).
+
+GOP-structured synthetic media objects, a quality metric that models
+error propagation through I/P/B frame dependencies, and an approximate
+store that places tolerant frames on the weakly-protected SPARE
+partition.
+"""
+
+from .approx_store import ApproximateStore, MediaLayout, StoredMedia
+from .codec import (
+    Frame,
+    FrameType,
+    Gop,
+    MediaObject,
+    make_audio_object,
+    make_media_object,
+    make_photo_object,
+)
+from .quality import (
+    DEFAULT_ACCEPTABLE_QUALITY,
+    FRAME_SENSITIVITY,
+    QualityReport,
+    file_quality,
+    frame_quality,
+    gop_quality,
+    measure_quality,
+    quality_to_psnr_db,
+)
+
+__all__ = [
+    "ApproximateStore",
+    "MediaLayout",
+    "StoredMedia",
+    "Frame",
+    "FrameType",
+    "Gop",
+    "MediaObject",
+    "make_media_object",
+    "make_photo_object",
+    "make_audio_object",
+    "DEFAULT_ACCEPTABLE_QUALITY",
+    "FRAME_SENSITIVITY",
+    "QualityReport",
+    "file_quality",
+    "frame_quality",
+    "gop_quality",
+    "measure_quality",
+    "quality_to_psnr_db",
+]

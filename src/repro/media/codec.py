@@ -1,0 +1,215 @@
+"""GOP-structured media model with per-frame error tolerance.
+
+§4.2 (citing AxFTL): "error-tolerant frames, which compose most data in
+MPEG files, can be approximately stored over flash with low quality loss".
+The load-bearing structure is the MPEG group-of-pictures (GOP):
+
+* **I-frames** are intra-coded reference images -- errors in them corrupt
+  every frame in the GOP (low tolerance, small share of bytes);
+* **P-frames** predict from earlier frames -- errors propagate forward
+  within the GOP only (medium tolerance);
+* **B-frames** are bidirectionally predicted leaves -- errors affect only
+  themselves (high tolerance, the bulk of bytes).
+
+:class:`MediaObject` synthesizes a media file as concrete GOP/frame byte
+ranges so the approximate store can place and audit them individually.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "FrameType",
+    "Frame",
+    "Gop",
+    "MediaObject",
+    "make_media_object",
+    "make_photo_object",
+    "make_audio_object",
+]
+
+
+class FrameType(enum.Enum):
+    """MPEG frame classes, ordered by decreasing error sensitivity."""
+
+    I = "I"  # noqa: E741 - standard MPEG terminology
+    P = "P"
+    B = "B"
+
+
+@dataclass(frozen=True, slots=True)
+class Frame:
+    """One frame: a byte range within the media object."""
+
+    frame_type: FrameType
+    offset: int
+    size_bytes: int
+
+    @property
+    def end(self) -> int:
+        """Exclusive end offset."""
+        return self.offset + self.size_bytes
+
+
+@dataclass(frozen=True, slots=True)
+class Gop:
+    """One group of pictures: an I-frame plus its dependent frames."""
+
+    frames: tuple[Frame, ...]
+
+    @property
+    def i_frame(self) -> Frame:
+        """The GOP's reference frame."""
+        return self.frames[0]
+
+    @property
+    def size_bytes(self) -> int:
+        """Total GOP bytes."""
+        return sum(f.size_bytes for f in self.frames)
+
+
+@dataclass(frozen=True, slots=True)
+class MediaObject:
+    """A synthesized media file with full frame layout and reference bytes."""
+
+    gops: tuple[Gop, ...]
+    data: bytes
+
+    @property
+    def size_bytes(self) -> int:
+        """Total media payload size."""
+        return len(self.data)
+
+    def critical_ranges(self) -> list[tuple[int, int]]:
+        """(offset, end) byte ranges of all I-frames (low error tolerance)."""
+        return [(g.i_frame.offset, g.i_frame.end) for g in self.gops]
+
+    def tolerant_fraction(self) -> float:
+        """Fraction of bytes in error-tolerant (P/B) frames.
+
+        The paper's premise is that this is "most data in MPEG files".
+        """
+        tolerant = sum(
+            f.size_bytes for g in self.gops for f in g.frames if f.frame_type is not FrameType.I
+        )
+        return tolerant / self.size_bytes if self.size_bytes else 0.0
+
+
+def make_media_object(
+    size_bytes: int,
+    gop_length: int = 12,
+    i_frame_scale: float = 3.0,
+    seed: int = 0,
+) -> MediaObject:
+    """Synthesize a media object of roughly ``size_bytes``.
+
+    Parameters
+    ----------
+    size_bytes:
+        Target payload size.
+    gop_length:
+        Frames per GOP (1 I + alternating P/B), the common IBBPBBP... GOP.
+    i_frame_scale:
+        I-frame size relative to a P-frame (I-frames are intra-coded and
+        larger per frame, but rare -- so they remain a minority of bytes).
+    seed:
+        Seed for frame-size jitter and payload bytes.
+    """
+    if size_bytes < 1024:
+        raise ValueError("media object must be at least 1 KiB")
+    rng = np.random.default_rng(seed)
+    # nominal P-frame size chosen so GOPs tile the object
+    p_size = max(256, size_bytes // (gop_length * 8))
+    gops: list[Gop] = []
+    offset = 0
+    while offset < size_bytes:
+        frames: list[Frame] = []
+        for idx in range(gop_length):
+            if idx == 0:
+                ftype = FrameType.I
+                nominal = int(p_size * i_frame_scale)
+            elif idx % 3 == 0:
+                ftype = FrameType.P
+                nominal = p_size
+            else:
+                ftype = FrameType.B
+                nominal = int(p_size * 0.7)
+            size = max(128, int(nominal * rng.uniform(0.8, 1.2)))
+            size = min(size, size_bytes - offset)
+            if size <= 0:
+                break
+            frames.append(Frame(ftype, offset, size))
+            offset += size
+            if offset >= size_bytes:
+                break
+        if frames:
+            if frames[0].frame_type is not FrameType.I:
+                # a truncated tail GOP must still lead with its reference
+                frames[0] = Frame(FrameType.I, frames[0].offset, frames[0].size_bytes)
+            gops.append(Gop(tuple(frames)))
+    data = rng.integers(0, 256, size=size_bytes, dtype=np.uint8).tobytes()
+    return MediaObject(gops=tuple(gops), data=data)
+
+
+def make_photo_object(size_bytes: int, seed: int = 0) -> MediaObject:
+    """Synthesize a progressive-JPEG-like photo (§4.2's "additional file
+    formats ... stored approximately").
+
+    Structure: one critical header region (markers, quantization/Huffman
+    tables, DC scan -- losing it loses the image) followed by
+    progressively less important AC refinement scans.  Modelled as a
+    single GOP: the header is the I-frame; scans are P then B frames
+    (errors in a later scan only soften detail).
+    """
+    if size_bytes < 1024:
+        raise ValueError("photo object must be at least 1 KiB")
+    rng = np.random.default_rng(seed)
+    header = max(256, int(size_bytes * 0.06))
+    frames = [Frame(FrameType.I, 0, header)]
+    offset = header
+    # first AC scan is structurally more important than later refinements
+    first_scan = max(256, int((size_bytes - header) * 0.3))
+    first_scan = min(first_scan, size_bytes - offset)
+    if first_scan > 0:
+        frames.append(Frame(FrameType.P, offset, first_scan))
+        offset += first_scan
+    while offset < size_bytes:
+        scan = min(max(256, int(size_bytes * 0.15)), size_bytes - offset)
+        frames.append(Frame(FrameType.B, offset, scan))
+        offset += scan
+    data = rng.integers(0, 256, size=size_bytes, dtype=np.uint8).tobytes()
+    return MediaObject(gops=(Gop(tuple(frames)),), data=data)
+
+
+def make_audio_object(
+    size_bytes: int, frame_bytes: int = 1024, seed: int = 0
+) -> MediaObject:
+    """Synthesize a compressed-audio stream (MP3/AAC-like).
+
+    Each audio frame is self-contained: a small critical header (sync
+    word, bit-allocation tables) and a tolerant payload whose bit errors
+    become brief audible artifacts.  Modelled as many tiny GOPs (header
+    I-frame + payload B-frame), so damage never propagates past one
+    frame -- the most error-tolerant of the media formats.
+    """
+    if size_bytes < 1024:
+        raise ValueError("audio object must be at least 1 KiB")
+    rng = np.random.default_rng(seed)
+    gops: list[Gop] = []
+    offset = 0
+    header = max(32, frame_bytes // 16)
+    while offset < size_bytes:
+        this_header = min(header, size_bytes - offset)
+        frames = [Frame(FrameType.I, offset, this_header)]
+        offset += this_header
+        payload = min(frame_bytes - this_header, size_bytes - offset)
+        if payload > 0:
+            frames.append(Frame(FrameType.B, offset, payload))
+            offset += payload
+        gops.append(Gop(tuple(frames)))
+    data = rng.integers(0, 256, size=size_bytes, dtype=np.uint8).tobytes()
+    return MediaObject(gops=tuple(gops), data=data)

@@ -1,0 +1,38 @@
+"""Lifetime simulation: epoch-aggregated device models and the engine.
+
+The multi-year half of the reproduction: block-group wear/retention
+models sharing the flash/ECC parameter tables with the bit-exact chip,
+device builds for SOS and its baselines, and the daily-step engine that
+produces E3/E8/E11's series.
+"""
+
+from .baselines import (
+    ALL_BUILDERS,
+    DeviceBuild,
+    build_plc_naive,
+    build_qlc_baseline,
+    build_sos,
+    build_tlc_baseline,
+)
+from .engine import DaySample, LifetimeResult, SimConfig, run_lifetime
+from .lifetime import BlockGroup, LifetimeDevice, Partition, PartitionSpec
+from .replay import ReplayStats, replay
+
+__all__ = [
+    "ALL_BUILDERS",
+    "DeviceBuild",
+    "build_plc_naive",
+    "build_qlc_baseline",
+    "build_sos",
+    "build_tlc_baseline",
+    "DaySample",
+    "LifetimeResult",
+    "SimConfig",
+    "run_lifetime",
+    "BlockGroup",
+    "LifetimeDevice",
+    "Partition",
+    "PartitionSpec",
+    "ReplayStats",
+    "replay",
+]

@@ -1,0 +1,313 @@
+"""Epoch-aggregated device lifetime model.
+
+Multi-year experiments (E3, E8, E11) cannot run the bit-exact chip --
+a 64 GB device sees ~10^13 bit operations over a phone's life -- so this
+model aggregates at two levels:
+
+* time: one step per simulated day;
+* space: each partition is divided into ``n_groups`` *block groups*
+  (~5% of capacity each) that wear, age, retire, and resuscitate as
+  units.
+
+Both fidelities share the same parameter tables
+(:mod:`repro.flash.reliability`, :mod:`repro.flash.error_model`,
+:mod:`repro.ecc.model`), so the epoch model is the analytic closure of
+the bit-exact simulator, not a separate theory; the test suite checks
+they agree on RBER and failure probabilities at matched operating points.
+
+Wear placement policy per partition:
+
+* ``wear_leveling=True``: writes spread evenly over live groups (plus a
+  small WL write-amplification overhead) -- classic SSD behaviour;
+* ``wear_leveling=False`` (SOS SPARE): *churn* writes concentrate on a
+  hot subset of groups while *new* data appends round-robin to the
+  coldest groups -- worn blocks are simply allowed to wear (§4.3).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.ecc.policy import ProtectionPolicy
+from repro.flash.cell import CellMode
+from repro.flash.error_model import ErrorModel
+from repro.flash.reliability import endurance_pec
+
+__all__ = ["PartitionSpec", "BlockGroup", "Partition", "LifetimeDevice"]
+
+#: Extra write volume caused by static wear leveling migrations.
+WL_WRITE_OVERHEAD = 0.10
+
+#: Fraction of groups absorbing churn when wear leveling is off.
+HOT_GROUP_FRACTION = 0.25
+
+
+@dataclass(frozen=True, slots=True)
+class PartitionSpec:
+    """Static configuration of one modelled partition."""
+
+    name: str
+    mode: CellMode
+    protection: ProtectionPolicy
+    capacity_gb: float
+    waf: float = 2.5
+    wear_leveling: bool = True
+    #: RBER ceiling for group health (ECC capability or quality budget)
+    max_rber: float = 5e-3
+    #: retention horizon for health checks (years)
+    health_horizon_years: float = 1.0
+    #: reduced-density operating bits ladder for resuscitation (§4.3)
+    resuscitation_bits: tuple[int, ...] = ()
+    #: periodic refresh (scrub) when quality forecast violates the floor
+    scrub_enabled: bool = False
+    scrub_quality_floor: float = 0.85
+    #: BER->quality exponent for the partition's data (P-frame proxy)
+    quality_sensitivity: float = 800.0
+    n_groups: int = 20
+
+
+@dataclass(slots=True)
+class BlockGroup:
+    """A cohort of blocks wearing and aging together."""
+
+    mode: CellMode
+    capacity_gb: float
+    pec: float = 0.0
+    #: mean simulation time at which live data was written
+    mean_write_time: float = 0.0
+    live_gb: float = 0.0
+    retired: bool = False
+    refreshes: int = 0
+
+    def data_age(self, now: float) -> float:
+        """Mean retention age of the group's live data."""
+        if self.live_gb <= 0:
+            return 0.0
+        return max(0.0, now - self.mean_write_time)
+
+    def absorb_write(self, gb: float, now: float, waf: float) -> None:
+        """Account host+amplified writes into this group."""
+        if self.retired or self.capacity_gb <= 0:
+            return
+        self.pec += gb * waf / self.capacity_gb
+        new_live = min(self.capacity_gb, self.live_gb + gb)
+        if new_live > 0:
+            # blend write times: new bytes are written "now"
+            old_weight = max(0.0, new_live - gb) / new_live
+            self.mean_write_time = old_weight * self.mean_write_time + (1 - old_weight) * now
+        self.live_gb = new_live
+
+    def rber(self, now: float, extra_age: float = 0.0) -> float:
+        """Predicted RBER of the group's data (optionally looking ahead)."""
+        model = ErrorModel(self.mode)
+        return model.rber(pec=self.pec, years_since_write=self.data_age(now) + extra_age)
+
+
+class Partition:
+    """Runtime state of one partition in the epoch model."""
+
+    def __init__(self, spec: PartitionSpec) -> None:
+        self.spec = spec
+        per_group = spec.capacity_gb / spec.n_groups
+        self.groups = [BlockGroup(spec.mode, per_group) for _ in range(spec.n_groups)]
+        self._cold_cursor = 0
+        self.refresh_writes_gb = 0.0
+        self.retired_count = 0
+        self.resuscitated_count = 0
+        self.uncorrectable_events = 0.0
+
+    # -- capacity ---------------------------------------------------------------
+
+    def live_groups(self) -> list[BlockGroup]:
+        """Groups still in service."""
+        return [g for g in self.groups if not g.retired]
+
+    def capacity_gb(self) -> float:
+        """Current usable capacity (shrinks with retirement, §4.3)."""
+        return sum(g.capacity_gb for g in self.live_groups())
+
+    def live_data_gb(self) -> float:
+        """Live data currently resident."""
+        return sum(g.live_gb for g in self.live_groups())
+
+    def mean_pec(self) -> float:
+        """Capacity-weighted mean PEC over live groups."""
+        live = self.live_groups()
+        total = sum(g.capacity_gb for g in live)
+        if total == 0:
+            return 0.0
+        return sum(g.pec * g.capacity_gb for g in live) / total
+
+    def max_pec(self) -> float:
+        """Highest group PEC."""
+        live = self.live_groups()
+        return max((g.pec for g in live), default=0.0)
+
+    def wear_used_fraction(self) -> float:
+        """Mean PEC over rated endurance of the operating mode."""
+        return self.mean_pec() / endurance_pec(self.spec.mode)
+
+    # -- writes --------------------------------------------------------------------
+
+    def host_write(self, gb: float, now: float, churn: bool) -> None:
+        """Apply host writes; churn concentrates on hot groups if WL off."""
+        if gb <= 0:
+            return
+        live = self.live_groups()
+        if not live:
+            return
+        waf = self.spec.waf
+        if self.spec.wear_leveling:
+            waf *= 1.0 + WL_WRITE_OVERHEAD
+            share = gb / len(live)
+            for group in live:
+                group.absorb_write(share, now, waf)
+            return
+        if churn:
+            hot_count = max(1, int(len(live) * HOT_GROUP_FRACTION))
+            hot = sorted(live, key=lambda g: -g.pec)[:hot_count]
+            share = gb / len(hot)
+            for group in hot:
+                group.absorb_write(share, now, waf)
+        else:
+            # append new data round-robin over the coldest groups
+            target = live[self._cold_cursor % len(live)]
+            self._cold_cursor += 1
+            target.absorb_write(gb, now, waf)
+
+    def host_delete(self, gb: float) -> None:
+        """Remove live data (spread proportionally over groups)."""
+        total = self.live_data_gb()
+        if total <= 0 or gb <= 0:
+            return
+        fraction = min(1.0, gb / total)
+        for group in self.live_groups():
+            group.live_gb *= 1.0 - fraction
+
+    # -- quality / reliability --------------------------------------------------------
+
+    def worst_group_rber(self, now: float, horizon: float = 0.0) -> float:
+        """Highest predicted RBER among live data-holding groups."""
+        holders = [g for g in self.live_groups() if g.live_gb > 0]
+        if not holders:
+            return 0.0
+        return max(g.rber(now, extra_age=horizon) for g in holders)
+
+    def mean_quality(self, now: float) -> float:
+        """Data-weighted quality proxy after the partition's protection."""
+        holders = [g for g in self.live_groups() if g.live_gb > 0]
+        if not holders:
+            return 1.0
+        total = sum(g.live_gb for g in holders)
+        quality = 0.0
+        for group in holders:
+            residual = self.spec.protection.residual_ber(group.rber(now))
+            quality += math.exp(-self.spec.quality_sensitivity * residual) * group.live_gb
+        return quality / total
+
+    def expected_uncorrectable(self, now: float, page_bits: int = 4096 * 8) -> float:
+        """Expected uncorrectable-page events across live data, this instant."""
+        events = 0.0
+        for group in self.live_groups():
+            if group.live_gb <= 0:
+                continue
+            pages = group.live_gb * 1e9 * 8 / page_bits
+            p_fail = self.spec.protection.page_failure_prob(group.rber(now), page_bits)
+            events += pages * p_fail
+        return events
+
+    # -- maintenance --------------------------------------------------------------------
+
+    def maintain(self, now: float) -> None:
+        """Health checks: scrub, retire, resuscitate (order matters:
+        scrub first so a refresh can save a group from retirement)."""
+        if self.spec.scrub_enabled:
+            self._scrub(now)
+        self._health_check(now)
+
+    def _scrub(self, now: float) -> None:
+        for group in self.live_groups():
+            if group.live_gb <= 0:
+                continue
+            look_ahead = group.rber(now, extra_age=self.spec.health_horizon_years)
+            residual = self.spec.protection.residual_ber(look_ahead)
+            quality = math.exp(-self.spec.quality_sensitivity * residual)
+            if quality < self.spec.scrub_quality_floor:
+                # rewrite the group's live data fresh (costs one group PEC
+                # worth of writes somewhere in the partition)
+                self.refresh_writes_gb += group.live_gb
+                group.pec += group.live_gb * self.spec.waf / group.capacity_gb
+                group.mean_write_time = now
+                group.refreshes += 1
+
+    def _health_check(self, now: float) -> None:
+        for group in self.live_groups():
+            model = ErrorModel(group.mode)
+            predicted = model.rber(
+                pec=group.pec, years_since_write=self.spec.health_horizon_years
+            )
+            if predicted <= self.spec.max_rber:
+                continue
+            resuscitated = False
+            for bits in self.spec.resuscitation_bits:
+                if bits >= group.mode.operating_bits:
+                    continue
+                candidate = CellMode(group.mode.technology, bits)
+                cand_rber = ErrorModel(candidate).rber(
+                    pec=group.pec, years_since_write=self.spec.health_horizon_years
+                )
+                if cand_rber <= self.spec.max_rber:
+                    # density drop: capacity shrinks proportionally; live
+                    # data is re-hosted (counted as refresh writes)
+                    ratio = bits / group.mode.operating_bits
+                    self.refresh_writes_gb += group.live_gb
+                    group.capacity_gb *= ratio
+                    group.live_gb = min(group.live_gb, group.capacity_gb)
+                    group.mode = candidate
+                    group.mean_write_time = now
+                    self.resuscitated_count += 1
+                    resuscitated = True
+                    break
+            if not resuscitated:
+                group.retired = True
+                group.live_gb = 0.0
+                self.retired_count += 1
+
+
+class LifetimeDevice:
+    """A device of one or more partitions stepped day by day."""
+
+    def __init__(self, partitions: list[PartitionSpec]) -> None:
+        if not partitions:
+            raise ValueError("at least one partition required")
+        self.partitions = {spec.name: Partition(spec) for spec in partitions}
+        self.now_years = 0.0
+
+    def partition(self, name: str) -> Partition:
+        """Access a partition by name."""
+        return self.partitions[name]
+
+    def capacity_gb(self) -> float:
+        """Total current usable capacity."""
+        return sum(p.capacity_gb() for p in self.partitions.values())
+
+    def step_day(self, writes: dict[str, tuple[float, float]], maintain: bool = True) -> None:
+        """Advance one day.
+
+        Parameters
+        ----------
+        writes:
+            partition name -> (new_data_gb, churn_gb) for the day.
+        maintain:
+            Run scrub/health maintenance after applying writes.
+        """
+        dt = 1.0 / 365.0
+        self.now_years += dt
+        for name, (new_gb, churn_gb) in writes.items():
+            partition = self.partitions[name]
+            partition.host_write(new_gb, self.now_years, churn=False)
+            partition.host_write(churn_gb, self.now_years, churn=True)
+        if maintain:
+            for partition in self.partitions.values():
+                partition.maintain(self.now_years)

@@ -1,0 +1,28 @@
+"""Synthetic personal-device workloads and trace handling.
+
+App profiles calibrated to the mobile-wear literature the paper cites,
+user-intensity mixes (light/typical/heavy/adversarial), a generator
+producing both epoch aggregates and replayable op traces, and JSON
+trace (de)serialization.
+"""
+
+from .apps import APP_PROFILES, USER_MIXES, AppProfile, daily_write_gb
+from .content import COMPRESSIBILITY_CLASS, generate_content
+from .mobile import MobileWorkload, WorkloadConfig
+from .traces import DailySummary, OpKind, TraceOp, load_trace, save_trace
+
+__all__ = [
+    "APP_PROFILES",
+    "USER_MIXES",
+    "AppProfile",
+    "daily_write_gb",
+    "COMPRESSIBILITY_CLASS",
+    "generate_content",
+    "MobileWorkload",
+    "WorkloadConfig",
+    "DailySummary",
+    "OpKind",
+    "TraceOp",
+    "load_trace",
+    "save_trace",
+]

@@ -1,0 +1,159 @@
+"""Per-app workload profiles for personal devices.
+
+§2.3.2 (citing Zhang et al., MobiSys '19: "Apps can quickly destroy your
+mobile's flash: why they don't"): under typical usage users consume only
+a small fraction (~5%) of their phone flash's endurance during the
+warranty period, and "most write-intensive apps are unlikely to be
+utilized for remotely long enough periods (e.g., playing Final Fantasy
+for 9 hours daily) as to prematurely wear out the underlying storage".
+
+Profiles below synthesize daily write/read volumes and the file kinds
+each app produces.  Volumes are calibrated to that study's regime: a
+*typical* mix writes a few GB/day against a 64-128 GB device; the
+stress profile reproduces the study's adversarial games/apps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.host.files import FileKind
+
+__all__ = ["AppProfile", "APP_PROFILES", "USER_MIXES", "daily_write_gb"]
+
+
+@dataclass(frozen=True, slots=True)
+class AppProfile:
+    """Daily I/O behaviour of one app category.
+
+    Attributes
+    ----------
+    name:
+        App category.
+    write_mb_per_day:
+        Mean new/overwritten data per active day.
+    media_fraction:
+        Fraction of written bytes that are media files (write-once).
+    produces:
+        File kinds this app creates, with weights.
+    overwrite_fraction:
+        Fraction of written bytes that overwrite existing data in place
+        (databases, caches) rather than creating new files.
+    read_mb_per_day:
+        Mean bytes read per active day.
+    """
+
+    name: str
+    write_mb_per_day: float
+    media_fraction: float
+    produces: dict[FileKind, float]
+    overwrite_fraction: float
+    read_mb_per_day: float
+
+
+APP_PROFILES: dict[str, AppProfile] = {
+    "camera": AppProfile(
+        name="camera",
+        write_mb_per_day=600.0,
+        media_fraction=0.98,
+        produces={FileKind.PHOTO: 0.7, FileKind.VIDEO: 0.3},
+        overwrite_fraction=0.01,
+        read_mb_per_day=300.0,
+    ),
+    "messaging": AppProfile(
+        name="messaging",
+        write_mb_per_day=250.0,
+        media_fraction=0.8,
+        produces={FileKind.MESSAGE_MEDIA: 0.85, FileKind.APP_METADATA: 0.15},
+        overwrite_fraction=0.15,
+        read_mb_per_day=400.0,
+    ),
+    "social": AppProfile(
+        name="social",
+        write_mb_per_day=500.0,
+        media_fraction=0.6,
+        produces={FileKind.MESSAGE_MEDIA: 0.5, FileKind.PHOTO: 0.2, FileKind.APP_METADATA: 0.3},
+        overwrite_fraction=0.35,
+        read_mb_per_day=1500.0,
+    ),
+    "browser": AppProfile(
+        name="browser",
+        write_mb_per_day=300.0,
+        media_fraction=0.2,
+        produces={FileKind.DOWNLOAD: 0.4, FileKind.APP_METADATA: 0.6},
+        overwrite_fraction=0.5,
+        read_mb_per_day=800.0,
+    ),
+    "music": AppProfile(
+        name="music",
+        write_mb_per_day=150.0,
+        media_fraction=0.9,
+        produces={FileKind.AUDIO: 0.9, FileKind.APP_METADATA: 0.1},
+        overwrite_fraction=0.05,
+        read_mb_per_day=1200.0,
+    ),
+    "game": AppProfile(
+        name="game",
+        write_mb_per_day=400.0,
+        media_fraction=0.1,
+        produces={FileKind.APP_METADATA: 0.8, FileKind.DOWNLOAD: 0.2},
+        overwrite_fraction=0.7,
+        read_mb_per_day=600.0,
+    ),
+    "system": AppProfile(
+        name="system",
+        write_mb_per_day=350.0,
+        media_fraction=0.0,
+        produces={FileKind.OS_SYSTEM: 0.2, FileKind.APP_EXECUTABLE: 0.3, FileKind.APP_METADATA: 0.5},
+        overwrite_fraction=0.6,
+        read_mb_per_day=2000.0,
+    ),
+    "office": AppProfile(
+        name="office",
+        write_mb_per_day=60.0,
+        media_fraction=0.0,
+        produces={FileKind.DOCUMENT: 0.8, FileKind.APP_METADATA: 0.2},
+        overwrite_fraction=0.4,
+        read_mb_per_day=120.0,
+    ),
+    # Zhang et al.'s adversarial case: a write-hammering game played for
+    # many hours daily ("playing Final Fantasy for 9 hours daily").
+    "stress_game": AppProfile(
+        name="stress_game",
+        write_mb_per_day=40_000.0,
+        media_fraction=0.0,
+        produces={FileKind.APP_METADATA: 1.0},
+        overwrite_fraction=0.95,
+        read_mb_per_day=10_000.0,
+    ),
+}
+
+#: User intensity mixes: app -> activity factor (1.0 = profile nominal).
+USER_MIXES: dict[str, dict[str, float]] = {
+    "light": {
+        "camera": 0.3, "messaging": 0.6, "social": 0.4, "browser": 0.5,
+        "music": 0.3, "game": 0.1, "system": 1.0, "office": 0.2,
+    },
+    "typical": {
+        "camera": 1.0, "messaging": 1.0, "social": 1.0, "browser": 1.0,
+        "music": 1.0, "game": 0.5, "system": 1.0, "office": 0.5,
+    },
+    "heavy": {
+        "camera": 2.5, "messaging": 2.0, "social": 2.5, "browser": 2.0,
+        "music": 1.5, "game": 2.0, "system": 1.2, "office": 1.0,
+    },
+    "adversarial": {
+        "camera": 1.0, "messaging": 1.0, "social": 1.0, "browser": 1.0,
+        "music": 1.0, "game": 1.0, "system": 1.0, "office": 0.5,
+        "stress_game": 1.0,
+    },
+}
+
+
+def daily_write_gb(mix_name: str) -> float:
+    """Total mean write volume (GB/day) of a user mix."""
+    mix = USER_MIXES[mix_name]
+    total_mb = sum(
+        APP_PROFILES[app].write_mb_per_day * factor for app, factor in mix.items()
+    )
+    return total_mb / 1024.0

@@ -1,0 +1,190 @@
+"""Synthetic mobile workload generator.
+
+Drives both simulation fidelities from one stochastic model: per-day
+volumes are sampled per app (log-normal day-to-day jitter around the
+profile means), media files are write-once/read-many, app data churns in
+place, and a steady trickle of deletions keeps utilization roughly
+stationary once the device fills to its working set.
+
+Calibration target (§2.3.2 / Zhang et al.): a *typical* mix writes
+~2-3 GB/day; against a 64 GB TLC device over a 2-year warranty this
+consumes a low-single-digit percentage of rated endurance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.host.files import FileKind, MEDIA_KINDS
+
+from .apps import APP_PROFILES, USER_MIXES, AppProfile
+from .traces import DailySummary, OpKind, TraceOp
+
+__all__ = ["WorkloadConfig", "MobileWorkload"]
+
+
+@dataclass(frozen=True, slots=True)
+class WorkloadConfig:
+    """Workload generation parameters.
+
+    Attributes
+    ----------
+    mix:
+        Key into :data:`~repro.workloads.apps.USER_MIXES`.
+    days:
+        Simulated span.
+    daily_jitter_sigma:
+        Log-normal sigma for day-to-day volume variation.
+    delete_fraction:
+        Fraction of the day's new bytes eventually matched by deletions
+        (steady-state churn).
+    cloud_backup_probability:
+        Probability a new media file has a cloud copy (§4.3 notes many
+        users back up media).
+    seed:
+        RNG seed.
+    """
+
+    mix: str = "typical"
+    days: int = 730
+    daily_jitter_sigma: float = 0.35
+    delete_fraction: float = 0.5
+    cloud_backup_probability: float = 0.6
+    seed: int = 0
+
+
+class MobileWorkload:
+    """Generates daily summaries and (optionally) op-level traces."""
+
+    def __init__(self, config: WorkloadConfig | None = None) -> None:
+        self.config = config or WorkloadConfig()
+        if self.config.mix not in USER_MIXES:
+            raise ValueError(f"unknown user mix {self.config.mix!r}")
+        self._rng = np.random.default_rng(self.config.seed)
+        self._mix = USER_MIXES[self.config.mix]
+
+    # -- epoch-level ---------------------------------------------------------
+
+    def daily_summaries(self) -> list[DailySummary]:
+        """Per-day aggregate volumes over the configured span."""
+        out = []
+        for day in range(self.config.days):
+            media = other = overwrite = read = 0.0
+            for app_name, factor in self._mix.items():
+                profile = APP_PROFILES[app_name]
+                vol_mb = self._day_volume_mb(profile, factor)
+                ow = vol_mb * profile.overwrite_fraction
+                fresh = vol_mb - ow
+                media += fresh * profile.media_fraction
+                other += fresh * (1.0 - profile.media_fraction)
+                overwrite += ow
+                read += self._day_read_mb(profile, factor)
+            delete = (media + other) * self.config.delete_fraction
+            out.append(
+                DailySummary(
+                    day=day,
+                    new_media_gb=media / 1024.0,
+                    new_other_gb=other / 1024.0,
+                    overwrite_gb=overwrite / 1024.0,
+                    read_gb=read / 1024.0,
+                    delete_gb=delete / 1024.0,
+                )
+            )
+        return out
+
+    def _day_volume_mb(self, profile: AppProfile, factor: float) -> float:
+        jitter = self._rng.lognormal(0.0, self.config.daily_jitter_sigma)
+        return profile.write_mb_per_day * factor * jitter
+
+    def _day_read_mb(self, profile: AppProfile, factor: float) -> float:
+        jitter = self._rng.lognormal(0.0, self.config.daily_jitter_sigma)
+        return profile.read_mb_per_day * factor * jitter
+
+    # -- op-level ----------------------------------------------------------------
+
+    def ops(
+        self,
+        scale_bytes: float = 1.0,
+        files_per_day: int = 6,
+        delete_rate: float = 0.002,
+    ) -> list[TraceOp]:
+        """Expand the workload into replayable operations.
+
+        Parameters
+        ----------
+        scale_bytes:
+            Multiplier on file sizes (use << 1 to drive the bit-exact
+            small-geometry device).
+        files_per_day:
+            New files created per day (sizes apportioned from the day's
+            volumes).
+        delete_rate:
+            Fraction of live files deleted per day (oldest first); raise
+            it when replaying against small devices so the working set
+            stays stationary.
+        """
+        ops: list[TraceOp] = []
+        live_paths: list[tuple[str, FileKind, int]] = []
+        counter = 0
+        for summary in self.daily_summaries():
+            day = summary.day
+            new_gb = summary.new_media_gb + summary.new_other_gb
+            media_share = summary.new_media_gb / new_gb if new_gb else 0.0
+            for _ in range(files_per_day):
+                counter += 1
+                is_media = self._rng.random() < media_share
+                kind = self._pick_kind(is_media)
+                size = max(
+                    256,
+                    int(new_gb * 1e9 / files_per_day * scale_bytes),
+                )
+                path = f"/user/{kind.value}/{counter:07d}"
+                ops.append(
+                    TraceOp(
+                        day=day,
+                        kind=OpKind.CREATE,
+                        path=path,
+                        file_kind=kind,
+                        size_bytes=size,
+                        cloud_backed=is_media
+                        and self._rng.random() < self.config.cloud_backup_probability,
+                    )
+                )
+                live_paths.append((path, kind, size))
+            # overwrites hit app metadata in place
+            if summary.overwrite_gb > 0:
+                ops.append(
+                    TraceOp(
+                        day=day,
+                        kind=OpKind.OVERWRITE,
+                        path="/user/app_metadata/churn",
+                        file_kind=FileKind.APP_METADATA,
+                        size_bytes=max(256, int(summary.overwrite_gb * 1e9 * scale_bytes)),
+                    )
+                )
+            # reads spread over live files
+            if live_paths:
+                idx = int(self._rng.integers(0, len(live_paths)))
+                path, kind, size = live_paths[idx]
+                ops.append(
+                    TraceOp(day=day, kind=OpKind.READ, path=path, file_kind=kind, size_bytes=size)
+                )
+            # deletions: drop oldest files to approximate churn
+            ndelete = int(len(live_paths) * delete_rate)
+            for _ in range(ndelete):
+                path, kind, size = live_paths.pop(0)
+                ops.append(
+                    TraceOp(day=day, kind=OpKind.DELETE, path=path, file_kind=kind, size_bytes=size)
+                )
+        return ops
+
+    def _pick_kind(self, is_media: bool) -> FileKind:
+        if is_media:
+            kinds = [FileKind.PHOTO, FileKind.VIDEO, FileKind.AUDIO, FileKind.MESSAGE_MEDIA]
+            weights = np.array([0.45, 0.2, 0.1, 0.25])
+        else:
+            kinds = [FileKind.DOCUMENT, FileKind.DOWNLOAD, FileKind.APP_METADATA]
+            weights = np.array([0.3, 0.3, 0.4])
+        return kinds[self._rng.choice(len(kinds), p=weights / weights.sum())]

@@ -1,0 +1,90 @@
+"""Trace format: operations and daily aggregates, record/replay.
+
+Two granularities, matching the two simulation fidelities:
+
+* :class:`TraceOp` -- a single host operation (create/overwrite/read/
+  delete), replayable against the bit-exact :class:`~repro.core.SOSDevice`;
+* :class:`DailySummary` -- per-day aggregate volumes, consumed by the
+  epoch-level lifetime model.
+
+Both serialize to plain dicts so traces can be saved/loaded as JSON.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+from repro.host.files import FileKind
+
+__all__ = ["OpKind", "TraceOp", "DailySummary", "save_trace", "load_trace"]
+
+
+class OpKind(enum.Enum):
+    """Host operation type."""
+
+    CREATE = "create"
+    OVERWRITE = "overwrite"
+    READ = "read"
+    DELETE = "delete"
+
+
+@dataclass(frozen=True, slots=True)
+class TraceOp:
+    """One host operation."""
+
+    day: int
+    kind: OpKind
+    path: str
+    file_kind: FileKind
+    size_bytes: int
+    #: for CREATE: whether the file has a cloud copy
+    cloud_backed: bool = False
+
+    def to_dict(self) -> dict:
+        """JSON-safe dict form."""
+        d = asdict(self)
+        d["kind"] = self.kind.value
+        d["file_kind"] = self.file_kind.value
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "TraceOp":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            day=d["day"],
+            kind=OpKind(d["kind"]),
+            path=d["path"],
+            file_kind=FileKind(d["file_kind"]),
+            size_bytes=d["size_bytes"],
+            cloud_backed=d.get("cloud_backed", False),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class DailySummary:
+    """Aggregate host I/O volumes for one simulated day (GB)."""
+
+    day: int
+    new_media_gb: float
+    new_other_gb: float
+    overwrite_gb: float
+    read_gb: float
+    delete_gb: float
+
+    @property
+    def total_write_gb(self) -> float:
+        """All bytes written this day."""
+        return self.new_media_gb + self.new_other_gb + self.overwrite_gb
+
+
+def save_trace(ops: list[TraceOp], path: str | Path) -> None:
+    """Serialize a trace to JSON."""
+    Path(path).write_text(json.dumps([op.to_dict() for op in ops]))
+
+
+def load_trace(path: str | Path) -> list[TraceOp]:
+    """Load a trace saved by :func:`save_trace`."""
+    return [TraceOp.from_dict(d) for d in json.loads(Path(path).read_text())]

@@ -1,0 +1,74 @@
+"""Reporting helpers and claim checks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.claims import ClaimCheck, Comparison, claims_table
+from repro.analysis.reporting import format_series, format_table
+
+
+class TestTable:
+    def test_headers_and_rows_render(self):
+        out = format_table(["a", "b"], [[1, 2.5], ["x", 0.000123]], title="t")
+        lines = out.splitlines()
+        assert lines[0] == "t"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert "1.230e-04" in out
+
+    def test_empty_rows(self):
+        out = format_table(["col"], [])
+        assert "col" in out
+
+    def test_series_requires_equal_lengths(self):
+        with pytest.raises(ValueError):
+            format_series("s", [1, 2], [1])
+
+    def test_series_renders_pairs(self):
+        out = format_series("s", [1.0, 2.0], [10.0, 20.0])
+        assert "series: s" in out
+        assert "10" in out and "20" in out
+
+
+class TestClaims:
+    def test_approx_within_tolerance(self):
+        check = ClaimCheck("c1", "x", paper_value=100.0, measured=110.0, rel_tol=0.15)
+        assert check.holds
+
+    def test_approx_outside_tolerance(self):
+        check = ClaimCheck("c1", "x", paper_value=100.0, measured=130.0, rel_tol=0.15)
+        assert not check.holds
+
+    def test_at_least(self):
+        assert ClaimCheck("c", "x", 150.0, 158.0, Comparison.AT_LEAST).holds
+        assert not ClaimCheck("c", "x", 150.0, 149.0, Comparison.AT_LEAST).holds
+
+    def test_at_most(self):
+        assert ClaimCheck("c", "x", 0.05, 0.04, Comparison.AT_MOST).holds
+
+    def test_between(self):
+        check = ClaimCheck(
+            "c", "x", 6.0, 8.0, Comparison.BETWEEN, paper_upper=10.0
+        )
+        assert check.holds
+        assert not ClaimCheck(
+            "c", "x", 6.0, 11.0, Comparison.BETWEEN, paper_upper=10.0
+        ).holds
+
+    def test_between_requires_upper(self):
+        check = ClaimCheck("c", "x", 6.0, 8.0, Comparison.BETWEEN)
+        with pytest.raises(ValueError):
+            _ = check.holds
+
+    def test_claims_table_renders_verdicts(self):
+        checks = [
+            ClaimCheck("ok", "good claim", 1.0, 1.0),
+            ClaimCheck("bad", "bad claim", 1.0, 5.0),
+        ]
+        out = claims_table(checks)
+        assert "OK" in out
+        assert "DIVERGES" in out
+
+    def test_paper_text_prefixes(self):
+        assert ClaimCheck("c", "x", 5.0, 5.0).paper_text == "~5"
+        assert ClaimCheck("c", "x", 5.0, 5.0, Comparison.AT_LEAST).paper_text == ">=5"

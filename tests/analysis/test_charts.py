@@ -1,0 +1,68 @@
+"""Terminal chart helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.charts import bar_chart, series_chart, sparkline
+
+
+class TestBarChart:
+    def test_renders_all_labels(self):
+        out = bar_chart(["a", "bb"], [1.0, 2.0])
+        assert "a " in out and "bb" in out
+
+    def test_largest_value_gets_longest_bar(self):
+        out = bar_chart(["small", "large"], [1.0, 4.0], width=8)
+        lines = out.splitlines()
+        assert lines[1].count("█") > lines[0].count("█")
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_empty_input(self):
+        assert bar_chart([], [], title="t") == "t"
+
+    def test_zero_values_safe(self):
+        out = bar_chart(["a", "b"], [0.0, 0.0])
+        assert "█" not in out
+
+    def test_title_and_unit(self):
+        out = bar_chart(["x"], [5.0], title="shares", unit="%")
+        assert out.startswith("shares")
+        assert "5%" in out
+
+
+class TestSparkline:
+    def test_length_matches_input(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+    def test_monotone_series_monotone_glyphs(self):
+        glyphs = sparkline([0, 1, 2, 3, 4, 5])
+        assert list(glyphs) == sorted(glyphs, key=lambda g: " ▁▂▃▄▅▆▇█".index(g))
+
+    def test_constant_series(self):
+        out = sparkline([2.0, 2.0, 2.0])
+        assert len(set(out)) == 1
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_explicit_bounds_clamp(self):
+        out = sparkline([100.0], lo=0.0, hi=1.0)
+        assert out == "█"
+
+
+class TestSeriesChart:
+    def test_endpoints_annotated(self):
+        out = series_chart("x", [2021, 2030], [122.0, 695.0], unit="Mt")
+        assert "2021" in out and "2030" in out
+        assert "122" in out and "695" in out
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            series_chart("x", [1], [1, 2])
+
+    def test_empty_series(self):
+        assert "empty" in series_chart("x", [], [])

@@ -1,0 +1,50 @@
+"""Experiment registry consistency with the benchmark tree."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.registry import EXPERIMENTS, find_experiment
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestRegistry:
+    def test_ids_unique(self):
+        ids = [e.experiment_id for e in EXPERIMENTS]
+        assert len(set(ids)) == len(ids)
+
+    def test_every_bench_file_exists(self):
+        for experiment in EXPERIMENTS:
+            assert (REPO_ROOT / experiment.bench_path).is_file(), experiment
+
+    def test_every_bench_file_is_registered(self):
+        registered = {e.bench_path for e in EXPERIMENTS}
+        on_disk = {
+            f"benchmarks/{p.name}"
+            for p in (REPO_ROOT / "benchmarks").glob("test_bench_*.py")
+        }
+        assert on_disk == registered
+
+    def test_find_experiment(self):
+        assert find_experiment("e11").title.startswith("SOS vs baselines")
+        with pytest.raises(KeyError):
+            find_experiment("E99")
+
+
+class TestUfsFacade:
+    def test_sos_device_as_ufs(self):
+        from repro.core.config import default_config
+        from repro.core.sos_device import SOSDevice
+
+        device = SOSDevice(default_config(seed=81))
+        ufs = device.as_ufs()
+        descriptors = ufs.luns()
+        assert descriptors[0].name == "system"
+        assert descriptors[0].reliable_writes
+        assert descriptors[1].name == "userdata"
+        assert not descriptors[1].reliable_writes
+        ufs.write(0, 12345, b"boot")
+        assert ufs.read(0, 12345)[:4] == b"boot"

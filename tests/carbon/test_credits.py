@@ -1,0 +1,47 @@
+"""Carbon-credit pricing: the §3 40%-surcharge example."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.carbon.credits import (
+    EU_ETS_PEAK_2022,
+    CarbonPrice,
+    credit_cost_per_tb,
+    price_increase_fraction,
+)
+
+
+class TestPricing:
+    def test_eu_peak_value(self):
+        assert EU_ETS_PEAK_2022.usd_per_tonne == 111.0
+        assert EU_ETS_PEAK_2022.usd_per_kg == pytest.approx(0.111)
+
+    def test_negative_price_rejected(self):
+        with pytest.raises(ValueError):
+            CarbonPrice(usd_per_tonne=-1)
+
+    def test_credit_cost_per_tb(self):
+        """$111/t * 0.16 kg/GB * 1000 GB = $17.76 per TB."""
+        assert credit_cost_per_tb(EU_ETS_PEAK_2022) == pytest.approx(17.76)
+
+    def test_paper_example_40_percent(self):
+        """§3: at $45/TB QLC, the credit is ~a 40% price increase."""
+        fraction = price_increase_fraction(EU_ETS_PEAK_2022, ssd_usd_per_tb=45.0)
+        assert fraction == pytest.approx(0.40, abs=0.02)
+
+    def test_scales_linearly_with_price(self):
+        double = CarbonPrice(usd_per_tonne=222.0)
+        assert credit_cost_per_tb(double) == pytest.approx(2 * credit_cost_per_tb(EU_ETS_PEAK_2022))
+
+    def test_denser_flash_pays_less_credit(self):
+        from repro.carbon.embodied import intensity_kg_per_gb
+        from repro.flash.cell import CellTechnology
+
+        tlc = credit_cost_per_tb(EU_ETS_PEAK_2022, intensity_kg_per_gb(CellTechnology.TLC))
+        plc = credit_cost_per_tb(EU_ETS_PEAK_2022, intensity_kg_per_gb(CellTechnology.PLC))
+        assert plc == pytest.approx(tlc * 3 / 5)
+
+    def test_invalid_ssd_price_rejected(self):
+        with pytest.raises(ValueError):
+            price_increase_fraction(EU_ETS_PEAK_2022, ssd_usd_per_tb=0.0)

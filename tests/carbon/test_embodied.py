@@ -1,0 +1,85 @@
+"""Embodied carbon arithmetic: the paper's density-to-carbon pipeline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.carbon.embodied import (
+    BASELINE_INTENSITY_KG_PER_GB,
+    device_embodied_kg,
+    intensity_kg_per_gb,
+    mixed_intensity_kg_per_gb,
+)
+from repro.flash.cell import CellTechnology, native_mode, pseudo_mode
+
+
+class TestIntensity:
+    def test_tlc_is_the_baseline(self):
+        assert intensity_kg_per_gb(CellTechnology.TLC) == BASELINE_INTENSITY_KG_PER_GB
+
+    def test_qlc_is_three_quarters_of_tlc(self):
+        ratio = intensity_kg_per_gb(CellTechnology.QLC) / intensity_kg_per_gb(
+            CellTechnology.TLC
+        )
+        assert ratio == pytest.approx(3 / 4)
+
+    def test_plc_is_three_fifths_of_tlc(self):
+        ratio = intensity_kg_per_gb(CellTechnology.PLC) / intensity_kg_per_gb(
+            CellTechnology.TLC
+        )
+        assert ratio == pytest.approx(3 / 5)
+
+    def test_pseudo_qlc_on_plc_matches_native_qlc(self):
+        """Intensity keys on operating (shipped) bits per cell."""
+        assert intensity_kg_per_gb(pseudo_mode(CellTechnology.PLC, 4)) == intensity_kg_per_gb(
+            CellTechnology.QLC
+        )
+
+    def test_denser_is_always_greener(self):
+        intensities = [intensity_kg_per_gb(t) for t in CellTechnology]
+        assert intensities == sorted(intensities, reverse=True)
+
+
+class TestMixed:
+    def test_sos_split_intensity(self):
+        """50/50 PLC + pseudo-QLC: 4.5 bits/cell avg -> 2/3 of TLC
+        intensity (the flip side of the +50% density headline)."""
+        sos = mixed_intensity_kg_per_gb(
+            {
+                native_mode(CellTechnology.PLC): 0.5,
+                pseudo_mode(CellTechnology.PLC, 4): 0.5,
+            }
+        )
+        # capacity-weighted: 0.5*(0.16*3/5) + 0.5*(0.16*3/4) = 0.108
+        assert sos == pytest.approx(0.108)
+        reduction = 1 - sos / intensity_kg_per_gb(CellTechnology.TLC)
+        assert reduction == pytest.approx(0.325, abs=0.001)
+
+    def test_fractions_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            mixed_intensity_kg_per_gb({native_mode(CellTechnology.TLC): 0.9})
+
+    def test_single_technology_mix_is_identity(self):
+        mix = mixed_intensity_kg_per_gb({CellTechnology.QLC: 1.0})
+        assert mix == intensity_kg_per_gb(CellTechnology.QLC)
+
+
+class TestDeviceCarbon:
+    def test_total_kg(self):
+        device = device_embodied_kg(128.0, {CellTechnology.TLC: 1.0})
+        assert device.total_kg == pytest.approx(128 * 0.16)
+
+    def test_reduction_vs(self):
+        tlc = device_embodied_kg(64.0, {CellTechnology.TLC: 1.0})
+        sos = device_embodied_kg(
+            64.0,
+            {
+                native_mode(CellTechnology.PLC): 0.5,
+                pseudo_mode(CellTechnology.PLC, 4): 0.5,
+            },
+        )
+        assert sos.reduction_vs(tlc) == pytest.approx(0.325, abs=0.001)
+
+    def test_nonpositive_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            device_embodied_kg(0.0, {CellTechnology.TLC: 1.0})

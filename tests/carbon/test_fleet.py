@@ -1,0 +1,58 @@
+"""Fleet replacement simulation (§2.3.2-§2.3.3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.carbon.fleet import FleetConfig, simulate_fleet
+
+
+@pytest.fixture(scope="module")
+def outcome():
+    return simulate_fleet(FleetConfig())
+
+
+class TestReplacementArithmetic:
+    def test_all_classes_present(self, outcome):
+        names = {c.name for c in outcome.classes}
+        assert names == {"smartphone", "ssd", "memory_card", "tablet", "other"}
+
+    def test_personal_multiplier_exceeds_3x(self, outcome):
+        """§2.3.2: personal flash replaced over three times per decade."""
+        assert outcome.personal_replacement_multiplier() > 3.0
+
+    def test_smartphones_churn_fastest(self, outcome):
+        by_name = {c.name: c.replacement_multiplier for c in outcome.classes}
+        assert by_name["smartphone"] == max(by_name.values())
+
+    def test_manufactured_exceeds_installed_growth(self, outcome):
+        """Replacement means manufacturing far exceeds net base growth."""
+        for c in outcome.classes:
+            net_growth = c.installed_eb_end - c.installed_eb_start
+            assert c.manufactured_eb > net_growth
+
+    def test_personal_bit_share_majority(self, outcome):
+        assert outcome.personal_bit_share() > 0.5
+
+    def test_embodied_total_consistent(self, outcome):
+        expected = outcome.total_manufactured_eb * 1e9 * 0.16 / 1e9
+        assert outcome.total_embodied_mt == pytest.approx(expected)
+
+
+class TestConfigSensitivity:
+    def test_zero_growth_isolates_replacement(self):
+        outcome = simulate_fleet(FleetConfig(demand_growth=0.0))
+        phone = next(c for c in outcome.classes if c.name == "smartphone")
+        # pure replacement: 10 years / 2.5-year life = 4 rebuilds
+        assert phone.replacement_multiplier == pytest.approx(4.0)
+        assert phone.installed_eb_end == pytest.approx(phone.installed_eb_start)
+
+    def test_shorter_horizon_less_churn(self):
+        short = simulate_fleet(FleetConfig(horizon_years=5))
+        long = simulate_fleet(FleetConfig(horizon_years=10))
+        assert short.total_manufactured_eb < long.total_manufactured_eb
+
+    def test_greener_intensity_scales_carbon(self):
+        base = simulate_fleet(FleetConfig())
+        green = simulate_fleet(FleetConfig(intensity_kg_per_gb=0.08))
+        assert green.total_embodied_mt == pytest.approx(base.total_embodied_mt / 2)

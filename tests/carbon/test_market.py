@@ -1,0 +1,58 @@
+"""Figure 1 market shares and the replacement-rate arithmetic of §2.3."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.carbon.market import (
+    DEVICE_CLASSES,
+    MARKET_SHARE_2020,
+    decade_production_multiplier,
+    personal_share,
+    replacements_per_decade,
+)
+
+
+class TestFigure1:
+    def test_shares_sum_to_one(self):
+        assert sum(MARKET_SHARE_2020.values()) == pytest.approx(1.0)
+
+    def test_smartphone_dominates(self):
+        """Figure 1: smartphones are the largest segment (38%)."""
+        assert MARKET_SHARE_2020["smartphone"] == pytest.approx(0.38)
+        assert MARKET_SHARE_2020["smartphone"] == max(MARKET_SHARE_2020.values())
+
+    def test_ssd_share(self):
+        """§2.3.2: 'full-fledged SSDs ... comprise only 32%'."""
+        assert MARKET_SHARE_2020["ssd"] == pytest.approx(0.32)
+
+    def test_personal_share_is_about_half(self):
+        """§2.3.2: personal devices are 'approximately half' of bits."""
+        assert 0.4 <= personal_share(include_memory_cards=False) <= 0.55
+        assert 0.5 <= personal_share(include_memory_cards=True) <= 0.65
+
+
+class TestReplacement:
+    def test_smartphone_life_two_to_three_years(self):
+        """§2.3.2: 'the average smartphone use life is two to three years'."""
+        assert 2.0 <= DEVICE_CLASSES["smartphone"].replacement_years <= 3.0
+
+    def test_personal_devices_replaced_at_least_3x_per_decade(self):
+        """§2.3.2 conclusion: over half of bits 'discarded and replaced
+        over three times in the coming decade'."""
+        multipliers = decade_production_multiplier()
+        weighted = sum(
+            MARKET_SHARE_2020[name] * multipliers[name]
+            for name in ("smartphone", "tablet")
+        ) / (MARKET_SHARE_2020["smartphone"] + MARKET_SHARE_2020["tablet"])
+        assert weighted >= 3.0
+
+    def test_ssds_replaced_less_often(self):
+        assert replacements_per_decade(DEVICE_CLASSES["ssd"]) < replacements_per_decade(
+            DEVICE_CLASSES["smartphone"]
+        )
+
+    def test_flash_reuse_probability_is_zero(self):
+        """§2.3.3: flash packages are almost never re-used."""
+        for device in DEVICE_CLASSES.values():
+            assert device.flash_reuse_probability == 0.0

@@ -1,0 +1,69 @@
+"""Use-phase energy model (§1/§3 premise)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.carbon.operational import (
+    GRID_KG_PER_KWH,
+    POWER_PROFILES,
+    PowerProfile,
+    use_phase,
+)
+
+
+class TestPowerProfiles:
+    def test_mean_watts_between_idle_and_active(self):
+        for profile in POWER_PROFILES.values():
+            powered_mean = profile.mean_watts() / profile.powered_fraction
+            assert profile.idle_w <= powered_mean <= profile.active_w
+
+    def test_mobile_is_the_frugal_class(self):
+        means = {name: p.mean_watts() for name, p in POWER_PROFILES.items()}
+        assert means["mobile_ufs"] == min(means.values())
+        assert means["enterprise_ssd"] == max(means.values())
+
+    def test_profile_mean_formula(self):
+        profile = PowerProfile("x", active_w=10.0, idle_w=0.0, duty_cycle=0.5,
+                               powered_fraction=0.5)
+        assert profile.mean_watts() == pytest.approx(2.5)
+
+
+class TestUsePhase:
+    def test_energy_scales_with_service_years(self):
+        short = use_phase("mobile_ufs", 64.0, 1.0)
+        long = use_phase("mobile_ufs", 64.0, 4.0)
+        assert long.energy_kwh == pytest.approx(4 * short.energy_kwh)
+
+    def test_embodied_scales_with_capacity(self):
+        small = use_phase("mobile_ufs", 64.0, 2.5)
+        large = use_phase("mobile_ufs", 256.0, 2.5)
+        assert large.embodied_kg == pytest.approx(4 * small.embodied_kg)
+        assert large.operational_kg == pytest.approx(small.operational_kg)
+
+    def test_operational_carbon_uses_grid_intensity(self):
+        phase = use_phase("consumer_ssd", 500.0, 5.0)
+        assert phase.operational_kg == pytest.approx(
+            phase.energy_kwh * GRID_KG_PER_KWH
+        )
+
+    def test_greener_grid_reduces_operational_only(self):
+        dirty = use_phase("enterprise_ssd", 1000.0, 5.0, grid_kg_per_kwh=0.8)
+        clean = use_phase("enterprise_ssd", 1000.0, 5.0, grid_kg_per_kwh=0.1)
+        assert clean.operational_kg < dirty.operational_kg
+        assert clean.embodied_kg == dirty.embodied_kg
+        assert clean.embodied_share > dirty.embodied_share
+
+    def test_embodied_dominates_mobile(self):
+        """The §1 premise that motivates SOS."""
+        phase = use_phase("mobile_ufs", 128.0, 2.5)
+        assert phase.embodied_to_operational > 10.0
+        assert phase.embodied_share > 0.9
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            use_phase("mobile_ufs", 0.0, 2.5)
+        with pytest.raises(ValueError):
+            use_phase("mobile_ufs", 64.0, -1.0)
+        with pytest.raises(KeyError):
+            use_phase("floppy", 1.0, 1.0)

@@ -1,0 +1,71 @@
+"""2021->2030 projection against the paper's §1/§3 figures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.carbon.projection import ProjectionConfig, people_equivalent, project
+
+
+@pytest.fixture(scope="module")
+def points():
+    return project()
+
+
+class TestBaseYear:
+    def test_2021_capacity(self, points):
+        """§1: 'flash annual capacity production in 2021 reached ~765 EB'."""
+        assert points[0].year == 2021
+        assert points[0].capacity_eb == pytest.approx(765.0)
+
+    def test_2021_emissions_122_mt(self, points):
+        """§1: 'flash production-related carbon emissions were ~122M
+        metric tonnes of CO2'."""
+        assert points[0].emissions_mt == pytest.approx(122.4, rel=0.01)
+
+    def test_2021_people_equivalent_28m(self, points):
+        """§1: 'equivalent to the average annual CO2 emissions of 28M
+        people'."""
+        assert points[0].people_equivalent_millions == pytest.approx(28.0, rel=0.05)
+
+
+class TestEndYear:
+    def test_2030_people_equivalent_over_150m(self, points):
+        """§1: 'by 2030, this figure will have reached the equivalent of
+        over 150M people'."""
+        assert points[-1].year == 2030
+        assert points[-1].people_equivalent_millions > 150.0
+
+    def test_2030_share_near_1_7_percent(self, points):
+        """Abstract: flash manufacturing 'will account for 1.7% of carbon
+        emissions in the world' by 2030."""
+        assert points[-1].share_of_world_2030 == pytest.approx(0.017, abs=0.003)
+
+    def test_capacity_grows_monotonically(self, points):
+        caps = [p.capacity_eb for p in points]
+        assert caps == sorted(caps)
+
+    def test_intensity_declines_monotonically(self, points):
+        intensities = [p.intensity_kg_per_gb for p in points]
+        assert intensities == sorted(intensities, reverse=True)
+
+    def test_intensity_halves_by_2030(self, points):
+        assert points[-1].intensity_kg_per_gb == pytest.approx(0.08, rel=0.01)
+
+
+class TestConfig:
+    def test_emissions_grow_despite_density_gains(self, points):
+        """§3's thesis: demand growth outruns density improvement."""
+        emissions = [p.emissions_mt for p in points]
+        assert emissions == sorted(emissions)
+
+    def test_custom_window(self):
+        pts = project(ProjectionConfig(base_year=2021, end_year=2021))
+        assert len(pts) == 1
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            project(ProjectionConfig(base_year=2030, end_year=2021))
+
+    def test_people_equivalent_helper(self):
+        assert people_equivalent(4.4) == pytest.approx(1.0)

@@ -1,0 +1,61 @@
+"""Feature extraction shape and semantics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.classify.features import FEATURE_NAMES, extract_features, feature_matrix
+from repro.host.files import FileAttributes, FileKind, FileRecord
+
+
+def make_record(kind=FileKind.PHOTO, **attrs) -> FileRecord:
+    return FileRecord(
+        file_id=1, path="/x", kind=kind, size_bytes=5000,
+        attributes=FileAttributes(**attrs),
+    )
+
+
+class TestExtract:
+    def test_vector_length_matches_names(self):
+        vec = extract_features(make_record(), now_years=1.0)
+        assert vec.shape == (len(FEATURE_NAMES),)
+
+    def test_kind_onehot_is_exclusive(self):
+        vec = extract_features(make_record(FileKind.VIDEO), now_years=1.0)
+        onehot = vec[12:]
+        assert onehot.sum() == 1.0
+        hot_index = int(np.argmax(onehot))
+        assert FEATURE_NAMES[12 + hot_index] == "kind_video"
+
+    def test_boolean_attributes_map_to_01(self):
+        vec = extract_features(
+            make_record(user_favorite=True, is_screenshot=False), now_years=1.0
+        )
+        names = dict(zip(FEATURE_NAMES, vec))
+        assert names["user_favorite"] == 1.0
+        assert names["is_screenshot"] == 0.0
+
+    def test_counts_are_log_scaled(self):
+        vec = extract_features(make_record(access_count=0), 1.0)
+        names = dict(zip(FEATURE_NAMES, vec))
+        assert names["log_access_count"] == 0.0
+        vec2 = extract_features(make_record(access_count=100), 1.0)
+        names2 = dict(zip(FEATURE_NAMES, vec2))
+        assert names2["log_access_count"] == pytest.approx(np.log1p(100))
+
+    def test_age_uses_now(self):
+        record = make_record(created_years=1.0)
+        names = dict(zip(FEATURE_NAMES, extract_features(record, 3.0)))
+        assert names["age_years"] == pytest.approx(2.0)
+
+
+class TestMatrix:
+    def test_matrix_stacks_rows(self):
+        records = [make_record(), make_record(FileKind.DOCUMENT)]
+        X = feature_matrix(records, now_years=1.0)
+        assert X.shape == (2, len(FEATURE_NAMES))
+
+    def test_empty_matrix(self):
+        X = feature_matrix([], now_years=1.0)
+        assert X.shape == (0, len(FEATURE_NAMES))

@@ -1,0 +1,93 @@
+"""Naive Bayes and logistic regression on controlled data."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.classify.logistic import LogisticRegression
+from repro.classify.naive_bayes import GaussianNaiveBayes
+
+
+def separable_data(rng, n=400, gap=4.0):
+    X0 = rng.normal(0.0, 1.0, size=(n // 2, 3))
+    X1 = rng.normal(gap, 1.0, size=(n // 2, 3))
+    X = np.vstack([X0, X1])
+    y = np.array([0] * (n // 2) + [1] * (n // 2))
+    return X, y
+
+
+class TestGaussianNB:
+    def test_learns_separable_classes(self, rng):
+        X, y = separable_data(rng)
+        model = GaussianNaiveBayes().fit(X, y)
+        assert model.score(X, y) > 0.98
+
+    def test_probabilities_sum_to_one(self, rng):
+        X, y = separable_data(rng)
+        model = GaussianNaiveBayes().fit(X, y)
+        probs = model.predict_proba(X[:20])
+        assert np.allclose(probs.sum(axis=1), 1.0)
+        assert (probs >= 0).all()
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            GaussianNaiveBayes().predict(np.zeros((1, 3)))
+
+    def test_misaligned_shapes_rejected(self, rng):
+        with pytest.raises(ValueError):
+            GaussianNaiveBayes().fit(np.zeros((10, 3)), np.zeros(9))
+
+    def test_handles_constant_feature(self, rng):
+        X, y = separable_data(rng)
+        X = np.hstack([X, np.ones((X.shape[0], 1))])  # zero-variance column
+        model = GaussianNaiveBayes().fit(X, y)
+        assert model.score(X, y) > 0.9
+
+    def test_multiclass(self, rng):
+        X = np.vstack([rng.normal(c * 5, 1, size=(50, 2)) for c in range(3)])
+        y = np.repeat([0, 1, 2], 50)
+        model = GaussianNaiveBayes().fit(X, y)
+        assert model.score(X, y) > 0.95
+
+
+class TestLogisticRegression:
+    def test_learns_separable_classes(self, rng):
+        X, y = separable_data(rng)
+        model = LogisticRegression().fit(X, y)
+        assert model.score(X, y) > 0.98
+
+    def test_probabilities_calibrated_direction(self, rng):
+        X, y = separable_data(rng)
+        model = LogisticRegression().fit(X, y)
+        p = model.predict_proba(X)
+        assert p[y == 1].mean() > 0.8
+        assert p[y == 0].mean() < 0.2
+
+    def test_nonbinary_labels_rejected(self, rng):
+        X, _ = separable_data(rng)
+        with pytest.raises(ValueError):
+            LogisticRegression().fit(X, np.full(X.shape[0], 2))
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            LogisticRegression().predict_proba(np.zeros((1, 3)))
+
+    def test_threshold_shifts_predictions(self, rng):
+        X, y = separable_data(rng, gap=1.0)  # overlapping classes
+        model = LogisticRegression().fit(X, y)
+        permissive = model.predict(X, threshold=0.1).sum()
+        strict = model.predict(X, threshold=0.9).sum()
+        assert permissive > strict
+
+    def test_regularization_shrinks_weights(self, rng):
+        X, y = separable_data(rng)
+        small = LogisticRegression(l2=1e-4).fit(X, y)
+        large = LogisticRegression(l2=1.0).fit(X, y)
+        assert np.linalg.norm(large.weights_) < np.linalg.norm(small.weights_)
+
+    def test_deterministic(self, rng):
+        X, y = separable_data(rng)
+        a = LogisticRegression().fit(X, y)
+        b = LogisticRegression().fit(X, y)
+        assert np.array_equal(a.weights_, b.weights_)

@@ -1,0 +1,26 @@
+"""Shared fixtures for the SOS test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.flash import SMALL_GEOMETRY, CellTechnology, FlashChip
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG for tests."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def plc_chip() -> FlashChip:
+    """A small PLC chip for bit-exact tests."""
+    return FlashChip(SMALL_GEOMETRY, CellTechnology.PLC, seed=99)
+
+
+@pytest.fixture
+def tlc_chip() -> FlashChip:
+    """A small TLC chip for bit-exact tests."""
+    return FlashChip(SMALL_GEOMETRY, CellTechnology.TLC, seed=99)

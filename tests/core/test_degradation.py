@@ -1,0 +1,106 @@
+"""Degradation monitor: forecasts, floors, SPARE scoping."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.config import default_config
+from repro.core.degradation import DegradationMonitor
+from repro.core.partitions import build_partitions
+from repro.host.block_layer import BlockLayer
+from repro.host.hints import Placement
+
+
+@pytest.fixture
+def setup():
+    device = build_partitions(default_config())
+    layer = BlockLayer(device.ftl)
+    monitor = DegradationMonitor(device.ftl, horizon_years=0.5)
+    return device, layer, monitor
+
+
+class TestScoping:
+    def test_sys_pages_not_forecast(self, setup):
+        _, layer, monitor = setup
+        layer.write_page(1, b"sys data")
+        assert monitor.forecast_page(1) is None
+
+    def test_unmapped_pages_not_forecast(self, setup):
+        _, _, monitor = setup
+        assert monitor.forecast_page(999) is None
+
+    def test_spare_pages_forecast(self, setup):
+        _, layer, monitor = setup
+        layer.relocate(2, Placement.SPARE)
+        layer.write_page(2, b"spare data")
+        forecast = monitor.forecast_page(2)
+        assert forecast is not None
+        assert forecast.lpn == 2
+        assert forecast.rber_at_horizon >= forecast.rber_now
+
+
+class TestForecastShape:
+    def test_wear_raises_forecast_rber(self, setup):
+        device, layer, monitor = setup
+        layer.relocate(3, Placement.SPARE)
+        layer.write_page(3, b"d")
+        before = monitor.forecast_page(3)
+        addr = device.ftl.page_map.lookup(3)
+        device.chip.blocks[addr[0]].pec = 600
+        after = monitor.forecast_page(3)
+        assert after.rber_at_horizon > before.rber_at_horizon
+        assert after.quality_at_horizon < before.quality_at_horizon
+
+    def test_quality_is_exponential_proxy(self, setup):
+        _, _, monitor = setup
+        rber = 1e-4
+        assert monitor.quality_from_rber(rber) == pytest.approx(
+            math.exp(-monitor.sensitivity * rber)
+        )
+
+    def test_rber_floor_inverts_quality(self, setup):
+        _, _, monitor = setup
+        floor = 0.85
+        rber = monitor.rber_floor_for_quality(floor)
+        assert monitor.quality_from_rber(rber) == pytest.approx(floor)
+
+    def test_invalid_floor_rejected(self, setup):
+        _, _, monitor = setup
+        with pytest.raises(ValueError):
+            monitor.rber_floor_for_quality(1.0)
+
+
+class TestEndangered:
+    def test_fresh_pages_not_endangered(self, setup):
+        _, layer, monitor = setup
+        lpns = []
+        for i in range(5):
+            lpn = 10 + i
+            layer.relocate(lpn, Placement.SPARE)
+            layer.write_page(lpn, b"x")
+            lpns.append(lpn)
+        assert monitor.endangered(lpns, quality_floor=0.85) == []
+
+    def test_worn_blocks_flag_pages(self, setup):
+        device, layer, monitor = setup
+        lpns = []
+        for i in range(5):
+            lpn = 20 + i
+            layer.relocate(lpn, Placement.SPARE)
+            layer.write_page(lpn, b"x")
+            lpns.append(lpn)
+        for block in device.chip.blocks:
+            if block.mode.operating_bits == 5:
+                block.pec = 1500  # 3x rated PLC endurance
+        endangered = monitor.endangered(lpns, quality_floor=0.85)
+        assert len(endangered) == 5
+
+    def test_scan_covers_only_spare(self, setup):
+        _, layer, monitor = setup
+        layer.write_page(30, b"sys")
+        layer.relocate(31, Placement.SPARE)
+        layer.write_page(31, b"spare")
+        forecasts = monitor.scan([30, 31])
+        assert [f.lpn for f in forecasts] == [31]

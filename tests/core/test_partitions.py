@@ -1,0 +1,63 @@
+"""Partition construction and the paper's density arithmetic (§4.1-§4.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import default_config
+from repro.core.partitions import build_partitions, capacity_gain_over, density_gain
+from repro.flash.cell import CellTechnology, pseudo_mode
+
+
+class TestDensityArithmetic:
+    def test_sos_gains_50_percent_over_tlc(self):
+        """§4.2: 'SOS would result in a 50% ... capacity gain over using
+        TLC'."""
+        assert density_gain(default_config()) == pytest.approx(0.50)
+
+    def test_sos_gains_about_10_percent_over_qlc(self):
+        """§4.2 says 10% over QLC; exact arithmetic gives 12.5% (the
+        paper rounds down).  We assert the computed value."""
+        gain = capacity_gain_over(default_config(), CellTechnology.QLC)
+        assert gain == pytest.approx(0.125)
+
+    def test_all_spare_would_gain_66_percent(self):
+        config = default_config(spare_fraction=0.99)
+        assert density_gain(config) == pytest.approx(2 / 3, abs=0.01)
+
+    def test_gain_interpolates_with_split(self):
+        gains = [
+            density_gain(default_config(spare_fraction=f)) for f in (0.25, 0.5, 0.75)
+        ]
+        assert gains == sorted(gains)
+
+
+class TestPhysicalSplit:
+    def test_partitions_cover_chip_disjointly(self):
+        device = build_partitions(default_config())
+        sys_blocks = set(device.ftl.stream("sys").blocks)
+        spare_blocks = set(device.ftl.stream("spare").blocks)
+        assert not sys_blocks & spare_blocks
+        assert len(sys_blocks | spare_blocks) == device.chip.geometry.total_blocks
+
+    def test_split_fraction_respected(self):
+        device = build_partitions(default_config(spare_fraction=0.5))
+        total = device.chip.geometry.total_blocks
+        assert device.spare_blocks == total // 2
+
+    def test_blocks_operate_in_partition_modes(self):
+        device = build_partitions(default_config())
+        for i in device.ftl.stream("sys").blocks:
+            assert device.chip.blocks[i].mode == pseudo_mode(CellTechnology.PLC, 4)
+
+    def test_spare_blocks_interleaved_not_contiguous(self):
+        """Partitions stripe across the chip for parallelism."""
+        device = build_partitions(default_config())
+        spare = sorted(device.ftl.stream("spare").blocks)
+        # not simply the second half of the chip
+        assert spare[0] < device.chip.geometry.total_blocks // 2
+
+    def test_uneven_split(self):
+        device = build_partitions(default_config(spare_fraction=0.25))
+        total = device.chip.geometry.total_blocks
+        assert device.spare_blocks == pytest.approx(total * 0.25, abs=1)

@@ -1,0 +1,101 @@
+"""Placement engine: hints, conservatism gate, promote/demote flows."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.partitions import build_partitions
+from repro.core.config import default_config
+from repro.core.placement import PlacementEngine
+from repro.host.block_layer import BlockLayer
+from repro.host.files import FileAttributes, FileKind, FileRecord
+from repro.host.hints import Placement, PlacementHint
+
+
+@pytest.fixture
+def engine():
+    device = build_partitions(default_config())
+    layer = BlockLayer(device.ftl)
+    return PlacementEngine(layer), layer
+
+
+def make_file(file_id=1, npages=3, layer=None) -> FileRecord:
+    record = FileRecord(
+        file_id=file_id, path=f"/f{file_id}", kind=FileKind.PHOTO, size_bytes=1000,
+        attributes=FileAttributes(),
+    )
+    if layer is not None:
+        for i in range(npages):
+            lpn = file_id * 100 + i
+            layer.write_page(lpn, b"payload")
+            record.extents.append(lpn)
+    return record
+
+
+class TestHints:
+    def test_demotion_moves_all_extents(self, engine):
+        placement, layer = engine
+        record = make_file(layer=layer)
+        moved = placement.apply_hint(
+            record, PlacementHint(record.file_id, Placement.SPARE, confidence=0.9)
+        )
+        assert moved
+        assert placement.placement_of(record) is Placement.SPARE
+        for lpn in record.extents:
+            assert layer.ftl.stream_of(lpn) == "spare"
+        assert placement.stats.demotions == 1
+        assert placement.stats.pages_moved == 3
+
+    def test_low_confidence_demotion_ignored(self, engine):
+        """Second conservatism gate (§4.2/§4.3)."""
+        placement, layer = engine
+        record = make_file(layer=layer)
+        moved = placement.apply_hint(
+            record, PlacementHint(record.file_id, Placement.SPARE, confidence=0.3)
+        )
+        assert not moved
+        assert placement.placement_of(record) is Placement.SYS
+        assert placement.stats.hints_ignored_low_confidence == 1
+
+    def test_same_placement_hint_is_noop(self, engine):
+        placement, layer = engine
+        record = make_file(layer=layer)
+        moved = placement.apply_hint(
+            record, PlacementHint(record.file_id, Placement.SYS, confidence=1.0)
+        )
+        assert not moved
+
+    def test_promotion_always_honoured(self, engine):
+        """Rescue promotions ignore the confidence gate."""
+        placement, layer = engine
+        record = make_file(layer=layer)
+        placement.apply_hint(
+            record, PlacementHint(record.file_id, Placement.SPARE, confidence=0.9)
+        )
+        placement.promote(record)
+        assert placement.placement_of(record) is Placement.SYS
+        for lpn in record.extents:
+            assert layer.ftl.stream_of(lpn) == "sys"
+        assert placement.stats.promotions == 1
+
+    def test_mismatched_hint_rejected(self, engine):
+        placement, layer = engine
+        record = make_file(layer=layer)
+        with pytest.raises(ValueError):
+            placement.apply_hint(record, PlacementHint(999, Placement.SPARE, 0.9))
+
+    def test_forget_resets_to_default(self, engine):
+        placement, layer = engine
+        record = make_file(layer=layer)
+        placement.apply_hint(
+            record, PlacementHint(record.file_id, Placement.SPARE, confidence=0.9)
+        )
+        placement.forget(record)
+        assert placement.placement_of(record) is Placement.SYS
+
+    def test_spare_files_filter(self, engine):
+        placement, layer = engine
+        a = make_file(file_id=1, layer=layer)
+        b = make_file(file_id=2, layer=layer)
+        placement.apply_hint(a, PlacementHint(1, Placement.SPARE, confidence=0.9))
+        assert placement.spare_files([a, b]) == [a]

@@ -1,0 +1,50 @@
+"""Cloud backup store semantics."""
+
+from __future__ import annotations
+
+from repro.core.repair import CloudBackup
+
+
+class TestStoreFetch:
+    def test_roundtrip(self):
+        backup = CloudBackup()
+        backup.store_page(1, b"payload")
+        assert backup.fetch_page(1) == b"payload"
+        assert backup.stats.pages_fetched == 1
+
+    def test_miss_returns_none_and_counts(self):
+        backup = CloudBackup()
+        assert backup.fetch_page(42) is None
+        assert backup.stats.fetch_misses == 1
+
+    def test_overwrite_replaces(self):
+        backup = CloudBackup()
+        backup.store_page(1, b"old")
+        backup.store_page(1, b"new")
+        assert backup.fetch_page(1) == b"new"
+
+    def test_forget(self):
+        backup = CloudBackup()
+        backup.store_page(1, b"x")
+        backup.forget_page(1)
+        assert backup.fetch_page(1) is None
+        assert len(backup) == 0
+
+    def test_forget_missing_is_noop(self):
+        CloudBackup().forget_page(5)
+
+
+class TestAvailability:
+    def test_unavailable_serves_nothing_but_stores(self):
+        """§4.3: SOS must not rely on the cloud copy existing/reachable."""
+        backup = CloudBackup(available=False)
+        backup.store_page(1, b"x")
+        assert backup.fetch_page(1) is None
+        assert backup.covered(1)  # data is there, just unreachable
+
+    def test_copies_are_immutable_snapshots(self):
+        backup = CloudBackup()
+        data = bytearray(b"mutable")
+        backup.store_page(1, bytes(data))
+        data[0] = 0
+        assert backup.fetch_page(1) == b"mutable"

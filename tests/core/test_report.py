@@ -1,0 +1,65 @@
+"""Sustainability report assembly and rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import default_config
+from repro.core.report import build_report, render_report
+from repro.core.sos_device import SOSDevice
+from repro.flash.geometry import Geometry
+from repro.host.files import FileAttributes, FileKind
+
+GEOM = Geometry(page_size_bytes=512, pages_per_block=16, blocks_per_plane=32,
+                planes_per_die=2, dies=1)
+
+
+@pytest.fixture
+def device() -> SOSDevice:
+    device = SOSDevice(default_config(seed=61, geometry=GEOM))
+    for i in range(5):
+        device.create_file(
+            f"/photos/s{i}", FileKind.PHOTO, 900,
+            attributes=FileAttributes(is_screenshot=True, duplicate_count=3),
+        )
+    device.create_file("/sys/lib", FileKind.OS_SYSTEM, 900)
+    device.advance_time(0.5)
+    device.run_daemon()
+    return device
+
+
+class TestBuild:
+    def test_carbon_saving_is_one_third(self, device):
+        report = build_report(device)
+        assert report.saved_fraction == pytest.approx(0.325, abs=0.001)
+        assert report.saved_vs_tlc_kg > 0
+
+    def test_file_accounting(self, device):
+        report = build_report(device)
+        assert report.files_total == 6
+        assert 0 < report.files_on_spare <= 5
+
+    def test_wear_fractions_bounded(self, device):
+        report = build_report(device)
+        assert 0.0 <= report.sys_wear_fraction < 1.0
+        assert 0.0 <= report.spare_wear_fraction < 1.0
+
+    def test_counts_track_daemon_history(self, device):
+        report = build_report(device)
+        runs = device.daemon.runs
+        assert report.pages_repaired_from_cloud == sum(
+            r.scrub.pages_repaired_from_cloud for r in runs
+        )
+        assert report.trim_episodes == len(device.trim.events)
+
+
+class TestRender:
+    def test_renders_key_sections(self, device):
+        text = render_report(build_report(device))
+        for fragment in ("carbon", "wear", "degradation management",
+                         "integrity", "vs TLC status quo"):
+            assert fragment in text
+
+    def test_render_is_multiline_text(self, device):
+        text = render_report(build_report(device))
+        assert len(text.splitlines()) > 15

@@ -1,0 +1,91 @@
+"""Scrubber: rescue of endangered SPARE pages, cloud repair, health."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import default_config
+from repro.core.degradation import DegradationMonitor
+from repro.core.partitions import build_partitions
+from repro.core.repair import CloudBackup
+from repro.core.scrubber import Scrubber
+from repro.host.block_layer import BlockLayer
+from repro.host.hints import Placement
+
+
+@pytest.fixture
+def setup():
+    device = build_partitions(default_config(seed=2))
+    layer = BlockLayer(device.ftl)
+    monitor = DegradationMonitor(device.ftl, horizon_years=0.5)
+    backup = CloudBackup()
+    scrubber = Scrubber(layer, monitor, backup, quality_floor=0.85)
+    return device, layer, backup, scrubber
+
+
+def write_spare(layer, lpn, payload=b"payload"):
+    layer.relocate(lpn, Placement.SPARE)
+    layer.write_page(lpn, payload)
+
+
+def wear_spare_blocks(device, pec):
+    for block in device.chip.blocks:
+        if block.mode.operating_bits == 5:
+            block.pec = pec
+
+
+class TestScrub:
+    def test_healthy_pages_untouched(self, setup):
+        device, layer, backup, scrubber = setup
+        lpns = [100 + i for i in range(4)]
+        for lpn in lpns:
+            write_spare(layer, lpn)
+        report = scrubber.scrub(lpns)
+        assert report.pages_scanned == 4
+        assert report.pages_endangered == 0
+        assert report.pages_relocated == 0
+
+    def test_endangered_pages_relocated_without_backup(self, setup):
+        device, layer, backup, scrubber = setup
+        lpns = [200 + i for i in range(4)]
+        for lpn in lpns:
+            write_spare(layer, lpn)
+        wear_spare_blocks(device, 1500)
+        report = scrubber.scrub(lpns)
+        assert report.pages_endangered == 4
+        assert report.pages_relocated == 4
+        assert report.pages_repaired_from_cloud == 0
+
+    def test_cloud_backed_pages_repaired(self, setup):
+        device, layer, backup, scrubber = setup
+        lpns = [300 + i for i in range(3)]
+        for lpn in lpns:
+            write_spare(layer, lpn, b"clean!")
+            backup.store_page(lpn, b"clean!")
+        wear_spare_blocks(device, 1500)
+        report = scrubber.scrub(lpns)
+        assert report.pages_repaired_from_cloud == 3
+        assert report.pages_relocated == 0
+        assert backup.stats.pages_fetched == 3
+
+    def test_unavailable_cloud_falls_back_to_relocation(self, setup):
+        device, layer, _, _ = setup
+        backup = CloudBackup(available=False)
+        monitor = DegradationMonitor(device.ftl, horizon_years=0.5)
+        scrubber = Scrubber(layer, monitor, backup, quality_floor=0.85)
+        write_spare(layer, 400, b"data")
+        backup.store_page(400, b"data")
+        wear_spare_blocks(device, 1500)
+        report = scrubber.scrub([400])
+        assert report.pages_repaired_from_cloud == 0
+        assert report.pages_relocated == 1
+
+    def test_scrub_triggers_health_actions_on_worn_blocks(self, setup):
+        """After rescue, vacated worn blocks retire or resuscitate."""
+        device, layer, backup, scrubber = setup
+        lpns = [500 + i for i in range(4)]
+        for lpn in lpns:
+            write_spare(layer, lpn)
+        wear_spare_blocks(device, 5000)  # beyond the resuscitation ladder too
+        report = scrubber.scrub(lpns)
+        assert report.blocks_retired + report.blocks_resuscitated > 0

@@ -1,0 +1,90 @@
+"""SOSDevice facade: composition, carbon, snapshots, file lifecycle."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import default_config
+from repro.core.sos_device import SOSDevice
+from repro.flash.cell import CellTechnology
+from repro.carbon.embodied import intensity_kg_per_gb
+from repro.host.files import FileAttributes, FileKind
+
+
+@pytest.fixture
+def device() -> SOSDevice:
+    return SOSDevice(default_config(seed=6))
+
+
+class TestComposition:
+    def test_streams_exist(self, device):
+        assert set(device.ftl.stream_names()) == {"sys", "spare"}
+
+    def test_embodied_carbon_reduction_vs_tlc(self, device):
+        """The headline: ~1/3 less embodied carbon than a TLC device of
+        the same capacity."""
+        carbon = device.embodied_carbon()
+        reduction = 1 - carbon.intensity_kg_per_gb / intensity_kg_per_gb(CellTechnology.TLC)
+        assert reduction == pytest.approx(0.325, abs=0.001)
+
+    def test_clocks_move_together(self, device):
+        device.advance_time(1.0)
+        assert device.now_years == 1.0
+        assert device.filesystem.now_years == 1.0
+        assert device.chip.now_years == 1.0
+
+
+class TestFileLifecycle:
+    def test_create_lands_on_sys(self, device):
+        record = device.create_file("/a", FileKind.PHOTO, 500)
+        for lpn in record.extents:
+            assert device.ftl.stream_of(lpn) == "sys"
+
+    def test_cloud_backed_file_mirrored_to_backup(self, device):
+        record = device.create_file(
+            "/b", FileKind.VIDEO, 500,
+            attributes=FileAttributes(cloud_backed=True),
+        )
+        for lpn in record.extents:
+            assert device.backup.covered(lpn)
+
+    def test_non_backed_file_not_mirrored(self, device):
+        record = device.create_file("/c", FileKind.VIDEO, 500)
+        for lpn in record.extents:
+            assert not device.backup.covered(lpn)
+
+    def test_delete_cleans_backup_and_placement(self, device):
+        record = device.create_file(
+            "/d", FileKind.VIDEO, 500, attributes=FileAttributes(cloud_backed=True)
+        )
+        lpns = list(record.extents)
+        device.delete_file("/d")
+        for lpn in lpns:
+            assert not device.backup.covered(lpn)
+
+    def test_readback(self, device):
+        device.create_file("/e", FileKind.DOCUMENT, 100, content=lambda o: b"hello")
+        pages = device.filesystem.read_file("/e")
+        assert pages[0][:5] == b"hello"
+
+
+class TestSnapshot:
+    def test_snapshot_reflects_usage(self, device):
+        device.create_file("/a", FileKind.PHOTO, 2000)
+        snap = device.snapshot()
+        assert snap.used_pages == len(device.filesystem.lookup("/a").extents)
+        assert snap.capacity_pages > 0
+        assert snap.blocks_retired == 0
+
+    def test_pretrained_models_can_be_injected(self):
+        base = SOSDevice(default_config(seed=6))
+        other = SOSDevice(
+            default_config(seed=7),
+            classifier=base.classifier,
+            auto_delete=base.auto_delete,
+        )
+        assert other.classifier is base.classifier
+
+    def test_cloud_availability_flag(self):
+        device = SOSDevice(default_config(seed=6), cloud_available=False)
+        assert not device.backup.available

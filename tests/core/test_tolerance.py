@@ -1,0 +1,89 @@
+"""Per-app degradation tolerance (§4.2 future-work feature)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import default_config
+from repro.core.sos_device import SOSDevice
+from repro.core.tolerance import ToleranceLevel, ToleranceRegistry
+from repro.flash.geometry import Geometry
+from repro.host.files import FileAttributes, FileKind, FileRecord
+from repro.host.hints import Placement, PlacementHint
+
+GEOM = Geometry(page_size_bytes=512, pages_per_block=16, blocks_per_plane=32,
+                planes_per_die=2, dies=1)
+
+
+def make_record(path: str) -> FileRecord:
+    return FileRecord(file_id=1, path=path, kind=FileKind.DOCUMENT,
+                      size_bytes=100, attributes=FileAttributes())
+
+
+class TestRegistry:
+    def test_longest_prefix_wins(self):
+        registry = ToleranceRegistry()
+        registry.declare("/data/", "generic", ToleranceLevel.TOLERANT)
+        registry.declare("/data/bank/", "bank", ToleranceLevel.INTOLERANT)
+        assert registry.level_for(make_record("/data/bank/acct.db")) is (
+            ToleranceLevel.INTOLERANT
+        )
+        assert registry.level_for(make_record("/data/other/x")) is (
+            ToleranceLevel.TOLERANT
+        )
+
+    def test_unmatched_path_is_default(self):
+        registry = ToleranceRegistry.with_defaults()
+        assert registry.level_for(make_record("/photos/x.jpg")) is (
+            ToleranceLevel.DEFAULT
+        )
+
+    def test_empty_prefix_rejected(self):
+        with pytest.raises(ValueError):
+            ToleranceRegistry().declare("", "x", ToleranceLevel.DEFAULT)
+
+
+class TestHintAdjustment:
+    def test_intolerant_pins_to_sys(self):
+        """The bank app's files never demote, whatever the model says."""
+        registry = ToleranceRegistry.with_defaults()
+        record = make_record("/data/bank/statement.pdf")
+        demote = PlacementHint(1, Placement.SPARE, confidence=0.99)
+        adjusted = registry.apply(record, demote)
+        assert adjusted.placement is Placement.SYS
+        assert adjusted.confidence == 1.0
+
+    def test_tolerant_bypasses_conservatism_gate(self):
+        registry = ToleranceRegistry.with_defaults()
+        record = make_record("/cache/social/feed42")
+        weak_demote = PlacementHint(1, Placement.SPARE, confidence=0.4)
+        adjusted = registry.apply(record, weak_demote)
+        assert adjusted.placement is Placement.SPARE
+        assert adjusted.confidence == 1.0
+
+    def test_tolerant_never_blocks_promotion(self):
+        registry = ToleranceRegistry.with_defaults()
+        record = make_record("/cache/social/feed42")
+        promote = PlacementHint(1, Placement.SYS, confidence=0.9)
+        assert registry.apply(record, promote) == promote
+
+    def test_default_passes_through(self):
+        registry = ToleranceRegistry.with_defaults()
+        record = make_record("/photos/x.jpg")
+        hint = PlacementHint(1, Placement.SPARE, confidence=0.7)
+        assert registry.apply(record, hint) == hint
+
+
+class TestEndToEnd:
+    def test_daemon_honours_declarations(self):
+        device = SOSDevice(default_config(seed=71, geometry=GEOM))
+        device.daemon.tolerance = ToleranceRegistry.with_defaults()
+        junk_attrs = FileAttributes(is_screenshot=True, duplicate_count=4)
+        bank = device.create_file("/data/bank/statement.pdf",
+                                  FileKind.DOCUMENT, 900, attributes=junk_attrs)
+        social = device.create_file("/cache/social/feed", FileKind.DOWNLOAD,
+                                    900, attributes=junk_attrs)
+        device.advance_time(0.1)
+        device.run_daemon()
+        assert device.placement.placement_of(bank) is Placement.SYS
+        assert device.placement.placement_of(social) is Placement.SPARE

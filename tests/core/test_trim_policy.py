@@ -1,0 +1,116 @@
+"""Trim policy: §4.5's auto-delete fallback."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.classify.auto_delete import train_auto_delete
+from repro.classify.corpus import CorpusConfig, generate_corpus
+from repro.core.trim_policy import TrimMode, TrimPolicy
+from repro.host.files import FileAttributes, FileKind
+from repro.host.filesystem import FileSystem
+
+
+class ShrinkableBlockLayer:
+    """Fake device whose capacity can shrink (worn blocks retiring)."""
+
+    def __init__(self, capacity_pages=200, page_bytes=64):
+        self.page_bytes = page_bytes
+        self._capacity = capacity_pages
+        self.pages = {}
+
+    def write_page(self, lpn, payload, file=None):
+        self.pages[lpn] = bytes(payload)
+
+    def read_page(self, lpn):
+        return self.pages[lpn]
+
+    def trim_page(self, lpn):
+        self.pages.pop(lpn, None)
+
+    def capacity_pages(self):
+        return self._capacity
+
+    def shrink(self, pages):
+        self._capacity -= pages
+
+
+@pytest.fixture(scope="module")
+def predictor():
+    corpus = generate_corpus(CorpusConfig(n_files=2000), seed=31)
+    pred, _ = train_auto_delete(corpus, now_years=2.0, seed=31)
+    return pred
+
+
+@pytest.fixture
+def fs_with_files(predictor):
+    fs = FileSystem(ShrinkableBlockLayer())
+    fs.advance_time(2.0)
+    # a few keepers and a lot of junk
+    for i in range(5):
+        fs.create(
+            f"/keep{i}", FileKind.PHOTO, 64 * 8,
+            attributes=FileAttributes(
+                created_years=1.5, last_access_years=2.0, user_favorite=True,
+                has_known_faces=True, access_count=100,
+            ),
+        )
+    for i in range(15):
+        fs.create(
+            f"/junk{i}", FileKind.DOWNLOAD, 64 * 8,
+            attributes=FileAttributes(
+                created_years=0.1, last_access_years=0.2, duplicate_count=3,
+                access_count=1,
+            ),
+        )
+    return fs
+
+
+class TestTriggering:
+    def test_no_pressure_no_action(self, fs_with_files, predictor):
+        policy = TrimPolicy(fs_with_files, predictor, free_target=0.03)
+        assert policy.enforce() is None
+        assert policy.mode is TrimMode.DEGRADATION_ONLY
+
+    def test_capacity_shrink_triggers_trim(self, fs_with_files, predictor):
+        """§4.5: worn-out blocks shrink capacity; SOS deletes until ~3%
+        of capacity is free, then resumes degradation-only mode."""
+        fs = fs_with_files
+        policy = TrimPolicy(fs, predictor, free_target=0.03)
+        fs.block_layer.shrink(45)  # 200 -> 155, live = 160 pages
+        event = policy.enforce()
+        assert event is not None
+        assert event.files_deleted > 0
+        target = policy.headroom_pages_needed()
+        assert fs.free_pages() >= target
+        assert policy.mode is TrimMode.DEGRADATION_ONLY
+
+    def test_junk_deleted_before_keepers(self, fs_with_files, predictor):
+        fs = fs_with_files
+        policy = TrimPolicy(fs, predictor, free_target=0.03)
+        fs.block_layer.shrink(45)
+        policy.enforce()
+        live_paths = {r.path for r in fs.live_files()}
+        assert all(f"/keep{i}" in live_paths for i in range(5))
+
+    def test_trim_stops_as_soon_as_target_met(self, fs_with_files, predictor):
+        fs = fs_with_files
+        policy = TrimPolicy(fs, predictor, free_target=0.03)
+        fs.block_layer.shrink(45)
+        event = policy.enforce()
+        # one junk file = 8 pages; deficit 160-155+~4target = ~9 pages
+        assert event.files_deleted <= 3
+
+    def test_events_recorded(self, fs_with_files, predictor):
+        fs = fs_with_files
+        policy = TrimPolicy(fs, predictor, free_target=0.03)
+        fs.block_layer.shrink(45)
+        policy.enforce()
+        assert len(policy.events) == 1
+        assert policy.events[0].at_years == 2.0
+
+
+class TestValidation:
+    def test_invalid_target_rejected(self, fs_with_files, predictor):
+        with pytest.raises(ValueError):
+            TrimPolicy(fs_with_files, predictor, free_target=0.0)

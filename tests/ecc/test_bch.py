@@ -1,0 +1,119 @@
+"""BCH codec: roundtrips, correction capability, failure detection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ecc.bch import BCHCode, DecodeFailure
+
+CODE = BCHCode(m=6, t=3)  # n=63, k=45
+
+
+def random_data(rng, code=CODE):
+    return rng.integers(0, 2, size=code.k).astype(np.uint8)
+
+
+class TestConstruction:
+    def test_parameters(self):
+        assert CODE.n == 63
+        assert CODE.k == 45
+        assert CODE.n_parity == 18
+
+    def test_generator_divides_xn_minus_1(self):
+        """The generator of a cyclic code must divide x^n + 1 over GF(2)."""
+        gen = CODE.generator
+        # synthetic division of x^63 + 1 by gen, over GF(2)
+        dividend = [0] * 64
+        dividend[0] = 1
+        dividend[63] = 1
+        rem = dividend[:]
+        for i in range(63, len(gen) - 2, -1):
+            if rem[i]:
+                shift = i - (len(gen) - 1)
+                for j, g in enumerate(gen):
+                    rem[shift + j] ^= g
+        assert not any(rem)
+
+    def test_maximal_t_leaves_single_data_bit(self):
+        """BCH(15) with all conjugacy classes in the generator: k = 1."""
+        code = BCHCode(m=4, t=4)
+        assert code.k >= 1
+        assert code.k < 5  # nearly all bits are parity
+
+    def test_t_must_be_positive(self):
+        with pytest.raises(ValueError):
+            BCHCode(m=6, t=0)
+
+
+class TestRoundtrip:
+    def test_clean_roundtrip(self, rng):
+        data = random_data(rng)
+        result = CODE.decode(CODE.encode(data))
+        assert np.array_equal(result.data_bits, data)
+        assert result.corrected_errors == 0
+
+    def test_systematic_layout(self, rng):
+        data = random_data(rng)
+        cw = CODE.encode(data)
+        assert np.array_equal(cw[CODE.n_parity:], data)
+
+    def test_wrong_data_length_rejected(self):
+        with pytest.raises(ValueError):
+            CODE.encode(np.zeros(CODE.k + 1, dtype=np.uint8))
+        with pytest.raises(ValueError):
+            CODE.decode(np.zeros(CODE.n + 1, dtype=np.uint8))
+
+    @given(nerrors=st.integers(min_value=1, max_value=3), seed=st.integers(0, 1000))
+    @settings(max_examples=60, deadline=None)
+    def test_corrects_up_to_t_errors(self, nerrors, seed):
+        rng = np.random.default_rng(seed)
+        data = random_data(rng)
+        cw = CODE.encode(data)
+        positions = rng.choice(CODE.n, size=nerrors, replace=False)
+        rx = cw.copy()
+        for p in positions:
+            rx[p] ^= 1
+        result = CODE.decode(rx)
+        assert np.array_equal(result.data_bits, data)
+        assert result.corrected_errors == nerrors
+
+    def test_all_zero_and_all_one_data(self):
+        for data in (np.zeros(CODE.k, np.uint8), np.ones(CODE.k, np.uint8)):
+            cw = CODE.encode(data)
+            cw[5] ^= 1
+            cw[40] ^= 1
+            result = CODE.decode(cw)
+            assert np.array_equal(result.data_bits, data)
+
+
+class TestBeyondCapability:
+    def test_many_errors_never_silently_return_valid_flag(self, rng):
+        """With >> t errors the decoder must raise or miscorrect to a
+        *different* codeword -- never return the original data."""
+        failures = 0
+        miscorrections = 0
+        for trial in range(30):
+            data = random_data(rng)
+            cw = CODE.encode(data)
+            rx = cw.copy()
+            for p in rng.choice(CODE.n, size=9, replace=False):
+                rx[p] ^= 1
+            try:
+                result = CODE.decode(rx)
+                if not np.array_equal(result.data_bits, data):
+                    miscorrections += 1
+            except DecodeFailure:
+                failures += 1
+        assert failures + miscorrections >= 28  # recovery is vanishingly rare
+
+    def test_stronger_code_corrects_more(self, rng):
+        strong = BCHCode(m=8, t=8)
+        data = rng.integers(0, 2, size=strong.k).astype(np.uint8)
+        cw = strong.encode(data)
+        rx = cw.copy()
+        for p in rng.choice(strong.n, size=8, replace=False):
+            rx[p] ^= 1
+        assert np.array_equal(strong.decode(rx).data_bits, data)

@@ -1,0 +1,83 @@
+"""Property-based page-codec tests: correction guarantees under random
+error patterns bounded by each code's design strength."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ecc.page_codec import PageCodec
+from repro.ecc.policy import POLICIES, ProtectionLevel
+
+PAGE = 512
+
+STRONG = PageCodec(POLICIES[ProtectionLevel.STRONG], PAGE)
+WEAK = PageCodec(POLICIES[ProtectionLevel.WEAK], PAGE)
+NONE = PageCodec(POLICIES[ProtectionLevel.NONE], PAGE)
+
+
+def _flip(page: bytes, bit_positions: list[int]) -> bytes:
+    bits = np.unpackbits(np.frombuffer(page, dtype=np.uint8))
+    for pos in bit_positions:
+        bits[pos] ^= 1
+    return np.packbits(bits).tobytes()
+
+
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    errors_per_codeword=st.integers(min_value=0, max_value=8),
+)
+@settings(max_examples=25, deadline=None)
+def test_strong_corrects_any_within_t_pattern(seed, errors_per_codeword):
+    """<= t errors per 1023-bit codeword always decode bit-exact."""
+    rng = np.random.default_rng(seed)
+    payload = rng.bytes(STRONG.payload_bytes)
+    page = STRONG.encode(payload)
+    n = 1023
+    positions = []
+    codewords = (PAGE * 8) // n
+    for cw in range(codewords):
+        offsets = rng.choice(n, size=errors_per_codeword, replace=False)
+        positions.extend(int(cw * n + off) for off in offsets)
+    result = STRONG.decode(_flip(page, positions))
+    assert result.payload == payload
+    assert result.clean
+
+
+@given(seed=st.integers(0, 2**32 - 1))
+@settings(max_examples=25, deadline=None)
+def test_weak_corrects_one_per_codeword(seed):
+    rng = np.random.default_rng(seed)
+    payload = rng.bytes(WEAK.payload_bytes)
+    page = WEAK.encode(payload)
+    n = 64
+    positions = [int(cw * n + rng.integers(0, n)) for cw in range((PAGE * 8) // n)]
+    result = WEAK.decode(_flip(page, positions))
+    assert result.payload == payload
+
+
+@given(seed=st.integers(0, 2**32 - 1), nflips=st.integers(1, 64))
+@settings(max_examples=25, deadline=None)
+def test_none_payload_errors_equal_page_errors(seed, nflips):
+    """No ECC: flipped bits appear verbatim in the payload."""
+    rng = np.random.default_rng(seed)
+    payload = rng.bytes(NONE.payload_bytes)
+    page = NONE.encode(payload)
+    positions = sorted(
+        int(p) for p in rng.choice(PAGE * 8, size=nflips, replace=False)
+    )
+    result = NONE.decode(_flip(page, positions))
+    delivered_flips = sum(
+        (a ^ b).bit_count() for a, b in zip(result.payload, payload)
+    )
+    assert delivered_flips == len(set(positions))
+
+
+@given(seed=st.integers(0, 2**32 - 1))
+@settings(max_examples=15, deadline=None)
+def test_roundtrip_identity_for_all_policies(seed):
+    rng = np.random.default_rng(seed)
+    for codec in (STRONG, WEAK, NONE):
+        payload = rng.bytes(codec.payload_bytes)
+        assert codec.decode(codec.encode(payload)).payload == payload

@@ -1,0 +1,107 @@
+"""Analytic ECC failure model: shapes, edge cases, known values."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ecc.model import (
+    CodewordSpec,
+    codeword_failure_prob,
+    page_failure_prob,
+    residual_ber,
+)
+
+SPEC = CodewordSpec(n=1023, k=943, t=8)
+
+
+class TestCodewordSpec:
+    def test_overhead(self):
+        assert SPEC.overhead == pytest.approx(80 / 943)
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(ValueError):
+            CodewordSpec(n=10, k=11, t=1)
+        with pytest.raises(ValueError):
+            CodewordSpec(n=10, k=0, t=1)
+        with pytest.raises(ValueError):
+            CodewordSpec(n=10, k=5, t=-1)
+
+
+class TestCodewordFailure:
+    def test_zero_rber_never_fails(self):
+        assert codeword_failure_prob(SPEC, 0.0) == 0.0
+
+    def test_certain_errors_always_fail(self):
+        assert codeword_failure_prob(SPEC, 1.0) == pytest.approx(1.0)
+
+    def test_monotone_in_rber(self):
+        probs = [codeword_failure_prob(SPEC, r) for r in (1e-5, 1e-4, 1e-3, 1e-2)]
+        assert probs == sorted(probs)
+
+    def test_stronger_code_fails_less(self):
+        weak = CodewordSpec(n=1023, k=1003, t=2)
+        assert codeword_failure_prob(SPEC, 1e-3) < codeword_failure_prob(weak, 1e-3)
+
+    def test_invalid_rber_rejected(self):
+        with pytest.raises(ValueError):
+            codeword_failure_prob(SPEC, -0.1)
+        with pytest.raises(ValueError):
+            codeword_failure_prob(SPEC, 1.1)
+
+    def test_known_value_binomial_tail(self):
+        """t=0 reduces to 1 - (1-p)^n exactly."""
+        spec = CodewordSpec(n=100, k=100, t=0)
+        p = 1e-3
+        expected = 1.0 - (1.0 - p) ** 100
+        assert codeword_failure_prob(spec, p) == pytest.approx(expected, rel=1e-9)
+
+
+class TestPageFailure:
+    def test_more_codewords_fail_more(self):
+        p1 = page_failure_prob(SPEC, 1e-3, codewords_per_page=1)
+        p4 = page_failure_prob(SPEC, 1e-3, codewords_per_page=4)
+        assert p4 > p1
+        # union bound
+        assert p4 <= 4 * p1 + 1e-12
+
+    def test_single_codeword_matches_codeword_prob(self):
+        assert page_failure_prob(SPEC, 1e-3, 1) == pytest.approx(
+            codeword_failure_prob(SPEC, 1e-3), rel=1e-9
+        )
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(ValueError):
+            page_failure_prob(SPEC, 1e-3, 0)
+
+    def test_accurate_for_tiny_probabilities(self):
+        """log1p path must not underflow to zero for small p."""
+        p = page_failure_prob(SPEC, 1e-4, 4)
+        assert 0 < p < 1e-6
+
+
+class TestResidualBer:
+    def test_no_ecc_passes_rber_through(self):
+        spec = CodewordSpec(n=1024, k=1024, t=0)
+        assert residual_ber(spec, 3e-4) == 3e-4
+
+    def test_strong_ecc_suppresses_low_rber(self):
+        assert residual_ber(SPEC, 1e-4) < 1e-8
+
+    def test_residual_never_exceeds_raw(self):
+        for rber in (1e-5, 1e-4, 1e-3, 1e-2, 0.1):
+            assert residual_ber(SPEC, rber) <= rber + 1e-15
+
+    def test_residual_approaches_raw_at_high_rber(self):
+        """When every codeword fails, errors pass through ~unfiltered."""
+        assert residual_ber(SPEC, 0.1) == pytest.approx(0.1, rel=0.05)
+
+    @given(rber=st.floats(min_value=1e-6, max_value=0.3))
+    @settings(max_examples=80, deadline=None)
+    def test_residual_is_valid_probability(self, rber):
+        r = residual_ber(SPEC, rber)
+        assert 0.0 <= r <= 0.5
+        assert math.isfinite(r)

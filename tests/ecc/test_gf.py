@@ -1,0 +1,122 @@
+"""Field axioms and polynomial machinery for GF(2^m)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ecc.gf import GF2m
+
+FIELD = GF2m(8)
+elements = st.integers(min_value=0, max_value=FIELD.size - 1)
+nonzero = st.integers(min_value=1, max_value=FIELD.size - 1)
+
+
+class TestConstruction:
+    def test_supported_sizes(self):
+        for m in range(3, 11):
+            field = GF2m(m)
+            assert field.size == 1 << m
+
+    def test_unsupported_size_rejected(self):
+        with pytest.raises(ValueError):
+            GF2m(2)
+        with pytest.raises(ValueError):
+            GF2m(11)
+
+    def test_exp_log_are_inverse(self):
+        for x in range(1, FIELD.size):
+            assert FIELD.alpha_pow(FIELD.log(x)) == x
+
+
+class TestAxioms:
+    @given(a=elements, b=elements, c=elements)
+    @settings(max_examples=200, deadline=None)
+    def test_multiplication_associative(self, a, b, c):
+        assert FIELD.mul(FIELD.mul(a, b), c) == FIELD.mul(a, FIELD.mul(b, c))
+
+    @given(a=elements, b=elements)
+    @settings(max_examples=200, deadline=None)
+    def test_multiplication_commutative(self, a, b):
+        assert FIELD.mul(a, b) == FIELD.mul(b, a)
+
+    @given(a=elements, b=elements, c=elements)
+    @settings(max_examples=200, deadline=None)
+    def test_distributivity(self, a, b, c):
+        left = FIELD.mul(a, FIELD.add(b, c))
+        right = FIELD.add(FIELD.mul(a, b), FIELD.mul(a, c))
+        assert left == right
+
+    @given(a=nonzero)
+    @settings(max_examples=100, deadline=None)
+    def test_inverse(self, a):
+        assert FIELD.mul(a, FIELD.inv(a)) == 1
+
+    @given(a=elements)
+    @settings(max_examples=50, deadline=None)
+    def test_additive_self_inverse(self, a):
+        assert FIELD.add(a, a) == 0
+
+    @given(a=nonzero, b=nonzero)
+    @settings(max_examples=100, deadline=None)
+    def test_division_inverts_multiplication(self, a, b):
+        assert FIELD.div(FIELD.mul(a, b), b) == a
+
+    def test_zero_division_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            FIELD.div(1, 0)
+        with pytest.raises(ZeroDivisionError):
+            FIELD.inv(0)
+
+
+class TestPow:
+    @given(a=nonzero, n=st.integers(min_value=-10, max_value=10))
+    @settings(max_examples=100, deadline=None)
+    def test_pow_matches_repeated_multiplication(self, a, n):
+        if n >= 0:
+            expected = 1
+            for _ in range(n):
+                expected = FIELD.mul(expected, a)
+        else:
+            inv = FIELD.inv(a)
+            expected = 1
+            for _ in range(-n):
+                expected = FIELD.mul(expected, inv)
+        assert FIELD.pow(a, n) == expected
+
+    def test_zero_pow(self):
+        assert FIELD.pow(0, 0) == 1
+        assert FIELD.pow(0, 3) == 0
+        with pytest.raises(ZeroDivisionError):
+            FIELD.pow(0, -1)
+
+
+class TestMinimalPolynomial:
+    def test_minimal_poly_annihilates_element(self):
+        for i in (1, 2, 5, 100):
+            element = FIELD.alpha_pow(i)
+            poly = FIELD.minimal_polynomial(element)
+            assert FIELD.poly_eval(poly, element) == 0
+
+    def test_minimal_poly_has_binary_coefficients(self):
+        poly = FIELD.minimal_polynomial(FIELD.alpha_pow(3))
+        assert all(c in (0, 1) for c in poly)
+
+    def test_minimal_poly_of_zero_is_x(self):
+        assert FIELD.minimal_polynomial(0) == [0, 1]
+
+    def test_conjugates_share_minimal_polynomial(self):
+        e = FIELD.alpha_pow(7)
+        conj = FIELD.mul(e, e)
+        assert FIELD.minimal_polynomial(e) == FIELD.minimal_polynomial(conj)
+
+
+class TestPolyMul:
+    def test_poly_mul_identity(self):
+        p = [3, 1, 4]
+        assert FIELD.poly_mul(p, [1]) == p
+
+    def test_poly_mul_degree_adds(self):
+        a, b = [1, 1], [1, 0, 1]
+        assert len(FIELD.poly_mul(a, b)) == len(a) + len(b) - 1

@@ -1,0 +1,67 @@
+"""Extended Hamming SEC-DED behaviour."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ecc.hamming import HammingSecDed
+
+CODE = HammingSecDed(r=4)  # n=16, k=11
+
+
+class TestShape:
+    def test_parameters(self):
+        assert CODE.n == 16
+        assert CODE.k == 11
+
+    def test_r6_matches_weak_policy_spec(self):
+        code = HammingSecDed(r=6)
+        assert code.n == 64
+        assert code.k == 57
+
+    def test_too_small_r_rejected(self):
+        with pytest.raises(ValueError):
+            HammingSecDed(r=1)
+
+    def test_wrong_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            CODE.encode(np.zeros(5, np.uint8))
+        with pytest.raises(ValueError):
+            CODE.decode(np.zeros(5, np.uint8))
+
+
+class TestCorrection:
+    @given(pos=st.integers(min_value=0, max_value=15), seed=st.integers(0, 500))
+    @settings(max_examples=80, deadline=None)
+    def test_corrects_any_single_error(self, pos, seed):
+        rng = np.random.default_rng(seed)
+        data = rng.integers(0, 2, size=CODE.k).astype(np.uint8)
+        cw = CODE.encode(data)
+        rx = cw.copy()
+        rx[pos] ^= 1
+        result = CODE.decode(rx)
+        assert np.array_equal(result.data_bits, data)
+        assert result.corrected
+        assert not result.detected_uncorrectable
+
+    def test_clean_word_decodes_without_correction(self, rng):
+        data = rng.integers(0, 2, size=CODE.k).astype(np.uint8)
+        result = CODE.decode(CODE.encode(data))
+        assert np.array_equal(result.data_bits, data)
+        assert not result.corrected
+
+    @given(seed=st.integers(0, 500))
+    @settings(max_examples=60, deadline=None)
+    def test_detects_double_errors(self, seed):
+        rng = np.random.default_rng(seed)
+        data = rng.integers(0, 2, size=CODE.k).astype(np.uint8)
+        cw = CODE.encode(data)
+        p1, p2 = rng.choice(CODE.n, size=2, replace=False)
+        rx = cw.copy()
+        rx[p1] ^= 1
+        rx[p2] ^= 1
+        result = CODE.decode(rx)
+        assert result.detected_uncorrectable

@@ -1,0 +1,63 @@
+"""Cross-validation: the analytic failure model vs the bit-exact codec.
+
+The lifetime simulator trusts :func:`codeword_failure_prob` to stand in
+for actually running BCH decodes.  Here we Monte-Carlo the real codec at
+an RBER where failures are common enough to measure and check the
+analytic prediction lands within sampling error.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ecc.bch import BCHCode, DecodeFailure
+from repro.ecc.model import CodewordSpec, codeword_failure_prob
+
+
+@pytest.mark.parametrize("rber,trials", [(0.02, 400)])
+def test_analytic_failure_matches_monte_carlo(rber, trials):
+    code = BCHCode(m=6, t=3)  # n=63: small enough for many trials
+    spec = CodewordSpec(n=code.n, k=code.k, t=code.t)
+    rng = np.random.default_rng(7)
+    failures = 0
+    for _ in range(trials):
+        data = rng.integers(0, 2, size=code.k).astype(np.uint8)
+        cw = code.encode(data)
+        flips = rng.random(code.n) < rber
+        rx = cw ^ flips.astype(np.uint8)
+        nerrors = int(flips.sum())
+        try:
+            result = code.decode(rx)
+            # a "success" with wrong data is a miscorrection = failure
+            if not np.array_equal(result.data_bits, data):
+                failures += 1
+            elif nerrors > code.t:
+                # lucky alias: counts as failure per the analytic model
+                failures += 1
+        except DecodeFailure:
+            failures += 1
+    observed = failures / trials
+    predicted = codeword_failure_prob(spec, rber)
+    # binomial sampling error: 3 sigma
+    sigma = (predicted * (1 - predicted) / trials) ** 0.5
+    assert abs(observed - predicted) <= max(3 * sigma, 0.03)
+
+
+def test_decoder_success_boundary_is_exactly_t():
+    """Deterministic check: exactly t errors decode, t+1 do not (for a
+    pattern that does not alias to within-t of another codeword)."""
+    code = BCHCode(m=6, t=3)
+    rng = np.random.default_rng(11)
+    data = rng.integers(0, 2, size=code.k).astype(np.uint8)
+    cw = code.encode(data)
+    rx = cw.copy()
+    for p in (1, 20, 40):
+        rx[p] ^= 1
+    assert np.array_equal(code.decode(rx).data_bits, data)
+    rx[55] ^= 1  # 4th error
+    try:
+        result = code.decode(rx)
+        assert not np.array_equal(result.data_bits, data)
+    except DecodeFailure:
+        pass

@@ -1,0 +1,102 @@
+"""Page-level encode/decode through each protection policy."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ecc.page_codec import PageCodec
+from repro.ecc.policy import POLICIES, ProtectionLevel
+
+PAGE = 512
+
+
+@pytest.fixture(params=list(ProtectionLevel))
+def codec(request) -> PageCodec:
+    return PageCodec(POLICIES[request.param], PAGE)
+
+
+class TestRoundtrip:
+    def test_clean_roundtrip(self, codec, rng):
+        payload = rng.bytes(codec.payload_bytes)
+        page = codec.encode(payload)
+        assert len(page) == PAGE
+        result = codec.decode(page)
+        assert result.payload == payload
+        assert result.clean
+
+    def test_short_payload_padded(self, codec):
+        result = codec.decode(codec.encode(b"abc"))
+        assert result.payload[:3] == b"abc"
+        assert result.payload[3:] == b"\x00" * (codec.payload_bytes - 3)
+
+    def test_oversized_payload_rejected(self, codec):
+        with pytest.raises(ValueError):
+            codec.encode(b"x" * (codec.payload_bytes + 1))
+
+    def test_wrong_page_size_rejected(self, codec):
+        with pytest.raises(ValueError):
+            codec.decode(b"x" * (PAGE - 1))
+
+
+class TestCapacities:
+    def test_none_policy_has_full_capacity(self):
+        codec = PageCodec(POLICIES[ProtectionLevel.NONE], PAGE)
+        assert codec.payload_bytes == PAGE
+
+    def test_protected_policies_pay_overhead(self):
+        for level in (ProtectionLevel.WEAK, ProtectionLevel.STRONG):
+            codec = PageCodec(POLICIES[level], PAGE)
+            assert codec.payload_bytes < PAGE
+
+    def test_page_too_small_for_codeword_rejected(self):
+        with pytest.raises(ValueError):
+            PageCodec(POLICIES[ProtectionLevel.STRONG], page_size_bytes=64)
+
+
+class TestErrorHandling:
+    def _flip_bits(self, page: bytes, positions: list[int]) -> bytes:
+        arr = bytearray(page)
+        for pos in positions:
+            arr[pos >> 3] ^= 1 << (7 - (pos & 7))  # matches np.unpackbits order
+        return bytes(arr)
+
+    def test_strong_corrects_scattered_errors(self, rng):
+        codec = PageCodec(POLICIES[ProtectionLevel.STRONG], PAGE)
+        payload = rng.bytes(codec.payload_bytes)
+        page = codec.encode(payload)
+        # a few flips per codeword region
+        noisy = self._flip_bits(page, [10, 500, 1100, 2000, 3000])
+        result = codec.decode(noisy)
+        assert result.payload == payload
+        assert result.corrected_bits >= 5 - 1  # flips may land in padding
+        assert result.clean
+
+    def test_weak_corrects_one_per_codeword_only(self, rng):
+        codec = PageCodec(POLICIES[ProtectionLevel.WEAK], PAGE)
+        payload = rng.bytes(codec.payload_bytes)
+        page = codec.encode(payload)
+        # two flips inside the FIRST 64-bit codeword
+        noisy = self._flip_bits(page, [3, 17])
+        result = codec.decode(noisy)
+        assert result.uncorrectable_codewords == 1
+        assert not result.clean
+
+    def test_none_passes_errors_through(self, rng):
+        codec = PageCodec(POLICIES[ProtectionLevel.NONE], PAGE)
+        payload = rng.bytes(codec.payload_bytes)
+        page = codec.encode(payload)
+        noisy = self._flip_bits(page, [0])
+        result = codec.decode(noisy)
+        assert result.payload != payload
+        assert result.clean  # no ECC = nothing to fail
+
+    def test_strong_beyond_capability_passes_best_effort(self, rng):
+        codec = PageCodec(POLICIES[ProtectionLevel.STRONG], PAGE)
+        payload = rng.bytes(codec.payload_bytes)
+        page = codec.encode(payload)
+        # 30 flips inside the first 1023-bit codeword: beyond t=8
+        noisy = self._flip_bits(page, list(range(50, 1000, 32)))
+        result = codec.decode(noisy)
+        assert result.uncorrectable_codewords >= 1
+        assert len(result.payload) == codec.payload_bytes

@@ -1,0 +1,64 @@
+"""Protection policy semantics and spec/codec consistency."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ecc.bch import BCHCode
+from repro.ecc.hamming import HammingSecDed
+from repro.ecc.policy import POLICIES, ProtectionLevel
+
+
+class TestPolicyTable:
+    def test_all_levels_present(self):
+        assert set(POLICIES) == set(ProtectionLevel)
+
+    def test_weak_spec_matches_its_codec(self):
+        policy = POLICIES[ProtectionLevel.WEAK]
+        codec = policy.make_codec()
+        assert isinstance(codec, HammingSecDed)
+        assert (codec.n, codec.k) == (policy.spec.n, policy.spec.k)
+
+    def test_strong_spec_matches_its_codec(self):
+        policy = POLICIES[ProtectionLevel.STRONG]
+        codec = policy.make_codec()
+        assert isinstance(codec, BCHCode)
+        assert (codec.n, codec.k, codec.t) == (
+            policy.spec.n,
+            policy.spec.k,
+            policy.spec.t,
+        )
+
+    def test_none_has_no_codec(self):
+        assert POLICIES[ProtectionLevel.NONE].make_codec() is None
+
+    def test_only_strong_has_block_parity(self):
+        assert POLICIES[ProtectionLevel.STRONG].block_parity
+        assert not POLICIES[ProtectionLevel.WEAK].block_parity
+        assert not POLICIES[ProtectionLevel.NONE].block_parity
+
+
+class TestPolicyMath:
+    def test_none_never_reports_page_failure(self):
+        policy = POLICIES[ProtectionLevel.NONE]
+        assert policy.page_failure_prob(0.01, page_bits=4096) == 0.0
+
+    def test_failure_ordering_weak_vs_strong(self):
+        """At moderate RBER the strong code must fail (much) less."""
+        rber = 2e-3
+        weak = POLICIES[ProtectionLevel.WEAK].page_failure_prob(rber, 4096)
+        strong = POLICIES[ProtectionLevel.STRONG].page_failure_prob(rber, 4096)
+        assert strong < weak
+
+    def test_residual_ordering(self):
+        rber = 1e-3
+        residuals = {
+            level: POLICIES[level].residual_ber(rber) for level in ProtectionLevel
+        }
+        assert residuals[ProtectionLevel.STRONG] < residuals[ProtectionLevel.WEAK]
+        assert residuals[ProtectionLevel.WEAK] < residuals[ProtectionLevel.NONE]
+        assert residuals[ProtectionLevel.NONE] == rber
+
+    def test_capacity_overhead_ordering(self):
+        assert POLICIES[ProtectionLevel.NONE].capacity_overhead == 0.0
+        assert POLICIES[ProtectionLevel.STRONG].capacity_overhead > 0.0

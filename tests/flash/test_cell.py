@@ -1,0 +1,80 @@
+"""Cell technology and pseudo-mode semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.flash.cell import CellMode, CellTechnology, native_mode, pseudo_mode
+
+
+class TestCellTechnology:
+    def test_bits_per_cell_match_names(self):
+        assert CellTechnology.SLC.bits_per_cell == 1
+        assert CellTechnology.MLC.bits_per_cell == 2
+        assert CellTechnology.TLC.bits_per_cell == 3
+        assert CellTechnology.QLC.bits_per_cell == 4
+        assert CellTechnology.PLC.bits_per_cell == 5
+
+    def test_levels_are_powers_of_two(self):
+        for tech in CellTechnology:
+            assert tech.levels == 2**tech.bits_per_cell
+
+    def test_density_gain_qlc_over_tlc_is_33_percent(self):
+        """§4.1: 'Improving TLC density by 33% (QLC)'."""
+        gain = CellTechnology.QLC.density_gain_over(CellTechnology.TLC)
+        assert gain == pytest.approx(1 / 3)
+
+    def test_density_gain_plc_over_tlc_is_66_percent(self):
+        """§4.1: '... and 66% (PLC)'."""
+        gain = CellTechnology.PLC.density_gain_over(CellTechnology.TLC)
+        assert gain == pytest.approx(2 / 3)
+
+    def test_density_gain_is_antisymmetric_in_sign(self):
+        assert CellTechnology.TLC.density_gain_over(CellTechnology.PLC) < 0
+
+
+class TestCellMode:
+    def test_native_mode_is_not_pseudo(self):
+        mode = native_mode(CellTechnology.QLC)
+        assert not mode.is_pseudo
+        assert mode.operating_bits == 4
+
+    def test_pseudo_mode_is_pseudo(self):
+        mode = pseudo_mode(CellTechnology.PLC, 4)
+        assert mode.is_pseudo
+        assert mode.name == "pQLC(PLC)"
+
+    def test_pseudo_mode_rejects_native_density(self):
+        with pytest.raises(ValueError):
+            pseudo_mode(CellTechnology.PLC, 5)
+
+    def test_mode_rejects_overdense_operation(self):
+        with pytest.raises(ValueError):
+            CellMode(CellTechnology.TLC, 4)
+
+    def test_mode_rejects_zero_bits(self):
+        with pytest.raises(ValueError):
+            CellMode(CellTechnology.TLC, 0)
+
+    def test_margin_factor_doubles_per_dropped_bit(self):
+        assert native_mode(CellTechnology.PLC).margin_factor == 1.0
+        assert pseudo_mode(CellTechnology.PLC, 4).margin_factor == 2.0
+        assert pseudo_mode(CellTechnology.PLC, 3).margin_factor == 4.0
+        assert pseudo_mode(CellTechnology.PLC, 1).margin_factor == 16.0
+
+    def test_capacity_fraction(self):
+        assert pseudo_mode(CellTechnology.PLC, 4).capacity_fraction() == pytest.approx(0.8)
+        assert native_mode(CellTechnology.TLC).capacity_fraction() == 1.0
+
+    def test_pseudo_qlc_on_plc_vs_native_qlc_capacity(self):
+        """Pseudo-QLC ships 4 bits/cell regardless of substrate."""
+        p = pseudo_mode(CellTechnology.PLC, 4)
+        n = native_mode(CellTechnology.QLC)
+        assert p.operating_bits == n.operating_bits
+
+    def test_modes_are_hashable_and_comparable(self):
+        a = pseudo_mode(CellTechnology.PLC, 4)
+        b = CellMode(CellTechnology.PLC, 4)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != native_mode(CellTechnology.PLC)

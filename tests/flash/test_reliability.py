@@ -1,0 +1,77 @@
+"""Endurance table consistency with the paper's cited ratios."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.flash.cell import CellTechnology, native_mode, pseudo_mode
+from repro.flash.reliability import (
+    ENDURANCE_TABLE,
+    RETENTION_SPEC_YEARS,
+    endurance_pec,
+    retention_years,
+)
+
+
+class TestEnduranceTable:
+    def test_slc_is_100k(self):
+        """§2.2: '~100K PEC for early-generation SLC'."""
+        assert ENDURANCE_TABLE[CellTechnology.SLC].rated_pec == 100_000
+
+    def test_qlc_is_1k(self):
+        """§2.2: '~1K PEC for QLC memory'."""
+        assert ENDURANCE_TABLE[CellTechnology.QLC].rated_pec == 1_000
+
+    def test_plc_vs_tlc_ratio_in_6_to_10_band(self):
+        """§4.2: PLC endurance ~6-10x below TLC."""
+        ratio = (
+            ENDURANCE_TABLE[CellTechnology.TLC].rated_pec
+            / ENDURANCE_TABLE[CellTechnology.PLC].rated_pec
+        )
+        assert 6 <= ratio <= 10
+
+    def test_plc_vs_qlc_ratio_is_2(self):
+        """§4.2: PLC endurance ~2x below QLC."""
+        ratio = (
+            ENDURANCE_TABLE[CellTechnology.QLC].rated_pec
+            / ENDURANCE_TABLE[CellTechnology.PLC].rated_pec
+        )
+        assert ratio == pytest.approx(2.0)
+
+    def test_endurance_strictly_decreases_with_density(self):
+        pecs = [ENDURANCE_TABLE[t].rated_pec for t in CellTechnology]
+        assert pecs == sorted(pecs, reverse=True)
+
+    def test_baseline_rber_increases_with_density(self):
+        rbers = [ENDURANCE_TABLE[t].baseline_rber for t in CellTechnology]
+        assert rbers == sorted(rbers)
+
+
+class TestPseudoModeEndurance:
+    def test_native_mode_matches_table(self):
+        for tech in CellTechnology:
+            assert endurance_pec(native_mode(tech)) == ENDURANCE_TABLE[tech].rated_pec
+
+    def test_pseudo_qlc_on_plc_near_native_qlc(self):
+        pec = endurance_pec(pseudo_mode(CellTechnology.PLC, 4))
+        native = ENDURANCE_TABLE[CellTechnology.QLC].rated_pec
+        assert 0.8 * native <= pec <= native
+
+    def test_pseudo_mode_beats_native_dense_mode(self):
+        """Operating PLC as pseudo-anything must beat native PLC endurance."""
+        native_plc = endurance_pec(native_mode(CellTechnology.PLC))
+        for bits in (1, 2, 3, 4):
+            assert endurance_pec(pseudo_mode(CellTechnology.PLC, bits)) > native_plc
+
+    def test_pseudo_endurance_monotone_in_dropped_bits(self):
+        pecs = [endurance_pec(pseudo_mode(CellTechnology.PLC, b)) for b in (4, 3, 2, 1)]
+        assert pecs == sorted(pecs)
+
+
+class TestRetention:
+    def test_retention_keyed_on_operating_bits(self):
+        assert retention_years(pseudo_mode(CellTechnology.PLC, 3)) == RETENTION_SPEC_YEARS[3]
+
+    def test_retention_decreases_with_density(self):
+        years = [RETENTION_SPEC_YEARS[b] for b in (1, 2, 3, 4, 5)]
+        assert years == sorted(years, reverse=True)

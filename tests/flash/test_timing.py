@@ -1,0 +1,93 @@
+"""Latency model: density scaling, retries, error-tolerant fast path."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.flash.cell import CellTechnology, native_mode, pseudo_mode
+from repro.flash.timing import TimingModel
+
+
+class TestDensityScaling:
+    def test_reads_slow_down_with_density(self):
+        reads = [
+            TimingModel(native_mode(t)).times().read_us
+            for t in (CellTechnology.SLC, CellTechnology.TLC, CellTechnology.PLC)
+        ]
+        assert reads == sorted(reads)
+
+    def test_programs_slow_down_with_density(self):
+        progs = [
+            TimingModel(native_mode(t)).times().program_us for t in CellTechnology
+        ]
+        assert progs == sorted(progs)
+
+    def test_pseudo_mode_gets_lower_density_speed(self):
+        """pseudo-QLC on PLC silicon performs like QLC, not like PLC."""
+        pseudo = TimingModel(pseudo_mode(CellTechnology.PLC, 4)).times()
+        qlc = TimingModel(native_mode(CellTechnology.QLC)).times()
+        plc = TimingModel(native_mode(CellTechnology.PLC)).times()
+        assert pseudo.read_us == qlc.read_us
+        assert pseudo.read_us < plc.read_us
+
+    def test_qlc_matches_early_tlc_class(self):
+        """§4.5: 'performance ... of recent QLC generations matches that
+        of early generation TLC memories' -- within ~3x of TLC here."""
+        qlc = TimingModel(native_mode(CellTechnology.QLC)).times()
+        tlc = TimingModel(native_mode(CellTechnology.TLC)).times()
+        assert qlc.read_us / tlc.read_us < 3.0
+
+    def test_erase_density_independent(self):
+        times = {TimingModel(native_mode(t)).times().erase_us for t in CellTechnology}
+        assert len(times) == 1
+
+
+class TestRetries:
+    def test_each_retry_adds_a_sense(self):
+        model = TimingModel(native_mode(CellTechnology.PLC))
+        base = model.read_with_retries(0)
+        assert model.read_with_retries(1) == pytest.approx(2 * base)
+
+    def test_soft_sensing_surcharge(self):
+        model = TimingModel(native_mode(CellTechnology.PLC))
+        assert model.read_with_retries(3) == pytest.approx(5 * model.read_with_retries(0))
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ValueError):
+            TimingModel(native_mode(CellTechnology.PLC)).read_with_retries(-1)
+
+
+class TestExpectedRead:
+    def test_error_tolerant_read_is_nominal(self):
+        """§4.5: error tolerance removes the retry path entirely."""
+        model = TimingModel(native_mode(CellTechnology.PLC))
+        slow = model.expected_read_us(page_failure_prob=0.5)
+        fast = model.expected_read_us(page_failure_prob=0.5, error_tolerant=True)
+        assert fast == model.times().read_us
+        assert fast < slow
+
+    def test_clean_pages_pay_no_retry_cost(self):
+        model = TimingModel(native_mode(CellTechnology.PLC))
+        assert model.expected_read_us(0.0) == pytest.approx(model.times().read_us)
+
+    def test_expected_latency_monotone_in_failure_prob(self):
+        model = TimingModel(native_mode(CellTechnology.PLC))
+        values = [model.expected_read_us(p) for p in (0.0, 0.1, 0.3, 0.7, 0.99)]
+        assert values == sorted(values)
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            TimingModel(native_mode(CellTechnology.PLC)).expected_read_us(1.5)
+
+
+class TestBandwidth:
+    def test_sequential_bandwidth_reasonable(self):
+        """PLC sequential reads should still stream media comfortably
+        (tens of MB/s minimum at modest queue depth)."""
+        plc = TimingModel(native_mode(CellTechnology.PLC)).times()
+        bw = plc.sequential_read_mbps(page_bytes=4096, queue_depth=4)
+        assert bw > 40.0
+
+    def test_queue_depth_raises_bandwidth(self):
+        plc = TimingModel(native_mode(CellTechnology.PLC)).times()
+        assert plc.sequential_read_mbps(4096, 8) > plc.sequential_read_mbps(4096, 1)

@@ -1,0 +1,103 @@
+"""Block health assessment: retire vs resuscitate (§4.3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.flash.block import Block
+from repro.flash.cell import CellTechnology, native_mode, pseudo_mode
+from repro.flash.error_model import ErrorModel
+from repro.flash.geometry import SMALL_GEOMETRY
+from repro.ftl.bad_blocks import BlockHealthPolicy, assess_block
+
+
+def plc_block(pec: int) -> Block:
+    block = Block(SMALL_GEOMETRY, native_mode(CellTechnology.PLC), np.random.default_rng(0))
+    block.pec = pec
+    return block
+
+
+RESUSCITATION = (
+    pseudo_mode(CellTechnology.PLC, 3),
+    pseudo_mode(CellTechnology.PLC, 1),
+)
+
+
+class TestHealthy:
+    def test_fresh_block_is_healthy(self):
+        policy = BlockHealthPolicy(max_rber=4e-4, retention_horizon_years=1.0)
+        verdict = assess_block(plc_block(0), policy)
+        assert verdict.healthy
+        assert verdict.resuscitate_to is None
+        assert not verdict.retire
+
+    def test_retired_block_reports_retire(self):
+        policy = BlockHealthPolicy(max_rber=4e-4, retention_horizon_years=1.0)
+        block = plc_block(0)
+        block.retire()
+        assert assess_block(block, policy).retire
+
+
+class TestResuscitation:
+    def test_worn_plc_resuscitates_to_pseudo_tlc(self):
+        """§4.3: 'flexibly resuscitate worn-out PLC blocks with reduced
+        density, e.g. pseudo-TLC'."""
+        policy = BlockHealthPolicy(
+            max_rber=4e-4, retention_horizon_years=1.0, resuscitation_modes=RESUSCITATION
+        )
+        # wear past the point native PLC can hold the RBER budget
+        model = ErrorModel(native_mode(CellTechnology.PLC))
+        worn = int(model.pec_for_rber(4e-4, years_since_write=1.0)) + 50
+        verdict = assess_block(plc_block(worn), policy)
+        assert not verdict.healthy
+        assert verdict.resuscitate_to == pseudo_mode(CellTechnology.PLC, 3)
+
+    def test_extremely_worn_skips_to_pseudo_slc_or_retires(self):
+        policy = BlockHealthPolicy(
+            max_rber=4e-4, retention_horizon_years=1.0, resuscitation_modes=RESUSCITATION
+        )
+        model = ErrorModel(pseudo_mode(CellTechnology.PLC, 3))
+        worn = int(model.pec_for_rber(4e-4, years_since_write=1.0)) + 100
+        verdict = assess_block(plc_block(worn), policy)
+        assert not verdict.healthy
+        assert verdict.resuscitate_to == pseudo_mode(CellTechnology.PLC, 1) or verdict.retire
+
+    def test_no_ladder_means_retire(self):
+        policy = BlockHealthPolicy(max_rber=4e-4, retention_horizon_years=1.0)
+        verdict = assess_block(plc_block(100_000), policy)
+        assert verdict.retire
+
+    def test_ladder_ignores_non_lower_densities(self):
+        """A resuscitation entry at or above current density is skipped."""
+        policy = BlockHealthPolicy(
+            max_rber=4e-4,
+            retention_horizon_years=1.0,
+            resuscitation_modes=(native_mode(CellTechnology.PLC),),
+        )
+        verdict = assess_block(plc_block(100_000), policy)
+        assert verdict.retire
+
+
+class TestThresholdSensitivity:
+    def test_tighter_rber_budget_retires_earlier(self):
+        """The wear point where a block fails its health check moves
+        earlier as the RBER budget tightens."""
+        loose = BlockHealthPolicy(max_rber=1e-2, retention_horizon_years=1.0)
+        tight = BlockHealthPolicy(max_rber=1e-4, retention_horizon_years=1.0)
+        block = plc_block(400)
+        assert assess_block(block, loose).healthy
+        assert not assess_block(block, tight).healthy
+
+    def test_longer_horizon_is_stricter(self):
+        short = BlockHealthPolicy(max_rber=4e-4, retention_horizon_years=0.1)
+        long = BlockHealthPolicy(max_rber=4e-4, retention_horizon_years=3.0)
+        model = ErrorModel(native_mode(CellTechnology.PLC))
+        # a wear point that passes the short horizon but fails the long one
+        limit_long = model.pec_for_rber(4e-4, years_since_write=3.0)
+        limit_short = model.pec_for_rber(4e-4, years_since_write=0.1)
+        assert limit_long < limit_short
+        pec = int((limit_long + limit_short) / 2)
+        block = plc_block(pec)
+        assert assess_block(block, short).healthy
+        assert not assess_block(block, long).healthy

@@ -1,0 +1,129 @@
+"""Zoned interface: ZNS semantics, class placement, offline zones."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ecc.policy import POLICIES, ProtectionLevel
+from repro.flash.cell import CellTechnology, native_mode, pseudo_mode
+from repro.flash.chip import FlashChip
+from repro.flash.geometry import SMALL_GEOMETRY
+from repro.ftl.zones import ZoneClass, ZonedDevice, ZoneError, ZoneState
+
+
+@pytest.fixture
+def zoned() -> ZonedDevice:
+    chip = FlashChip(SMALL_GEOMETRY, CellTechnology.PLC, seed=13)
+    total = SMALL_GEOMETRY.total_blocks
+    classes = {
+        "sys": ZoneClass("sys", pseudo_mode(CellTechnology.PLC, 4),
+                         POLICIES[ProtectionLevel.STRONG]),
+        "spare": ZoneClass("spare", native_mode(CellTechnology.PLC),
+                           POLICIES[ProtectionLevel.NONE]),
+    }
+    assignment = {
+        "sys": list(range(total // 2)),
+        "spare": list(range(total // 2, total)),
+    }
+    return ZonedDevice(chip, classes, assignment)
+
+
+class TestConstruction:
+    def test_overlapping_assignment_rejected(self):
+        chip = FlashChip(SMALL_GEOMETRY, CellTechnology.PLC)
+        zclass = ZoneClass("a", native_mode(CellTechnology.PLC),
+                           POLICIES[ProtectionLevel.NONE])
+        with pytest.raises(ValueError):
+            ZonedDevice(chip, {"a": zclass, "b": zclass}, {"a": [0], "b": [0]})
+
+    def test_zones_start_empty(self, zoned):
+        assert all(z.state is ZoneState.EMPTY for z in zoned.zones())
+
+    def test_class_filter(self, zoned):
+        sys_zones = zoned.zones("sys")
+        assert all(z.zone_class == "sys" for z in sys_zones)
+        assert len(sys_zones) == SMALL_GEOMETRY.total_blocks // 2
+
+    def test_zone_modes_follow_class(self, zoned):
+        sys_zone = zoned.zones("sys")[0]
+        spare_zone = zoned.zones("spare")[0]
+        assert sys_zone.capacity_pages < spare_zone.capacity_pages  # pQLC < PLC
+
+
+class TestAppend:
+    def test_append_advances_write_pointer(self, zoned, rng):
+        zone = zoned.zones("spare")[0].zone_id
+        payload = rng.bytes(zoned.payload_bytes("spare"))
+        assert zoned.append(zone, payload) == 0
+        assert zoned.append(zone, payload) == 1
+        assert zoned.info(zone).write_pointer == 2
+        assert zoned.info(zone).state is ZoneState.OPEN
+
+    def test_append_roundtrip_through_class_codec(self, zoned, rng):
+        zone = zoned.zones("sys")[0].zone_id
+        payload = rng.bytes(zoned.payload_bytes("sys"))
+        offset = zoned.append(zone, payload)
+        assert zoned.read(zone, offset).payload == payload
+
+    def test_zone_fills_and_rejects_append(self, zoned, rng):
+        zone_info = zoned.zones("spare")[0]
+        zone = zone_info.zone_id
+        for _ in range(zone_info.capacity_pages):
+            zoned.append(zone, b"x")
+        assert zoned.info(zone).state is ZoneState.FULL
+        with pytest.raises(ZoneError):
+            zoned.append(zone, b"x")
+
+    def test_oversized_payload_rejected(self, zoned):
+        zone = zoned.zones("sys")[0].zone_id
+        with pytest.raises(ZoneError):
+            zoned.append(zone, b"x" * (zoned.payload_bytes("sys") + 1))
+
+    def test_unknown_zone_rejected(self, zoned):
+        with pytest.raises(ZoneError):
+            zoned.append(10_000, b"x")
+
+
+class TestResetFinish:
+    def test_reset_costs_a_pec_and_empties(self, zoned):
+        zone = zoned.zones("spare")[0].zone_id
+        zoned.append(zone, b"x")
+        zoned.reset(zone)
+        assert zoned.info(zone).state is ZoneState.EMPTY
+        assert zoned.info(zone).write_pointer == 0
+        assert zoned.chip.blocks[zone].pec == 1
+        zoned.append(zone, b"y")  # reusable after reset
+
+    def test_finish_blocks_appends_until_reset(self, zoned):
+        zone = zoned.zones("spare")[0].zone_id
+        zoned.append(zone, b"x")
+        zoned.finish(zone)
+        with pytest.raises(ZoneError):
+            zoned.append(zone, b"y")
+        zoned.reset(zone)
+        zoned.append(zone, b"y")
+
+    def test_finish_full_zone_rejected(self, zoned):
+        zone_info = zoned.zones("spare")[0]
+        zone = zone_info.zone_id
+        for _ in range(zone_info.capacity_pages):
+            zoned.append(zone, b"x")
+        with pytest.raises(ZoneError):
+            zoned.finish(zone)
+
+
+class TestOffline:
+    def test_offline_zone_shrinks_capacity(self, zoned):
+        before = zoned.usable_capacity_pages()
+        zone = zoned.zones("spare")[0].zone_id
+        zoned.set_offline(zone)
+        lost = zoned.info(zone).capacity_pages
+        assert zoned.usable_capacity_pages() == before - lost
+
+    def test_offline_zone_rejects_everything(self, zoned):
+        zone = zoned.zones("spare")[0].zone_id
+        zoned.set_offline(zone)
+        with pytest.raises(ZoneError):
+            zoned.append(zone, b"x")
+        with pytest.raises(ZoneError):
+            zoned.reset(zone)

@@ -1,0 +1,83 @@
+"""Property-based zoned-interface test vs a reference zone model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ecc.policy import POLICIES, ProtectionLevel
+from repro.flash.cell import CellTechnology, pseudo_mode
+from repro.flash.chip import FlashChip
+from repro.flash.geometry import Geometry
+from repro.ftl.zones import ZoneClass, ZonedDevice, ZoneError, ZoneState
+
+GEOM = Geometry(page_size_bytes=512, pages_per_block=4, blocks_per_plane=8,
+                planes_per_die=1, dies=1)
+
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(["append", "reset", "finish"]),
+        st.integers(min_value=0, max_value=7),  # zone id
+        st.integers(min_value=0, max_value=2**16),  # payload seed
+    ),
+    max_size=80,
+)
+
+
+@given(operations=ops)
+@settings(max_examples=50, deadline=None)
+def test_zoned_device_matches_reference(operations):
+    """The zoned device agrees with a trivial reference model on state,
+    write pointers, and (strong-ECC) readback contents."""
+    chip = FlashChip(GEOM, CellTechnology.PLC, seed=9)
+    zclass = ZoneClass("sys", pseudo_mode(CellTechnology.PLC, 4),
+                       POLICIES[ProtectionLevel.STRONG])
+    device = ZonedDevice(chip, {"sys": zclass}, {"sys": list(range(8))})
+    capacity = device.info(0).capacity_pages
+    payload_bytes = device.payload_bytes("sys")
+
+    # reference: per-zone list of payloads + finished flag
+    reference: dict[int, list[bytes]] = {z: [] for z in range(8)}
+    finished: dict[int, bool] = {z: False for z in range(8)}
+
+    for op, zone, seed in operations:
+        rng = np.random.default_rng(seed)
+        if op == "append":
+            payload = rng.bytes(payload_bytes)
+            full = len(reference[zone]) >= capacity
+            if full or finished[zone]:
+                with pytest.raises(ZoneError):
+                    device.append(zone, payload)
+            else:
+                offset = device.append(zone, payload)
+                assert offset == len(reference[zone])
+                reference[zone].append(payload)
+        elif op == "reset":
+            device.reset(zone)
+            reference[zone] = []
+            finished[zone] = False
+        else:  # finish
+            full = len(reference[zone]) >= capacity
+            if full or finished[zone]:
+                with pytest.raises(ZoneError):
+                    device.finish(zone)
+            else:
+                device.finish(zone)
+                finished[zone] = True
+
+    # final audit: states, write pointers, contents
+    for zone in range(8):
+        info = device.info(zone)
+        assert info.write_pointer == len(reference[zone])
+        if finished[zone]:
+            assert info.state is ZoneState.FINISHED
+        elif len(reference[zone]) >= capacity:
+            assert info.state is ZoneState.FULL
+        elif reference[zone]:
+            assert info.state is ZoneState.OPEN
+        else:
+            assert info.state is ZoneState.EMPTY
+        for offset, payload in enumerate(reference[zone]):
+            assert device.read(zone, offset).payload == payload

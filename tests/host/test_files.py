@@ -1,0 +1,63 @@
+"""File model: kinds, attributes, access bookkeeping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.host.files import (
+    MEDIA_KINDS,
+    SYSTEM_KINDS,
+    FileAttributes,
+    FileKind,
+    FileRecord,
+)
+
+
+def make_record(kind=FileKind.PHOTO, **attrs) -> FileRecord:
+    return FileRecord(
+        file_id=1, path="/x", kind=kind, size_bytes=1000,
+        attributes=FileAttributes(**attrs),
+    )
+
+
+class TestKinds:
+    def test_media_and_system_kinds_disjoint(self):
+        assert not MEDIA_KINDS & SYSTEM_KINDS
+
+    def test_photo_is_media_not_system(self):
+        record = make_record(FileKind.PHOTO)
+        assert record.is_media
+        assert not record.is_system
+
+    def test_os_file_is_system_not_media(self):
+        record = make_record(FileKind.OS_SYSTEM)
+        assert record.is_system
+        assert not record.is_media
+
+    def test_document_is_neither(self):
+        record = make_record(FileKind.DOCUMENT)
+        assert not record.is_media
+        assert not record.is_system
+
+
+class TestBookkeeping:
+    def test_touch_updates_access(self):
+        record = make_record()
+        record.touch(1.5)
+        assert record.attributes.access_count == 1
+        assert record.attributes.last_access_years == 1.5
+
+    def test_mark_modified_updates_both(self):
+        record = make_record()
+        record.mark_modified(2.0)
+        assert record.attributes.modify_count == 1
+        assert record.attributes.last_access_years == 2.0
+
+    def test_age_and_idle(self):
+        record = make_record(created_years=1.0, last_access_years=1.5)
+        assert record.age_years(3.0) == pytest.approx(2.0)
+        assert record.idle_years(3.0) == pytest.approx(1.5)
+
+    def test_age_never_negative(self):
+        record = make_record(created_years=5.0)
+        assert record.age_years(1.0) == 0.0

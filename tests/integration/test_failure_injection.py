@@ -1,0 +1,128 @@
+"""Failure injection: sudden block death, mass wear, hostile conditions.
+
+The §4 guarantees that matter are negative ones: critical data must not
+be lost when the cheap medium misbehaves.  These tests inject failures
+harsher than the stochastic model produces -- whole-block corruption,
+instant mass wear -- and verify the protection machinery (BCH, block
+parity, scrubbing, retirement) holds the line where it is supposed to
+and degrades where degradation is the design.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import default_config
+from repro.core.sos_device import SOSDevice
+from repro.flash.geometry import Geometry
+from repro.host.files import FileAttributes, FileKind
+from repro.host.hints import Placement
+
+GEOM = Geometry(page_size_bytes=512, pages_per_block=16, blocks_per_plane=48,
+                planes_per_die=2, dies=1)
+
+
+@pytest.fixture
+def device() -> SOSDevice:
+    return SOSDevice(default_config(seed=31, geometry=GEOM))
+
+
+def _corrupt_page(block, page_index: int, nbytes: int = 120) -> None:
+    state = block.page_info(page_index)
+    corrupted = bytearray(state.data.tobytes())
+    for i in range(nbytes):
+        corrupted[i] ^= 0xFF
+    state.data = np.frombuffer(bytes(corrupted), dtype=np.uint8).copy()
+
+
+class TestSysResilience:
+    def test_single_page_corruption_recovered_by_parity(self, device, rng):
+        """A burst that defeats per-page BCH is absorbed by block parity."""
+        payloads = {}
+        # fill several sys blocks completely (so parity pages are sealed)
+        data_pages = 16 * 4 // 5 - 1  # usable pages minus parity
+        for i in range(3 * (data_pages + 1)):
+            path = f"/sys/file{i}"
+            payload = rng.bytes(400)
+            device.create_file(path, FileKind.OS_SYSTEM, 400,
+                               content=lambda o, p=payload: p)
+            payloads[path] = payload
+        # find a sealed sys block with live data and smash one page
+        sealed = next(
+            i for i in device.ftl.stream("sys").blocks
+            if device.chip.blocks[i].free_pages == 0
+            and device.ftl.page_map.valid_pages(i) > 0
+        )
+        page_index, lpn = device.ftl.page_map.live_lpns(sealed)[0]
+        _corrupt_page(device.chip.blocks[sealed], page_index)
+        result = device.ftl.read(lpn)
+        assert result.uncorrectable_codewords == 0
+        assert device.ftl.stats.parity_recoveries >= 1
+
+    def test_scattered_bitflips_corrected_by_bch(self, device, rng):
+        payload = rng.bytes(400)
+        record = device.create_file("/sys/cfg", FileKind.OS_SYSTEM, 400,
+                                    content=lambda o: payload)
+        addr = device.ftl.page_map.lookup(record.extents[0])
+        block = device.chip.blocks[addr[0]]
+        state = block.page_info(addr[1])
+        corrupted = bytearray(state.data.tobytes())
+        for pos in (3, 100, 200, 300, 400):  # < t=8 per codeword
+            corrupted[pos] ^= 0x01
+        state.data = np.frombuffer(bytes(corrupted), dtype=np.uint8).copy()
+        page = device.filesystem.read_file("/sys/cfg")[0]
+        assert page[:400] == payload
+
+
+class TestSpareDegradation:
+    def test_spare_corruption_passes_through_not_crashes(self, device, rng):
+        """SPARE has no ECC: corruption shows up in the payload, never
+        as an exception -- degraded data is the contract."""
+        payload = rng.bytes(400)
+        record = device.create_file(
+            "/photos/old.jpg", FileKind.PHOTO, 400,
+            attributes=FileAttributes(is_screenshot=True, duplicate_count=5),
+            content=lambda o: payload,
+        )
+        for lpn in record.extents:
+            device.block_layer.relocate(lpn, Placement.SPARE)
+        addr = device.ftl.page_map.lookup(record.extents[0])
+        _corrupt_page(device.chip.blocks[addr[0]], addr[1], nbytes=40)
+        page = device.filesystem.read_file("/photos/old.jpg")[0]
+        assert page[:400] != payload  # degraded
+        assert len(page) >= 400  # but served
+
+    def test_mass_wear_triggers_retirement_not_data_loss_on_sys(self, device, rng):
+        """All SPARE blocks jump past end-of-life at once; SYS data stays
+        bit-exact and the device keeps operating."""
+        sys_payload = rng.bytes(400)
+        device.create_file("/sys/keeper", FileKind.OS_SYSTEM, 400,
+                           content=lambda o: sys_payload)
+        for i in device.ftl.stream("spare").blocks:
+            device.chip.blocks[i].pec = 100_000
+        device.advance_time(0.5)
+        device.run_daemon()  # health checks fire
+        snapshot = device.snapshot()
+        assert snapshot.blocks_retired + snapshot.blocks_resuscitated > 0
+        page = device.filesystem.read_file("/sys/keeper")[0]
+        assert page[:400] == sys_payload
+
+
+class TestCloudRescueUnderFailure:
+    def test_backed_spare_file_fully_recovers_after_block_death(self, device, rng):
+        payload = rng.bytes(400)
+        record = device.create_file(
+            "/photos/backed.jpg", FileKind.PHOTO, 400,
+            attributes=FileAttributes(cloud_backed=True, is_screenshot=True),
+            content=lambda o: payload,
+        )
+        for lpn in record.extents:
+            device.block_layer.relocate(lpn, Placement.SPARE)
+        # block hosting it wears out badly
+        addr = device.ftl.page_map.lookup(record.extents[0])
+        device.chip.blocks[addr[0]].pec = 5000
+        device.advance_time(0.5)
+        device.run_daemon()  # scrubber repairs from cloud
+        page = device.filesystem.read_file("/photos/backed.jpg")[0]
+        assert page[:400] == payload

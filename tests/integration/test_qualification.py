@@ -1,0 +1,107 @@
+"""JEDEC-style qualification of the simulated flash technologies.
+
+A qualification procedure analogous to JESD47/JESD22 retention bake:
+cycle a block to its rated endurance, write a known pattern, simulate
+the rated retention period, read back, and require the error rate to be
+within what the class's standard ECC can correct.  If the simulated
+silicon failed its own datasheet, every experiment above it would be
+meaningless -- this suite pins the calibration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ecc.model import CodewordSpec, codeword_failure_prob
+from repro.flash.block import Block
+from repro.flash.cell import CellTechnology, native_mode, pseudo_mode
+from repro.flash.error_model import ErrorModel
+from repro.flash.geometry import SMALL_GEOMETRY
+from repro.flash.reliability import endurance_pec, retention_years
+
+#: Per-class qualification ECC: denser flash ships stronger correction
+#: (TLC-era parts used BCH-t~8/KB; QLC/PLC-class parts use LDPC with an
+#: effective correction strength several times higher).
+QUAL_SPECS = {
+    CellTechnology.SLC: CodewordSpec(n=1023, k=993, t=3),
+    CellTechnology.MLC: CodewordSpec(n=1023, k=973, t=5),
+    CellTechnology.TLC: CodewordSpec(n=1023, k=943, t=8),
+    CellTechnology.QLC: CodewordSpec(n=1023, k=863, t=16),
+    CellTechnology.PLC: CodewordSpec(n=1023, k=723, t=30),
+}
+#: Qualification pass bar: codeword failure probability at end of life.
+MAX_CW_FAILURE = 1e-4
+
+
+class TestDatasheetQualification:
+    @pytest.mark.parametrize("technology", list(CellTechnology))
+    def test_rated_endurance_plus_rated_retention_is_correctable(self, technology):
+        """At rated PEC and rated retention, standard ECC must hold."""
+        mode = native_mode(technology)
+        model = ErrorModel(mode)
+        rber = model.rber(
+            pec=endurance_pec(mode), years_since_write=retention_years(mode)
+        )
+        p_fail = codeword_failure_prob(QUAL_SPECS[technology], rber)
+        assert p_fail <= MAX_CW_FAILURE, (
+            f"{technology.name} fails qualification: RBER {rber:.2e} -> "
+            f"P(cw fail) {p_fail:.2e}"
+        )
+
+    @pytest.mark.parametrize("technology", list(CellTechnology))
+    def test_double_rated_wear_violates_qualification(self, technology):
+        """The rating must be meaningful: 3x wear + 2x retention must be
+        visibly worse than at rating (otherwise endurance numbers would
+        be arbitrary)."""
+        mode = native_mode(technology)
+        model = ErrorModel(mode)
+        at_rating = model.rber(endurance_pec(mode), retention_years(mode))
+        beyond = model.rber(3 * endurance_pec(mode), 2 * retention_years(mode))
+        assert beyond > 5 * at_rating
+
+    @pytest.mark.parametrize("bits", [1, 2, 3, 4])
+    def test_pseudo_modes_qualify_on_worn_plc(self, bits):
+        """§4.3 resuscitation only works if a pseudo mode on *worn* PLC
+        silicon still meets the qualification bar at its own rating."""
+        mode = pseudo_mode(CellTechnology.PLC, bits)
+        model = ErrorModel(mode)
+        # silicon already cycled to full native-PLC rating before rebirth
+        native_wear = endurance_pec(native_mode(CellTechnology.PLC))
+        rber = model.rber(
+            pec=native_wear + endurance_pec(mode) * 0.25,
+            years_since_write=retention_years(mode),
+        )
+        spec = QUAL_SPECS[CellTechnology(bits)]
+        assert codeword_failure_prob(spec, rber) <= MAX_CW_FAILURE * 100
+
+
+class TestBitExactBake:
+    """Monte-Carlo bake on the bit-exact block, cross-checking the
+    analytic qualification above."""
+
+    def test_tlc_bake_readback_error_rate(self):
+        mode = native_mode(CellTechnology.TLC)
+        rng = np.random.default_rng(17)
+        block = Block(SMALL_GEOMETRY, mode, rng)
+        block.pec = endurance_pec(mode)
+        pattern = bytes(range(256)) * 2
+        block.program(0, pattern)
+        block.advance_time(retention_years(mode))
+        predicted = block.rber_now(0)
+        errors = 0
+        total = 0
+        for _ in range(60):
+            data = block.read(0)
+            errors += sum((a ^ b).bit_count() for a, b in zip(data, pattern))
+            total += len(pattern) * 8
+        observed = errors / total
+        assert observed == pytest.approx(predicted, rel=0.5)
+
+    def test_fresh_block_bakes_clean(self):
+        """Zero wear, zero retention: SLC block reads back bit-exact."""
+        mode = native_mode(CellTechnology.SLC)
+        block = Block(SMALL_GEOMETRY, mode, np.random.default_rng(3))
+        pattern = b"\x5a" * SMALL_GEOMETRY.page_size_bytes
+        block.program(0, pattern)
+        assert block.read(0) == pattern

@@ -1,0 +1,106 @@
+"""Approximate store: layouts, placement, quality audit, repair."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ecc.policy import POLICIES, ProtectionLevel
+from repro.flash.cell import CellTechnology, native_mode, pseudo_mode
+from repro.flash.chip import FlashChip
+from repro.flash.geometry import Geometry
+from repro.ftl.ftl import Ftl
+from repro.ftl.streams import StreamConfig
+from repro.host.block_layer import BlockLayer
+from repro.host.hints import Placement
+from repro.media.approx_store import ApproximateStore, MediaLayout
+from repro.media.codec import make_media_object
+
+# a roomier geometry so a media object fits comfortably
+GEOM = Geometry(page_size_bytes=512, pages_per_block=16, blocks_per_plane=64,
+                planes_per_die=2, dies=1)
+
+
+@pytest.fixture
+def layer() -> BlockLayer:
+    chip = FlashChip(GEOM, CellTechnology.PLC, seed=5)
+    total = GEOM.total_blocks
+    streams = [
+        StreamConfig("sys", pseudo_mode(CellTechnology.PLC, 4), POLICIES[ProtectionLevel.STRONG]),
+        StreamConfig("spare", native_mode(CellTechnology.PLC), POLICIES[ProtectionLevel.NONE]),
+    ]
+    ftl = Ftl(chip, streams,
+              {"sys": list(range(total // 2)), "spare": list(range(total // 2, total))})
+    return BlockLayer(ftl)
+
+
+@pytest.fixture
+def media():
+    return make_media_object(20_000, seed=8)
+
+
+class TestLayouts:
+    def test_full_spare_places_everything_on_spare(self, layer, media):
+        store = ApproximateStore(layer)
+        stored = store.store(media, MediaLayout.FULL_SPARE)
+        assert stored.spare_fraction == 1.0
+        assert all(p is Placement.SPARE for p in stored.placements)
+
+    def test_full_sys_places_everything_on_sys(self, layer, media):
+        store = ApproximateStore(layer)
+        stored = store.store(media, MediaLayout.FULL_SYS)
+        assert stored.spare_fraction == 0.0
+
+    def test_hybrid_keeps_i_frames_on_sys(self, layer, media):
+        store = ApproximateStore(layer)
+        stored = store.store(media, MediaLayout.HYBRID)
+        # I-frames are a minority of bytes but must be on SYS
+        assert 0.0 < stored.spare_fraction < 1.0
+        page_bytes = layer.page_bytes
+        critical = media.critical_ranges()
+        for i, placement in enumerate(stored.placements):
+            offset = i * page_bytes
+            end = offset + page_bytes
+            overlaps_i = any(offset < ce and cs < end for cs, ce in critical)
+            if overlaps_i:
+                assert placement is Placement.SYS
+
+    def test_hybrid_majority_of_pages_on_spare(self, layer, media):
+        """The density win requires most media bytes on SPARE."""
+        store = ApproximateStore(layer)
+        stored = store.store(media, MediaLayout.HYBRID)
+        assert stored.spare_fraction > 0.5
+
+
+class TestReadback:
+    def test_fresh_quality_near_perfect(self, layer, media):
+        store = ApproximateStore(layer)
+        stored = store.store(media, MediaLayout.HYBRID)
+        report = store.audit_quality(stored)
+        assert report.quality > 0.98
+
+    def test_wear_degrades_full_spare_more_than_hybrid(self, layer, media):
+        store = ApproximateStore(layer)
+        spare_obj = store.store(media, MediaLayout.FULL_SPARE)
+        hybrid_obj = store.store(
+            make_media_object(20_000, seed=8), MediaLayout.HYBRID
+        )
+        # age the device: spare blocks wear + retention
+        chip = layer.ftl.chip
+        for i in layer.ftl.stream("spare").blocks:
+            chip.blocks[i].pec = 900  # past native PLC rating
+        chip.advance_time(1.0)
+        q_spare = store.audit_quality(spare_obj).quality
+        q_hybrid = store.audit_quality(hybrid_obj).quality
+        assert q_spare < q_hybrid
+
+    def test_rewrite_restores_quality(self, layer, media):
+        store = ApproximateStore(layer)
+        stored = store.store(media, MediaLayout.FULL_SPARE)
+        chip = layer.ftl.chip
+        for i in layer.ftl.stream("spare").blocks:
+            chip.blocks[i].pec = 1200
+        chip.advance_time(1.5)
+        degraded = store.audit_quality(stored).quality
+        store.rewrite(stored)
+        restored = store.audit_quality(stored).quality
+        assert restored > degraded

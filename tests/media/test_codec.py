@@ -1,0 +1,65 @@
+"""GOP media model: structure, byte accounting, tolerant fraction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.media.codec import FrameType, make_media_object
+
+
+@pytest.fixture(scope="module")
+def media():
+    return make_media_object(size_bytes=200_000, seed=3)
+
+
+class TestStructure:
+    def test_frames_tile_object_exactly(self, media):
+        offset = 0
+        for gop in media.gops:
+            for frame in gop.frames:
+                assert frame.offset == offset
+                offset = frame.end
+        assert offset == media.size_bytes
+
+    def test_every_gop_leads_with_i_frame(self, media):
+        for gop in media.gops:
+            assert gop.frames[0].frame_type is FrameType.I
+
+    def test_data_matches_size(self, media):
+        assert len(media.data) == media.size_bytes
+
+    def test_tolerant_fraction_is_majority(self, media):
+        """§4.2: 'error-tolerant frames ... compose most data in MPEG
+        files' -- P/B frames must dominate bytes."""
+        assert media.tolerant_fraction() > 0.6
+
+    def test_critical_ranges_cover_all_i_frames(self, media):
+        assert len(media.critical_ranges()) == len(media.gops)
+
+    def test_gop_size_sums_frames(self, media):
+        for gop in media.gops[:10]:
+            assert gop.size_bytes == sum(f.size_bytes for f in gop.frames)
+
+
+class TestGeneration:
+    def test_too_small_object_rejected(self):
+        with pytest.raises(ValueError):
+            make_media_object(size_bytes=100)
+
+    def test_deterministic_under_seed(self):
+        a = make_media_object(50_000, seed=9)
+        b = make_media_object(50_000, seed=9)
+        assert a.data == b.data
+        assert len(a.gops) == len(b.gops)
+
+    def test_different_seeds_differ(self):
+        a = make_media_object(50_000, seed=1)
+        b = make_media_object(50_000, seed=2)
+        assert a.data != b.data
+
+    def test_gop_length_respected_roughly(self):
+        media = make_media_object(500_000, gop_length=12, seed=0)
+        # interior GOPs carry gop_length frames
+        interior = media.gops[1:-1]
+        assert interior
+        assert all(len(g.frames) == 12 for g in interior)

@@ -1,0 +1,84 @@
+"""Format models beyond video: photos and audio (§4.2 future work)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.media.codec import (
+    FrameType,
+    make_audio_object,
+    make_media_object,
+    make_photo_object,
+)
+from repro.media.quality import measure_quality
+
+
+class TestPhotoFormat:
+    def test_structure_tiles_exactly(self):
+        photo = make_photo_object(50_000, seed=1)
+        assert len(photo.gops) == 1
+        offset = 0
+        for frame in photo.gops[0].frames:
+            assert frame.offset == offset
+            offset = frame.end
+        assert offset == photo.size_bytes
+
+    def test_header_is_small_critical_fraction(self):
+        photo = make_photo_object(50_000, seed=1)
+        critical = sum(e - s for s, e in photo.critical_ranges())
+        assert critical / photo.size_bytes < 0.10
+        assert photo.tolerant_fraction() > 0.6
+
+    def test_header_damage_worse_than_scan_damage(self):
+        photo = make_photo_object(50_000, seed=2)
+        header = photo.gops[0].frames[0]
+        last_scan = photo.gops[0].frames[-1]
+        nbytes = min(60, header.size_bytes, last_scan.size_bytes)
+        hdr_hit = bytearray(photo.data)
+        for i in range(header.offset, header.offset + nbytes):
+            hdr_hit[i] ^= 0xFF
+        scan_hit = bytearray(photo.data)
+        for i in range(last_scan.offset, last_scan.offset + nbytes):
+            scan_hit[i] ^= 0xFF
+        q_header = measure_quality(photo, bytes(hdr_hit)).quality
+        q_scan = measure_quality(photo, bytes(scan_hit)).quality
+        assert q_header < q_scan
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            make_photo_object(100)
+
+
+class TestAudioFormat:
+    def test_many_independent_frames(self):
+        audio = make_audio_object(64_000, frame_bytes=1024, seed=3)
+        assert len(audio.gops) >= 60
+        for gop in audio.gops:
+            assert gop.frames[0].frame_type is FrameType.I
+
+    def test_damage_is_localized(self):
+        """Corrupting one audio frame's payload must not drag file quality
+        below the per-frame damage (no cross-frame propagation)."""
+        audio = make_audio_object(64_000, seed=4)
+        victim = audio.gops[10].frames[-1]
+        noisy = bytearray(audio.data)
+        for i in range(victim.offset, victim.end):
+            noisy[i] ^= 0xFF
+        report = measure_quality(audio, bytes(noisy))
+        # one destroyed frame out of ~60: file quality stays high
+        assert report.quality > 0.95
+        assert report.worst_gop_quality < 0.1
+
+    def test_audio_most_tolerant_format(self):
+        """Byte-for-byte, audio has the highest tolerant fraction of the
+        three formats -- the §4.2 ordering (bank app < photos < media)."""
+        video = make_media_object(60_000, seed=5).tolerant_fraction()
+        photo = make_photo_object(60_000, seed=5).tolerant_fraction()
+        audio = make_audio_object(60_000, seed=5).tolerant_fraction()
+        assert audio > 0.85
+        assert audio > video
+        assert photo > 0.6
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            make_audio_object(100)

@@ -1,0 +1,73 @@
+"""Majority-vote read-back: transient-error suppression on SPARE."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import default_config
+from repro.core.partitions import build_partitions
+from repro.flash.geometry import Geometry
+from repro.host.block_layer import BlockLayer
+from repro.media.approx_store import ApproximateStore, MediaLayout
+from repro.media.codec import make_media_object
+
+GEOM = Geometry(page_size_bytes=512, pages_per_block=16, blocks_per_plane=64,
+                planes_per_die=2, dies=1)
+
+
+@pytest.fixture
+def worn_store():
+    device = build_partitions(default_config(seed=51, geometry=GEOM))
+    layer = BlockLayer(device.ftl)
+    store = ApproximateStore(layer)
+    media = make_media_object(16_000, seed=5)
+    stored = store.store(media, MediaLayout.FULL_SPARE)
+    # substantial transient error rate: worn + aged
+    for i in device.ftl.stream("spare").blocks:
+        device.chip.blocks[i].pec = 600
+    device.chip.advance_time(1.0)
+    return store, stored
+
+
+class TestMajorityVote:
+    def test_voting_improves_quality_on_transient_errors(self, worn_store):
+        store, stored = worn_store
+        single = store.audit_quality(stored, votes=1).quality
+        voted = store.audit_quality(stored, votes=5).quality
+        assert voted > single
+
+    def test_more_votes_monotone_ish(self, worn_store):
+        store, stored = worn_store
+        q3 = store.audit_quality(stored, votes=3).quality
+        q7 = store.audit_quality(stored, votes=7).quality
+        assert q7 >= q3 - 0.02  # allow sampling wobble
+
+    def test_even_votes_rejected(self, worn_store):
+        store, stored = worn_store
+        with pytest.raises(ValueError):
+            store.read_back(stored, votes=2)
+        with pytest.raises(ValueError):
+            store.read_back(stored, votes=0)
+
+    def test_single_vote_is_default(self, worn_store):
+        store, stored = worn_store
+        data = store.read_back(stored)
+        assert len(data) == stored.media.size_bytes
+
+    def test_voting_cannot_fix_baked_in_errors(self):
+        """Errors written into the medium (a degraded rewrite) are the
+        same on every read: voting must not 'repair' them."""
+        device = build_partitions(default_config(seed=52, geometry=GEOM))
+        layer = BlockLayer(device.ftl)
+        store = ApproximateStore(layer)
+        media = make_media_object(8_000, seed=6)
+        stored = store.store(media, MediaLayout.FULL_SPARE)
+        # bake in corruption: rewrite with flipped bytes
+        corrupted = bytearray(media.data)
+        for i in range(0, len(corrupted), 97):
+            corrupted[i] ^= 0xFF
+        store.rewrite(stored, bytes(corrupted))
+        single = store.audit_quality(stored, votes=1).quality
+        voted = store.audit_quality(stored, votes=5).quality
+        assert voted == pytest.approx(single, abs=0.02)
+        assert voted < 0.9  # the damage is permanent

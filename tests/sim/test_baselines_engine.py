@@ -1,0 +1,99 @@
+"""Device builds and the lifetime engine: who-wins shape checks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.baselines import (
+    build_plc_naive,
+    build_qlc_baseline,
+    build_sos,
+    build_tlc_baseline,
+)
+from repro.sim.engine import SimConfig, run_lifetime
+from repro.workloads.mobile import MobileWorkload, WorkloadConfig
+
+
+@pytest.fixture(scope="module")
+def summaries():
+    return MobileWorkload(WorkloadConfig(mix="typical", days=365, seed=17)).daily_summaries()
+
+
+class TestBuilds:
+    def test_carbon_ordering(self):
+        """Embodied intensity: TLC > QLC > SOS > PLC-naive."""
+        tlc = build_tlc_baseline().intensity_kg_per_gb
+        qlc = build_qlc_baseline().intensity_kg_per_gb
+        sos = build_sos().intensity_kg_per_gb
+        plc = build_plc_naive().intensity_kg_per_gb
+        assert tlc > qlc > sos > plc
+
+    def test_sos_carbon_reduction_is_one_third_of_tlc(self):
+        tlc = build_tlc_baseline()
+        sos = build_sos()
+        assert 1 - sos.intensity_kg_per_gb / tlc.intensity_kg_per_gb == pytest.approx(
+            0.325, abs=0.001
+        )
+
+    def test_sos_has_two_partitions(self):
+        build = build_sos()
+        assert set(build.device.partitions) == {"sys", "spare"}
+
+    def test_sos_spare_wl_disabled(self):
+        build = build_sos()
+        assert not build.device.partition("spare").spec.wear_leveling
+        assert build.device.partition("sys").spec.wear_leveling
+
+
+class TestEngine:
+    def test_one_year_typical_use_all_devices_survive(self, summaries):
+        for builder in (build_tlc_baseline, build_qlc_baseline, build_sos):
+            result = run_lifetime(builder(64.0), summaries)
+            assert result.survived(), builder.__name__
+
+    def test_tlc_wear_fraction_small_under_typical_use(self, summaries):
+        """§2.3.2: typical users consume a tiny share of endurance."""
+        result = run_lifetime(build_tlc_baseline(64.0), summaries)
+        assert result.final.sys_wear_fraction < 0.05
+
+    def test_sos_sys_wears_faster_than_tlc_but_survives(self, summaries):
+        tlc = run_lifetime(build_tlc_baseline(64.0), summaries)
+        sos = run_lifetime(build_sos(64.0), summaries)
+        assert sos.final.sys_wear_fraction > tlc.final.sys_wear_fraction
+        assert sos.final.sys_wear_fraction < 0.5
+
+    def test_spare_quality_stays_high_with_scrub(self, summaries):
+        result = run_lifetime(build_sos(64.0, scrub_enabled=True), summaries)
+        assert result.final.spare_quality > 0.9
+
+    def test_scrub_improves_end_of_life_quality(self):
+        days = 3 * 365
+        summaries = MobileWorkload(
+            WorkloadConfig(mix="typical", days=days, seed=17)
+        ).daily_summaries()
+        with_scrub = run_lifetime(build_sos(64.0, scrub_enabled=True), summaries)
+        without = run_lifetime(build_sos(64.0, scrub_enabled=False), summaries)
+        assert with_scrub.final.spare_quality >= without.final.spare_quality
+
+    def test_samples_are_chronological(self, summaries):
+        result = run_lifetime(build_sos(64.0), summaries)
+        days = [s.day for s in result.samples]
+        assert days == sorted(days)
+        assert result.samples[-1].day == len(summaries) - 1
+
+    def test_media_demotion_rate_shifts_wear(self, summaries):
+        """More demotion -> more SPARE wear, less SYS pressure."""
+        high = run_lifetime(
+            build_sos(64.0), summaries, SimConfig(media_demotion_rate=0.95)
+        )
+        low = run_lifetime(
+            build_sos(64.0), summaries, SimConfig(media_demotion_rate=0.1)
+        )
+        assert high.final.spare_wear_fraction > low.final.spare_wear_fraction
+
+    def test_final_raises_without_samples(self):
+        from repro.sim.engine import LifetimeResult
+
+        result = LifetimeResult(build_name="x", capacity_gb=1.0, intensity_kg_per_gb=0.1)
+        with pytest.raises(ValueError):
+            _ = result.final

@@ -1,0 +1,55 @@
+"""CLI smoke tests: every subcommand runs and prints its table."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_density(self, capsys):
+        assert main(["density"]) == 0
+        out = capsys.readouterr().out
+        assert "density gain vs TLC" in out
+        assert "50.0%" in out
+
+    def test_density_custom_split(self, capsys):
+        main(["density", "--spare-fraction", "0.75"])
+        assert "75% SPARE" in capsys.readouterr().out
+
+    def test_project(self, capsys):
+        main(["project"])
+        out = capsys.readouterr().out
+        assert "2021" in out and "2030" in out
+
+    def test_market(self, capsys):
+        main(["market"])
+        out = capsys.readouterr().out
+        assert "smartphone" in out
+        assert "per decade" in out
+
+    def test_credits(self, capsys):
+        main(["credits"])
+        out = capsys.readouterr().out
+        assert "TLC" in out and "PLC" in out
+        assert "39.5%" in out
+
+    def test_lifetime_short(self, capsys):
+        main(["lifetime", "--years", "1", "--mix", "light"])
+        out = capsys.readouterr().out
+        assert "sos" in out
+        assert "tlc_baseline" in out
+
+    def test_classify_small(self, capsys):
+        main(["classify", "--files", "800"])
+        out = capsys.readouterr().out
+        assert "auto-delete accuracy" in out
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command_errors(self):
+        with pytest.raises(SystemExit):
+            main(["bogus"])

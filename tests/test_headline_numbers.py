@@ -1,0 +1,82 @@
+"""Golden regression tests for the paper's headline numbers.
+
+The benchmark harness checks these claims with full context; this fast
+suite pins the same numbers as plain unit tests so an accidental
+recalibration anywhere in the stack fails the ordinary test run, not
+just a benchmark pass.  Every value cites its paper location.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.carbon.credits import EU_ETS_PEAK_2022, price_increase_fraction
+from repro.carbon.embodied import intensity_kg_per_gb, mixed_intensity_kg_per_gb
+from repro.carbon.market import MARKET_SHARE_2020, personal_share
+from repro.carbon.projection import project
+from repro.core.config import default_config
+from repro.core.partitions import capacity_gain_over, density_gain
+from repro.flash.cell import CellTechnology, native_mode, pseudo_mode
+from repro.flash.reliability import ENDURANCE_TABLE
+
+
+class TestHeadlineNumbers:
+    def test_density_gains_s41(self):
+        """§4.1: QLC +33%, PLC +66% over TLC."""
+        assert CellTechnology.QLC.density_gain_over(CellTechnology.TLC) == pytest.approx(1 / 3)
+        assert CellTechnology.PLC.density_gain_over(CellTechnology.TLC) == pytest.approx(2 / 3)
+
+    def test_sos_split_gains_s42(self):
+        """§4.2: +50% vs TLC, ~+10% vs QLC (exact: 12.5%)."""
+        config = default_config()
+        assert density_gain(config) == pytest.approx(0.50)
+        assert capacity_gain_over(config, CellTechnology.QLC) == pytest.approx(0.125)
+
+    def test_sos_carbon_cut(self):
+        """Density +50% -> 2/3 the silicon -> intensity 0.108 kg/GB."""
+        sos = mixed_intensity_kg_per_gb({
+            native_mode(CellTechnology.PLC): 0.5,
+            pseudo_mode(CellTechnology.PLC, 4): 0.5,
+        })
+        assert sos == pytest.approx(0.108)
+        assert 1 - sos / intensity_kg_per_gb(CellTechnology.TLC) == pytest.approx(
+            0.325, abs=1e-3
+        )
+
+    def test_2021_emissions_s1(self):
+        """§1: 765 EB -> ~122 Mt -> ~28M people."""
+        p2021 = project()[0]
+        assert p2021.capacity_eb == pytest.approx(765.0)
+        assert p2021.emissions_mt == pytest.approx(122.4, rel=0.01)
+        assert p2021.people_equivalent_millions == pytest.approx(27.8, abs=0.5)
+
+    def test_2030_projection_s1(self):
+        """§1/abstract: >150M people, ~1.7% of world emissions."""
+        p2030 = project()[-1]
+        assert p2030.people_equivalent_millions > 150.0
+        assert p2030.share_of_world_2030 == pytest.approx(0.0174, abs=0.002)
+
+    def test_carbon_credit_40pct_s3(self):
+        """§3: $111/t on $45/TB QLC ~ 40%."""
+        assert price_increase_fraction(EU_ETS_PEAK_2022, 45.0) == pytest.approx(
+            0.395, abs=0.005
+        )
+
+    def test_market_shares_fig1(self):
+        """Figure 1: 38/32/14/8/8, personal ~half."""
+        assert MARKET_SHARE_2020["smartphone"] == 0.38
+        assert MARKET_SHARE_2020["ssd"] == 0.32
+        assert personal_share(include_memory_cards=False) == pytest.approx(0.46)
+
+    def test_endurance_ratios_s22_s42(self):
+        """§2.2/§4.2: SLC 100K, QLC 1K, PLC = QLC/2, TLC/PLC in [6,10]."""
+        table = ENDURANCE_TABLE
+        assert table[CellTechnology.SLC].rated_pec == 100_000
+        assert table[CellTechnology.QLC].rated_pec == 1_000
+        assert table[CellTechnology.QLC].rated_pec == 2 * table[CellTechnology.PLC].rated_pec
+        ratio = table[CellTechnology.TLC].rated_pec / table[CellTechnology.PLC].rated_pec
+        assert 6 <= ratio <= 10
+
+    def test_trim_target_s45(self):
+        """§4.5: free ~3% of capacity."""
+        assert default_config().trim_free_target == pytest.approx(0.03)

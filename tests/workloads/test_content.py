@@ -1,0 +1,73 @@
+"""Synthetic content profiles and reduction baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.host.files import FileKind, MEDIA_KINDS
+from repro.host.reduction import analyze, compress_savings, dedup_savings
+from repro.workloads.content import COMPRESSIBILITY_CLASS, generate_content
+
+
+@pytest.fixture
+def gen_rng():
+    return np.random.default_rng(77)
+
+
+class TestContentProfiles:
+    def test_all_kinds_covered(self):
+        assert set(COMPRESSIBILITY_CLASS) == set(FileKind)
+
+    def test_requested_size_honoured(self, gen_rng):
+        for kind in FileKind:
+            data = generate_content(kind, 10_000, gen_rng)
+            assert len(data) == 10_000
+
+    def test_zero_size(self, gen_rng):
+        assert generate_content(FileKind.PHOTO, 0, gen_rng) == b""
+
+    def test_media_near_incompressible(self, gen_rng):
+        for kind in MEDIA_KINDS:
+            data = generate_content(kind, 50_000, gen_rng)
+            assert compress_savings(data) < 0.10, kind
+
+    def test_structured_highly_compressible(self, gen_rng):
+        data = generate_content(FileKind.APP_METADATA, 50_000, gen_rng)
+        assert compress_savings(data) > 0.5
+
+    def test_binary_moderately_compressible(self, gen_rng):
+        data = generate_content(FileKind.APP_EXECUTABLE, 50_000, gen_rng)
+        assert 0.1 < compress_savings(data) < 0.7
+
+
+class TestReduction:
+    def test_empty_inputs(self):
+        assert compress_savings(b"") == 0.0
+        assert dedup_savings([]) == 0.0
+
+    def test_dedup_finds_exact_duplicates(self, gen_rng):
+        data = generate_content(FileKind.VIDEO, 40_960, gen_rng)
+        savings = dedup_savings([data, data])
+        assert savings == pytest.approx(0.5, abs=0.01)
+
+    def test_dedup_zero_on_unique_data(self, gen_rng):
+        a = generate_content(FileKind.VIDEO, 40_960, gen_rng)
+        b = generate_content(FileKind.VIDEO, 40_960, gen_rng)
+        assert dedup_savings([a, b]) == pytest.approx(0.0, abs=0.01)
+
+    def test_analyze_consistent_with_parts(self, gen_rng):
+        buffers = [
+            generate_content(FileKind.APP_METADATA, 20_480, gen_rng),
+            generate_content(FileKind.VIDEO, 20_480, gen_rng),
+        ]
+        reduction = analyze(buffers)
+        assert reduction.total_bytes == 40_960
+        assert 0.0 <= reduction.compression_savings <= 1.0
+        assert 0.0 <= reduction.dedup_savings <= 1.0
+
+    def test_report_savings_never_negative(self, gen_rng):
+        data = generate_content(FileKind.VIDEO, 8192, gen_rng)
+        reduction = analyze([data])
+        assert reduction.compression_savings >= 0.0
+        assert reduction.dedup_savings == pytest.approx(0.0, abs=1e-9)

@@ -1,0 +1,99 @@
+"""Workload profiles, generator calibration, trace round-trips."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.apps import APP_PROFILES, USER_MIXES, daily_write_gb
+from repro.workloads.mobile import MobileWorkload, WorkloadConfig
+from repro.workloads.traces import DailySummary, OpKind, TraceOp, load_trace, save_trace
+from repro.host.files import FileKind
+
+
+class TestProfiles:
+    def test_all_mix_apps_exist(self):
+        for mix in USER_MIXES.values():
+            for app in mix:
+                assert app in APP_PROFILES
+
+    def test_produces_weights_positive(self):
+        for profile in APP_PROFILES.values():
+            assert all(w > 0 for w in profile.produces.values())
+
+    def test_typical_writes_a_few_gb_per_day(self):
+        """Calibration to Zhang et al.: typical mobile use is ~2-3 GB/day."""
+        assert 1.5 <= daily_write_gb("typical") <= 3.5
+
+    def test_mix_ordering(self):
+        assert daily_write_gb("light") < daily_write_gb("typical") < daily_write_gb("heavy")
+
+    def test_adversarial_dominated_by_stress_game(self):
+        assert daily_write_gb("adversarial") > 10 * daily_write_gb("typical")
+
+
+class TestGenerator:
+    def test_summary_count_matches_days(self):
+        wl = MobileWorkload(WorkloadConfig(days=100, seed=1))
+        assert len(wl.daily_summaries()) == 100
+
+    def test_unknown_mix_rejected(self):
+        with pytest.raises(ValueError):
+            MobileWorkload(WorkloadConfig(mix="bogus"))
+
+    def test_volumes_positive_and_media_heavy(self):
+        wl = MobileWorkload(WorkloadConfig(mix="typical", days=200, seed=2))
+        summaries = wl.daily_summaries()
+        total_media = sum(s.new_media_gb for s in summaries)
+        total_other = sum(s.new_other_gb for s in summaries)
+        assert total_media > total_other  # media dominates new bytes
+        assert all(s.total_write_gb > 0 for s in summaries)
+
+    def test_deterministic_under_seed(self):
+        a = MobileWorkload(WorkloadConfig(days=50, seed=3)).daily_summaries()
+        b = MobileWorkload(WorkloadConfig(days=50, seed=3)).daily_summaries()
+        assert a == b
+
+    def test_mean_volume_tracks_mix_nominal(self):
+        wl = MobileWorkload(WorkloadConfig(mix="typical", days=730, seed=4))
+        summaries = wl.daily_summaries()
+        mean = sum(s.total_write_gb for s in summaries) / len(summaries)
+        nominal = daily_write_gb("typical")
+        # log-normal jitter biases the mean up slightly (e^{sigma^2/2})
+        assert nominal * 0.8 <= mean <= nominal * 1.5
+
+
+class TestOps:
+    def test_ops_cover_all_kinds_of_operations(self):
+        wl = MobileWorkload(WorkloadConfig(days=300, seed=5))
+        ops = wl.ops(scale_bytes=1e-6)
+        kinds = {op.kind for op in ops}
+        assert OpKind.CREATE in kinds
+        assert OpKind.OVERWRITE in kinds
+        assert OpKind.READ in kinds
+        assert OpKind.DELETE in kinds
+
+    def test_deletes_reference_created_paths(self):
+        wl = MobileWorkload(WorkloadConfig(days=300, seed=5))
+        ops = wl.ops(scale_bytes=1e-6)
+        created = {op.path for op in ops if op.kind is OpKind.CREATE}
+        for op in ops:
+            if op.kind is OpKind.DELETE:
+                assert op.path in created
+
+
+class TestTraceSerialization:
+    def test_roundtrip(self, tmp_path):
+        ops = [
+            TraceOp(day=0, kind=OpKind.CREATE, path="/a", file_kind=FileKind.PHOTO,
+                    size_bytes=100, cloud_backed=True),
+            TraceOp(day=1, kind=OpKind.DELETE, path="/a", file_kind=FileKind.PHOTO,
+                    size_bytes=100),
+        ]
+        path = tmp_path / "trace.json"
+        save_trace(ops, path)
+        assert load_trace(path) == ops
+
+    def test_daily_summary_total(self):
+        s = DailySummary(day=0, new_media_gb=1.0, new_other_gb=0.5,
+                         overwrite_gb=0.25, read_gb=2.0, delete_gb=0.5)
+        assert s.total_write_gb == pytest.approx(1.75)
