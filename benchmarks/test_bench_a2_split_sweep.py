@@ -14,31 +14,30 @@ from __future__ import annotations
 
 from repro.analysis.claims import ClaimCheck, Comparison
 from repro.analysis.reporting import format_table
-from repro.core.config import default_config
-from repro.core.partitions import density_gain
-from repro.sim.baselines import build_sos, build_tlc_baseline
-from repro.sim.engine import run_lifetime
-from repro.workloads.mobile import MobileWorkload, WorkloadConfig
+from repro.runner import Sweep, run_sweep
+from repro.runner.points import split_point
 
-from .common import report, run_once
+from .common import report, run_once, runner_jobs
 
 YEARS = 3
 FRACTIONS = (0.1, 0.25, 0.5, 0.75, 0.9)
 
 
 def compute():
-    summaries = MobileWorkload(
-        WorkloadConfig(mix="typical", days=YEARS * 365, seed=505)
-    ).daily_summaries()
-    tlc = build_tlc_baseline(64.0)
-    out = []
-    for fraction in FRACTIONS:
-        build = build_sos(64.0, spare_fraction=fraction)
-        result = run_lifetime(build, summaries)
-        gain = density_gain(default_config(spare_fraction=fraction))
-        carbon_reduction = 1 - build.intensity_kg_per_gb / tlc.intensity_kg_per_gb
-        out.append((fraction, gain, carbon_reduction, result))
-    return out
+    sweep = Sweep(
+        name="a2-split-sweep",
+        fn=split_point,
+        grid=tuple(
+            {"spare_fraction": f, "capacity_gb": 64.0, "mix": "typical",
+             "days": YEARS * 365, "workload_seed": 505}
+            for f in FRACTIONS
+        ),
+        base_seed=505,
+    )
+    points = run_sweep(sweep, jobs=runner_jobs()).values()
+    return [
+        (p["fraction"], p["gain"], p["carbon_reduction"], p["result"]) for p in points
+    ]
 
 
 def test_bench_a2_split_sweep(benchmark):

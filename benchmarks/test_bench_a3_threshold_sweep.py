@@ -16,24 +16,27 @@ from __future__ import annotations
 
 from repro.analysis.claims import ClaimCheck, Comparison
 from repro.analysis.reporting import format_table
-from repro.classify.classifier import train_classifier
-from repro.classify.corpus import CorpusConfig, generate_corpus
+from repro.runner import Sweep, run_sweep
+from repro.runner.points import threshold_point
 
-from .common import report, run_once
+from .common import report, run_once, runner_jobs
 
 NOW = 2.0
 THRESHOLDS = (0.05, 0.2, 0.35, 0.5, 0.7, 0.9)
 
 
 def compute():
-    corpus = generate_corpus(CorpusConfig(n_files=6000), seed=606)
-    out = []
-    for threshold in THRESHOLDS:
-        _, metrics = train_classifier(
-            corpus, NOW, demote_threshold=threshold, seed=606
-        )
-        out.append((threshold, metrics))
-    return out
+    sweep = Sweep(
+        name="a3-threshold-sweep",
+        fn=threshold_point,
+        grid=tuple(
+            {"threshold": t, "n_files": 6000, "now_years": NOW, "corpus_seed": 606}
+            for t in THRESHOLDS
+        ),
+        base_seed=606,
+    )
+    metrics = run_sweep(sweep, jobs=runner_jobs()).values()
+    return list(zip(THRESHOLDS, metrics))
 
 
 def test_bench_a3_threshold_sweep(benchmark):

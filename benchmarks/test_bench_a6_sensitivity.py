@@ -14,17 +14,12 @@ checks that E11's conclusions survive every combination:
 
 from __future__ import annotations
 
-import dataclasses
-
 from repro.analysis.claims import ClaimCheck, Comparison
 from repro.analysis.reporting import format_table
-from repro.flash.cell import CellTechnology
-from repro.flash.reliability import ENDURANCE_TABLE, EnduranceSpec
-from repro.sim.baselines import build_sos, build_tlc_baseline
-from repro.sim.engine import run_lifetime
-from repro.workloads.mobile import MobileWorkload, WorkloadConfig
+from repro.runner import Sweep, run_sweep
+from repro.runner.points import sensitivity_point
 
-from .common import report, run_once
+from .common import report, run_once, runner_jobs
 
 #: PLC rated endurance: the paper's 6-10x-below-TLC band maps to 300-500.
 PLC_PEC_GRID = (300, 500, 700)
@@ -32,46 +27,19 @@ WAF_GRID = (1.5, 2.5, 3.5)
 YEARS = 3
 
 
-def _with_plc_pec(pec: int):
-    """Temporarily override the PLC endurance table entry."""
-    original = ENDURANCE_TABLE[CellTechnology.PLC]
-    ENDURANCE_TABLE[CellTechnology.PLC] = dataclasses.replace(
-        original, rated_pec=pec
-    )
-    return original
-
-
 def compute():
-    summaries = MobileWorkload(
-        WorkloadConfig(mix="typical", days=YEARS * 365, seed=111)
-    ).daily_summaries()
-    grid = []
-    for plc_pec in PLC_PEC_GRID:
-        original = _with_plc_pec(plc_pec)
-        try:
-            for waf in WAF_GRID:
-                sos_build = build_sos(64.0)
-                for part in sos_build.device.partitions.values():
-                    part.spec = dataclasses.replace(part.spec, waf=waf)
-                result = run_lifetime(sos_build, summaries)
-                tlc = build_tlc_baseline(64.0)
-                capacity_fraction = result.final.capacity_gb / 64.0
-                grid.append({
-                    "plc_pec": plc_pec,
-                    "waf": waf,
-                    # usable = acceptable media quality and bounded capacity
-                    # loss; §4.3's resuscitation makes capacity shrink the
-                    # *designed* response at pessimistic calibrations
-                    "usable": result.final.spare_quality >= 0.85
-                    and capacity_fraction >= 0.75,
-                    "capacity_fraction": capacity_fraction,
-                    "sys_wear": result.final.sys_wear_fraction,
-                    "quality": result.final.spare_quality,
-                    "carbon_ok": sos_build.intensity_kg_per_gb < tlc.intensity_kg_per_gb,
-                })
-        finally:
-            ENDURANCE_TABLE[CellTechnology.PLC] = original
-    return grid
+    sweep = Sweep(
+        name="a6-sensitivity",
+        fn=sensitivity_point,
+        grid=tuple(
+            {"plc_pec": plc_pec, "waf": waf, "capacity_gb": 64.0,
+             "mix": "typical", "days": YEARS * 365, "workload_seed": 111}
+            for plc_pec in PLC_PEC_GRID
+            for waf in WAF_GRID
+        ),
+        base_seed=111,
+    )
+    return run_sweep(sweep, jobs=runner_jobs()).values()
 
 
 def test_bench_a6_sensitivity(benchmark):

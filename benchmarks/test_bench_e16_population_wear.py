@@ -18,11 +18,10 @@ import numpy as np
 
 from repro.analysis.claims import ClaimCheck, Comparison
 from repro.analysis.reporting import format_table
-from repro.sim.baselines import build_tlc_baseline
-from repro.sim.engine import run_lifetime
-from repro.workloads.mobile import MobileWorkload, WorkloadConfig
+from repro.runner import Sweep, run_sweep
+from repro.runner.points import population_point
 
-from .common import report, run_once
+from .common import report, run_once, runner_jobs
 
 N_USERS = 200
 SERVICE_YEARS = 2.5
@@ -31,19 +30,20 @@ MIX_WEIGHTS = {"light": 0.35, "typical": 0.45, "heavy": 0.18, "adversarial": 0.0
 
 
 def compute():
+    # Mix assignment draws sequentially from one rng stream, so it is
+    # precomputed serially here; only the per-user lifetime runs fan out.
     rng = np.random.default_rng(606)
     mixes = list(MIX_WEIGHTS)
     weights = np.array([MIX_WEIGHTS[m] for m in mixes])
-    wear = []
     days = int(SERVICE_YEARS * 365)
-    for user in range(N_USERS):
-        mix = mixes[rng.choice(len(mixes), p=weights / weights.sum())]
-        summaries = MobileWorkload(
-            WorkloadConfig(mix=mix, days=days, seed=1000 + user)
-        ).daily_summaries()
-        result = run_lifetime(build_tlc_baseline(64.0), summaries)
-        wear.append(result.final.sys_wear_fraction)
-    return np.array(wear)
+    grid = tuple(
+        {"mix": mixes[rng.choice(len(mixes), p=weights / weights.sum())],
+         "capacity_gb": 64.0, "days": days, "workload_seed": 1000 + user}
+        for user in range(N_USERS)
+    )
+    sweep = Sweep(name="e16-population-wear", fn=population_point,
+                  grid=grid, base_seed=606)
+    return np.array(run_sweep(sweep, jobs=runner_jobs()).values())
 
 
 def test_bench_e16_population_wear(benchmark):

@@ -1,0 +1,59 @@
+"""Runner scaling smoke: serial vs parallel sweep wall time.
+
+Runs a small A6-style sensitivity grid through ``run_sweep`` once
+serially and once with ``jobs=2``, checks the two executions return
+bit-identical points (the runner's core guarantee), and writes both
+wall times to ``BENCH_runner.json`` so perf regressions in the fan-out
+path show up in review.
+
+Skipped on single-core boxes: there is no speedup to measure and the
+fork/pickle overhead dominates.  The determinism half of the guarantee
+is still covered everywhere by ``tests/runner/test_sweep.py``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.runner import Sweep, run_sweep, write_bench_json
+from repro.runner.points import sensitivity_point
+
+from .common import report_path, run_once
+
+pytestmark = pytest.mark.skipif(
+    (os.cpu_count() or 1) < 2,
+    reason="runner scaling needs >=2 CPUs; determinism is tested elsewhere",
+)
+
+GRID = tuple(
+    {"plc_pec": plc_pec, "waf": waf, "capacity_gb": 64.0,
+     "mix": "typical", "days": 365, "workload_seed": 111}
+    for plc_pec in (300, 700)
+    for waf in (1.5, 3.5)
+)
+
+
+def _sweep():
+    return Sweep(name="runner-scaling", fn=sensitivity_point, grid=GRID,
+                 base_seed=111)
+
+
+def compute():
+    serial = run_sweep(_sweep(), jobs=1)
+    parallel = run_sweep(_sweep(), jobs=2)
+    return serial, parallel
+
+
+def test_bench_runner_scaling(benchmark):
+    serial, parallel = run_once(benchmark, compute)
+    assert serial.values() == parallel.values(), (
+        "parallel sweep diverged from serial"
+    )
+    out = report_path("BENCH_runner.json")
+    write_bench_json(out, [serial, parallel],
+                     notes="runner scaling smoke: serial vs jobs=2")
+    speedup = serial.total_wall_s / max(parallel.total_wall_s, 1e-9)
+    print(f"\nserial {serial.total_wall_s:.2f}s vs jobs=2 "
+          f"{parallel.total_wall_s:.2f}s ({speedup:.2f}x); wrote {out}")

@@ -107,19 +107,28 @@ def _cmd_credits(args: argparse.Namespace) -> None:
 
 
 def _cmd_lifetime(args: argparse.Namespace) -> None:
+    from repro.runner import Sweep, run_sweep, write_bench_json
+    from repro.runner.points import lifetime_point
     from repro.sim.baselines import ALL_BUILDERS
-    from repro.sim.engine import run_lifetime
-    from repro.workloads.mobile import MobileWorkload, WorkloadConfig
 
-    summaries = MobileWorkload(
-        WorkloadConfig(mix=args.mix, days=args.years * 365, seed=args.seed)
-    ).daily_summaries()
+    grid = tuple(
+        {
+            "build": name,
+            "capacity_gb": args.capacity_gb,
+            "mix": args.mix,
+            "days": args.years * 365,
+            "workload_seed": args.seed,
+        }
+        for name in ALL_BUILDERS
+    )
+    sweep = Sweep(name="cli-lifetime", fn=lifetime_point, grid=grid, base_seed=args.seed)
+    outcome = run_sweep(sweep, jobs=args.jobs, cache_dir=args.cache_dir)
     rows = []
-    for name, builder in ALL_BUILDERS.items():
-        result = run_lifetime(builder(args.capacity_gb), summaries)
+    for point in outcome.points:
+        result = point.value
         final = result.final
         rows.append([
-            name, f"{result.embodied_kg:.2f}",
+            point.params["build"], f"{result.embodied_kg:.2f}",
             f"{final.sys_wear_fraction * 100:.1f}%",
             f"{final.spare_quality:.3f}", f"{final.capacity_gb:.1f}",
             "yes" if result.survived() else "degraded",
@@ -129,6 +138,9 @@ def _cmd_lifetime(args: argparse.Namespace) -> None:
          "capacity left (GB)", f"healthy at {args.years}y"],
         rows,
         title=f"{args.capacity_gb:.0f} GB, {args.years}y, '{args.mix}' mix"))
+    if args.bench_json:
+        write_bench_json(args.bench_json, [outcome], notes="repro.cli lifetime")
+        print(f"\nwrote per-point timings to {args.bench_json}")
 
 
 def _cmd_experiments(args: argparse.Namespace) -> None:
@@ -192,6 +204,12 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--years", type=int, default=3)
     p.add_argument("--capacity-gb", type=float, default=64.0)
     p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for the device sweep (1 = serial)")
+    p.add_argument("--cache-dir", default=None,
+                   help="sweep result cache directory (default: no cache)")
+    p.add_argument("--bench-json", default=None, metavar="PATH",
+                   help="write per-point wall times (BENCH_runner.json format)")
     p.set_defaults(func=_cmd_lifetime)
 
     p = sub.add_parser("experiments", help="list all reproducible experiments")

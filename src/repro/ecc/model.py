@@ -22,9 +22,17 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
 from scipy import stats
 
-__all__ = ["CodewordSpec", "codeword_failure_prob", "page_failure_prob", "residual_ber"]
+__all__ = [
+    "CodewordSpec",
+    "codeword_failure_prob",
+    "page_failure_prob",
+    "residual_ber",
+    "page_failure_prob_many",
+    "residual_ber_many",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -92,3 +100,34 @@ def residual_ber(spec: CodewordSpec, rber: float) -> float:
     mean_given_fail = (mean_errors - below) / p_fail
     # floating-point cancellation can leave a tiny negative residue
     return max(0.0, mean_given_fail * p_fail / spec.n)
+
+
+def page_failure_prob_many(
+    spec: CodewordSpec, rber: np.ndarray, codewords_per_page: int
+) -> np.ndarray:
+    """Vectorized :func:`page_failure_prob` over an array of RBER values."""
+    if codewords_per_page < 1:
+        raise ValueError("codewords_per_page must be >= 1")
+    rber = np.asarray(rber, dtype=float)
+    if np.any((rber < 0.0) | (rber > 1.0)):
+        raise ValueError("rber must be in [0, 1]")
+    p_cw = np.where(rber > 0.0, stats.binom.sf(spec.t, spec.n, rber), 0.0)
+    saturated = p_cw >= 1.0
+    # log-space to stay accurate for tiny probabilities
+    safe = np.where(saturated, 0.0, p_cw)
+    out = -np.expm1(codewords_per_page * np.log1p(-safe))
+    return np.where(saturated, 1.0, out)
+
+
+def residual_ber_many(spec: CodewordSpec, rber: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`residual_ber` over an array of RBER values."""
+    rber = np.asarray(rber, dtype=float)
+    if spec.t == 0:
+        return rber.astype(float, copy=True)
+    p_fail = np.where(rber > 0.0, stats.binom.sf(spec.t, spec.n, rber), 0.0)
+    mean_errors = spec.n * rber
+    j = np.arange(spec.t + 1, dtype=float)
+    below = (j[:, None] * stats.binom.pmf(j[:, None], spec.n, rber[None, :])).sum(axis=0)
+    # mean_given_fail * p_fail == mean_errors - below; guard the p_fail == 0
+    # branch of the scalar form and clamp the cancellation residue
+    return np.where(p_fail > 0.0, np.maximum(0.0, mean_errors - below) / spec.n, 0.0)

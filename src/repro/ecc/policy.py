@@ -19,9 +19,17 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
+import numpy as np
+
 from .bch import BCHCode
 from .hamming import HammingSecDed
-from .model import CodewordSpec, page_failure_prob, residual_ber
+from .model import (
+    CodewordSpec,
+    page_failure_prob,
+    page_failure_prob_many,
+    residual_ber,
+    residual_ber_many,
+)
 
 __all__ = ["ProtectionLevel", "ProtectionPolicy", "POLICIES"]
 
@@ -70,9 +78,20 @@ class ProtectionPolicy:
         codewords = max(1, page_bits // self.spec.k)
         return page_failure_prob(self.spec, rber, codewords)
 
+    def page_failure_prob_many(self, rber: np.ndarray, page_bits: int) -> np.ndarray:
+        """Vectorized :meth:`page_failure_prob` over an RBER array."""
+        if self.level is ProtectionLevel.NONE:
+            return np.zeros_like(np.asarray(rber, dtype=float))
+        codewords = max(1, page_bits // self.spec.k)
+        return page_failure_prob_many(self.spec, rber, codewords)
+
     def residual_ber(self, rber: float) -> float:
         """Application-visible bit error rate after this protection."""
         return residual_ber(self.spec, rber)
+
+    def residual_ber_many(self, rber: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`residual_ber` over an RBER array."""
+        return residual_ber_many(self.spec, rber)
 
     @property
     def capacity_overhead(self) -> float:

@@ -34,11 +34,14 @@ pseudo vs native), which the structure above guarantees.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
 
 from .cell import CellMode
-from .reliability import ENDURANCE_TABLE, endurance_pec, retention_years
+from .reliability import ENDURANCE_TABLE, EnduranceSpec, endurance_pec, retention_years
 
-__all__ = ["ErrorModel", "RberBreakdown"]
+__all__ = ["ErrorModel", "RberBreakdown", "cached_error_model"]
 
 #: Reads to a block before read-disturb contributes ~100% extra RBER.
 READ_DISTURB_SCALE = 500_000.0
@@ -133,6 +136,29 @@ class ErrorModel:
         """Raw bit error rate at the given stress point (capped at 0.5)."""
         return min(0.5, self.breakdown(pec, years_since_write, reads_since_write).total)
 
+    def rber_many(
+        self,
+        pec: np.ndarray,
+        years_since_write: np.ndarray | float = 0.0,
+        reads_since_write: np.ndarray | float = 0.0,
+    ) -> np.ndarray:
+        """Vectorized :meth:`rber` over arrays of stress points.
+
+        Elementwise identical to the scalar form; used by the epoch model
+        to evaluate whole partitions of block groups in one call.  Unlike
+        the scalar form, inputs are not validated -- callers must pass
+        non-negative stress values (negative wear would silently produce
+        nonsense through the power law).
+        """
+        pec = np.asarray(pec, dtype=float)
+        years = np.asarray(years_since_write, dtype=float)
+        reads = np.asarray(reads_since_write, dtype=float)
+        wear_ratio = pec / self._rated_pec
+        wear = 1.0 + _WEAR_KNEE_MULTIPLIER * wear_ratio**self._growth
+        retention = 1.0 + (years / self._retention_horizon_years) * (1.0 + wear_ratio)
+        disturb = 1.0 + reads / READ_DISTURB_SCALE
+        return np.minimum(0.5, self._baseline * wear * retention * disturb)
+
     def pec_for_rber(
         self, target_rber: float, years_since_write: float = 0.0
     ) -> float:
@@ -158,3 +184,23 @@ class ErrorModel:
             else:
                 hi = mid
         return (lo + hi) / 2.0
+
+
+@lru_cache(maxsize=64)
+def _cached_model(
+    mode: CellMode, spec: EnduranceSpec, rated_pec: int, retention: float
+) -> ErrorModel:
+    return ErrorModel(mode)
+
+
+def cached_error_model(mode: CellMode) -> ErrorModel:
+    """Shared :class:`ErrorModel` instance for ``mode``.
+
+    An ``ErrorModel`` snapshots the endurance/retention tables at
+    construction, and experiments (A6) temporarily override those tables,
+    so the cache key includes every table value the model reads -- a
+    table override transparently yields a different cached instance.
+    """
+    return _cached_model(
+        mode, ENDURANCE_TABLE[mode.technology], endurance_pec(mode), retention_years(mode)
+    )

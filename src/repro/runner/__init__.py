@@ -1,0 +1,30 @@
+"""Deterministic parallel experiment runner.
+
+The sweep harness behind the ablation benchmarks and the CLI: fan a grid
+of independent ``fn(params, seed)`` points out over worker processes,
+cache point results on disk keyed by a stable config hash, and record
+per-point wall times for the ``BENCH_runner.json`` perf baseline.
+
+* :mod:`repro.runner.sweep`   -- Sweep/SweepResult API and the executor
+* :mod:`repro.runner.cache`   -- stable hashing + pickle-per-key store
+* :mod:`repro.runner.metrics` -- BENCH_runner.json emission
+* :mod:`repro.runner.points`  -- picklable experiment point functions
+"""
+
+from .cache import CacheEntry, ResultCache, stable_key
+from .metrics import BENCH_SCHEMA, bench_record, write_bench_json
+from .sweep import PointResult, Sweep, SweepResult, derive_seeds, run_sweep
+
+__all__ = [
+    "CacheEntry",
+    "ResultCache",
+    "stable_key",
+    "BENCH_SCHEMA",
+    "bench_record",
+    "write_bench_json",
+    "PointResult",
+    "Sweep",
+    "SweepResult",
+    "derive_seeds",
+    "run_sweep",
+]

@@ -1,0 +1,96 @@
+"""On-disk result cache for sweep points.
+
+Each sweep point is identified by a *stable key*: the SHA-256 of a
+canonical JSON encoding of everything that determines its result -- the
+sweep name, a code-version tag, the point's parameters, and its derived
+seed.  Results are pickled one-file-per-key, written atomically, so a
+re-run of a sweep only computes points whose key changed (new params,
+new seed derivation, or a bumped version tag).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+__all__ = ["CacheEntry", "ResultCache", "stable_key"]
+
+
+def _jsonable(obj: Any) -> Any:
+    """Coerce ``obj`` into a canonical JSON-encodable form.
+
+    Tuples become lists, dict keys must be strings, and anything that is
+    not a plain scalar/collection is rejected -- a cache key must never
+    depend on ``repr`` of an arbitrary object.
+    """
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(item) for item in obj]
+    if isinstance(obj, dict):
+        out = {}
+        for key, value in obj.items():
+            if not isinstance(key, str):
+                raise TypeError(f"cache-key dict keys must be str, got {key!r}")
+            out[key] = _jsonable(value)
+        return out
+    raise TypeError(f"value {obj!r} of type {type(obj).__name__} is not cache-keyable")
+
+
+def stable_key(obj: Any) -> str:
+    """SHA-256 hex digest of the canonical JSON encoding of ``obj``."""
+    canonical = json.dumps(_jsonable(obj), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True, slots=True)
+class CacheEntry:
+    """One cached point result plus the wall time of its original compute."""
+
+    value: Any
+    wall_s: float
+
+
+class ResultCache:
+    """Pickle-per-key store under one directory."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.pkl"
+
+    def load(self, key: str) -> CacheEntry | None:
+        """Return the cached entry for ``key``, or None on miss/corruption."""
+        path = self._path(key)
+        try:
+            with path.open("rb") as fh:
+                payload = pickle.load(fh)
+            return CacheEntry(value=payload["value"], wall_s=payload["wall_s"])
+        except FileNotFoundError:
+            return None
+        except (pickle.UnpicklingError, EOFError, KeyError):
+            # a torn or stale file is a miss, not an error
+            return None
+
+    def store(self, key: str, value: Any, wall_s: float) -> None:
+        """Atomically persist one point result."""
+        path = self._path(key)
+        fd, tmp_name = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump({"value": value, "wall_s": wall_s}, fh)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except FileNotFoundError:
+                pass
+            raise

@@ -1,0 +1,64 @@
+"""Timing/metrics layer: turn sweep results into a perf baseline.
+
+``BENCH_runner.json`` is the repo's recorded perf trajectory for the
+sweep runner: per-point compute wall times plus enough host context
+(CPU count, python version) to interpret them.  The scaling smoke
+benchmark and the CLI both emit it through :func:`write_bench_json`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+from .sweep import SweepResult
+
+__all__ = ["BENCH_SCHEMA", "bench_record", "write_bench_json"]
+
+#: Schema tag for BENCH_runner.json consumers.
+BENCH_SCHEMA = "repro.runner.bench/v1"
+
+
+def bench_record(result: SweepResult) -> dict:
+    """JSON-able timing record for one sweep run."""
+    return {
+        "sweep": result.name,
+        "jobs": result.jobs,
+        "total_wall_s": result.total_wall_s,
+        "cached_points": result.cached_count,
+        "computed_points": result.computed_count,
+        "points": [
+            {
+                "index": p.index,
+                "params": p.params,
+                "seed": p.seed,
+                "wall_s": p.wall_s,
+                "cached": p.cached,
+            }
+            for p in result.points
+        ],
+    }
+
+
+def write_bench_json(
+    path: str | Path,
+    results: list[SweepResult],
+    notes: str = "",
+) -> dict:
+    """Write a ``BENCH_runner.json`` perf baseline and return its payload."""
+    payload = {
+        "schema": BENCH_SCHEMA,
+        "generated_unix": int(time.time()),
+        "host": {
+            "cpus": os.cpu_count(),
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+        "notes": notes,
+        "sweeps": [bench_record(r) for r in results],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+    return payload

@@ -1,0 +1,153 @@
+"""Picklable sweep-point functions for the sweep-shaped experiments.
+
+Worker processes unpickle point functions by module reference, so every
+function the runner fans out must live at module scope in an importable
+module.  This module hosts the point functions behind the CLI
+``lifetime`` command and the sweep-shaped benchmarks (A2 split sweep,
+A3 threshold sweep, A6 sensitivity grid, E16 population wear).
+
+Each function takes ``(params, seed)``: ``params`` is the plain-data
+grid point, ``seed`` is the runner-derived per-point seed.  Experiments
+that pin their own workload seeds (to reproduce published tables) carry
+them in ``params`` and ignore the derived seed; population-style sweeps
+use the derived seed directly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.workloads.mobile import MobileWorkload, WorkloadConfig
+
+__all__ = [
+    "lifetime_point",
+    "split_point",
+    "threshold_point",
+    "sensitivity_point",
+    "population_point",
+]
+
+
+def _summaries(mix: str, days: int, seed: int):
+    return MobileWorkload(WorkloadConfig(mix=mix, days=days, seed=seed)).daily_summaries()
+
+
+def lifetime_point(params: dict, seed: int):
+    """One (build, workload) lifetime run; the CLI ``lifetime`` point.
+
+    params: ``build`` (key into ALL_BUILDERS), ``capacity_gb``, ``mix``,
+    ``days``, ``workload_seed`` (optional; the derived seed otherwise).
+    Returns the :class:`~repro.sim.engine.LifetimeResult`.
+    """
+    from repro.sim.baselines import ALL_BUILDERS
+    from repro.sim.engine import run_lifetime
+
+    workload_seed = params.get("workload_seed")
+    summaries = _summaries(
+        params["mix"], params["days"], seed if workload_seed is None else workload_seed
+    )
+    build = ALL_BUILDERS[params["build"]](params["capacity_gb"])
+    return run_lifetime(build, summaries)
+
+
+def split_point(params: dict, seed: int) -> dict:
+    """One SPARE-fraction point of the A2 split sweep.
+
+    params: ``spare_fraction``, ``capacity_gb``, ``mix``, ``days``,
+    ``workload_seed``.
+    """
+    from repro.core.config import default_config
+    from repro.core.partitions import density_gain
+    from repro.sim.baselines import build_sos, build_tlc_baseline
+    from repro.sim.engine import run_lifetime
+
+    fraction = params["spare_fraction"]
+    summaries = _summaries(params["mix"], params["days"], params["workload_seed"])
+    tlc = build_tlc_baseline(params["capacity_gb"])
+    build = build_sos(params["capacity_gb"], spare_fraction=fraction)
+    result = run_lifetime(build, summaries)
+    return {
+        "fraction": fraction,
+        "gain": density_gain(default_config(spare_fraction=fraction)),
+        "carbon_reduction": 1 - build.intensity_kg_per_gb / tlc.intensity_kg_per_gb,
+        "result": result,
+    }
+
+
+def threshold_point(params: dict, seed: int):
+    """One demote-threshold point of the A3 classifier sweep.
+
+    params: ``threshold``, ``n_files``, ``now_years``, ``corpus_seed``.
+    The corpus is regenerated per point from ``corpus_seed``, so every
+    point trains on the identical corpus regardless of worker placement.
+    """
+    from repro.classify.classifier import train_classifier
+    from repro.classify.corpus import CorpusConfig, generate_corpus
+
+    corpus = generate_corpus(
+        CorpusConfig(n_files=params["n_files"]), seed=params["corpus_seed"]
+    )
+    _, metrics = train_classifier(
+        corpus,
+        params["now_years"],
+        demote_threshold=params["threshold"],
+        seed=params["corpus_seed"],
+    )
+    return metrics
+
+
+def sensitivity_point(params: dict, seed: int) -> dict:
+    """One (PLC-PEC, WAF) point of the A6 calibration-sensitivity grid.
+
+    params: ``plc_pec``, ``waf``, ``capacity_gb``, ``mix``, ``days``,
+    ``workload_seed``.  The PLC endurance-table override is applied and
+    restored inside the point, so points stay independent no matter
+    which process runs them.
+    """
+    from repro.flash.cell import CellTechnology
+    from repro.flash.reliability import ENDURANCE_TABLE
+    from repro.sim.baselines import build_sos, build_tlc_baseline
+    from repro.sim.engine import run_lifetime
+
+    capacity = params["capacity_gb"]
+    summaries = _summaries(params["mix"], params["days"], params["workload_seed"])
+    original = ENDURANCE_TABLE[CellTechnology.PLC]
+    ENDURANCE_TABLE[CellTechnology.PLC] = dataclasses.replace(
+        original, rated_pec=params["plc_pec"]
+    )
+    try:
+        sos_build = build_sos(capacity)
+        for part in sos_build.device.partitions.values():
+            part.spec = dataclasses.replace(part.spec, waf=params["waf"])
+        result = run_lifetime(sos_build, summaries)
+        tlc = build_tlc_baseline(capacity)
+        capacity_fraction = result.final.capacity_gb / capacity
+        return {
+            "plc_pec": params["plc_pec"],
+            "waf": params["waf"],
+            # usable = acceptable media quality and bounded capacity
+            # loss; §4.3's resuscitation makes capacity shrink the
+            # *designed* response at pessimistic calibrations
+            "usable": result.final.spare_quality >= 0.85
+            and capacity_fraction >= 0.75,
+            "capacity_fraction": capacity_fraction,
+            "sys_wear": result.final.sys_wear_fraction,
+            "quality": result.final.spare_quality,
+            "carbon_ok": sos_build.intensity_kg_per_gb < tlc.intensity_kg_per_gb,
+        }
+    finally:
+        ENDURANCE_TABLE[CellTechnology.PLC] = original
+
+
+def population_point(params: dict, seed: int) -> float:
+    """One user of the E16 population-wear sweep.
+
+    params: ``mix``, ``capacity_gb``, ``days``, ``workload_seed``.
+    Returns the end-of-life SYS wear fraction.
+    """
+    from repro.sim.baselines import build_tlc_baseline
+    from repro.sim.engine import run_lifetime
+
+    summaries = _summaries(params["mix"], params["days"], params["workload_seed"])
+    result = run_lifetime(build_tlc_baseline(params["capacity_gb"]), summaries)
+    return result.final.sys_wear_fraction

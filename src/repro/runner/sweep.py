@@ -1,0 +1,204 @@
+"""Deterministic parallel sweep runner.
+
+A *sweep* is a named grid of independent experiment points, each a call
+of one picklable function ``fn(params, seed)``.  The runner owns three
+concerns the ad-hoc benchmark loops used to interleave:
+
+* **parallelism** -- points fan out over a
+  :class:`concurrent.futures.ProcessPoolExecutor` (``jobs`` workers);
+  ``jobs=1`` runs serially in-process, with bit-identical results,
+  because per-point seeds are derived from the point *index* via
+  :meth:`numpy.random.SeedSequence.spawn`, never from execution order;
+* **caching** -- with a ``cache_dir``, each point's result is persisted
+  under a stable hash of (sweep name, code-version tag, params, seed),
+  so re-running a sweep only computes changed points;
+* **timing** -- every point records its compute wall time, and the
+  sweep aggregates into a record that :mod:`repro.runner.metrics` can
+  emit as a ``BENCH_runner.json`` perf baseline.
+
+``fn`` must be importable at module scope (workers unpickle it by
+reference) and ``params`` must be plain JSON-able data (the cache key
+requires it even when caching is off, which keeps sweeps cacheable by
+construction).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro import __version__ as _CODE_VERSION
+
+from .cache import ResultCache, stable_key
+
+__all__ = ["Sweep", "PointResult", "SweepResult", "derive_seeds", "run_sweep"]
+
+
+@dataclass(frozen=True, slots=True)
+class Sweep:
+    """A named grid of independent ``fn(params, seed)`` points.
+
+    Attributes
+    ----------
+    name:
+        Sweep identity; part of every point's cache key.
+    fn:
+        Module-level callable executed per point.  Must be picklable so
+        worker processes can import it by reference.
+    grid:
+        One params dict per point (plain JSON-able values only).
+    base_seed:
+        Root of the per-point seed derivation.
+    version_tag:
+        Code-version component of the cache key; bump it when the code
+        behind ``fn`` changes meaning so stale cached results are not
+        reused.  The package version is always included as well.
+    """
+
+    name: str
+    fn: Callable[[dict, int], Any]
+    grid: tuple[dict, ...]
+    base_seed: int = 0
+    version_tag: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.grid:
+            raise ValueError("sweep grid must contain at least one point")
+
+    def point_key(self, index: int, seed: int) -> str:
+        """Stable cache key for one point."""
+        return stable_key(
+            {
+                "sweep": self.name,
+                "code": f"{_CODE_VERSION}|{self.version_tag}",
+                "params": self.grid[index],
+                "seed": seed,
+            }
+        )
+
+
+@dataclass(slots=True)
+class PointResult:
+    """Outcome of one sweep point."""
+
+    index: int
+    params: dict
+    seed: int
+    value: Any
+    #: wall time of the compute that produced ``value`` (the original
+    #: compute's time when the point was served from cache)
+    wall_s: float
+    cached: bool
+
+
+@dataclass(slots=True)
+class SweepResult:
+    """All point results of one sweep run, in grid order."""
+
+    name: str
+    jobs: int
+    total_wall_s: float
+    points: list[PointResult] = field(default_factory=list)
+
+    def values(self) -> list[Any]:
+        """Point values in grid order."""
+        return [p.value for p in self.points]
+
+    @property
+    def cached_count(self) -> int:
+        """Points served from the on-disk cache."""
+        return sum(1 for p in self.points if p.cached)
+
+    @property
+    def computed_count(self) -> int:
+        """Points computed this run."""
+        return sum(1 for p in self.points if not p.cached)
+
+
+def derive_seeds(base_seed: int, n: int) -> list[int]:
+    """Per-point seeds from one root seed.
+
+    ``SeedSequence.spawn`` guarantees statistically independent child
+    streams, and the derivation depends only on ``(base_seed, index)`` --
+    not on worker count or completion order -- which is what makes
+    parallel runs bit-identical to serial ones.
+    """
+    children = np.random.SeedSequence(base_seed).spawn(n)
+    return [int(child.generate_state(1, dtype=np.uint64)[0]) for child in children]
+
+
+def _execute_point(fn: Callable[[dict, int], Any], params: dict, seed: int) -> tuple[Any, float]:
+    """Run one point, timing the call (runs inside worker processes)."""
+    start = time.perf_counter()
+    value = fn(params, seed)
+    return value, time.perf_counter() - start
+
+
+def run_sweep(
+    sweep: Sweep,
+    jobs: int = 1,
+    cache_dir: str | Path | None = None,
+) -> SweepResult:
+    """Run every point of ``sweep`` and return results in grid order.
+
+    Parameters
+    ----------
+    sweep:
+        The sweep definition.
+    jobs:
+        Worker processes; ``1`` runs serially in-process.
+    cache_dir:
+        Directory for the on-disk result cache; ``None`` disables
+        caching.
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    start = time.perf_counter()
+    n = len(sweep.grid)
+    seeds = derive_seeds(sweep.base_seed, n)
+    # keys are computed even with caching off, so every grid is
+    # validated as cache-keyable before any compute starts
+    keys = [sweep.point_key(i, seeds[i]) for i in range(n)]
+    cache = ResultCache(cache_dir) if cache_dir is not None else None
+
+    results: dict[int, PointResult] = {}
+    pending: list[int] = []
+    for i in range(n):
+        entry = cache.load(keys[i]) if cache is not None else None
+        if entry is not None:
+            results[i] = PointResult(
+                index=i, params=sweep.grid[i], seed=seeds[i],
+                value=entry.value, wall_s=entry.wall_s, cached=True,
+            )
+        else:
+            pending.append(i)
+
+    if jobs == 1 or len(pending) <= 1:
+        computed = [_execute_point(sweep.fn, sweep.grid[i], seeds[i]) for i in pending]
+    else:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as executor:
+            futures = [
+                executor.submit(_execute_point, sweep.fn, sweep.grid[i], seeds[i])
+                for i in pending
+            ]
+            computed = [f.result() for f in futures]
+
+    for i, (value, wall_s) in zip(pending, computed):
+        if cache is not None:
+            cache.store(keys[i], value, wall_s)
+        results[i] = PointResult(
+            index=i, params=sweep.grid[i], seed=seeds[i],
+            value=value, wall_s=wall_s, cached=False,
+        )
+
+    return SweepResult(
+        name=sweep.name,
+        jobs=jobs,
+        total_wall_s=time.perf_counter() - start,
+        points=[results[i] for i in range(n)],
+    )

@@ -124,19 +124,31 @@ def run_lifetime(
     device = build.device
     spare = device.partitions.get("spare")
     sys_part = device.partitions.get("sys") or device.partitions.get("main")
-    for summary in summaries:
+    for position, summary in enumerate(summaries):
         writes = _route_writes(build, summary, config)
         device.step_day(writes)
-        # deletions keep the working set stationary
-        for name, partition in device.partitions.items():
+        # deletions keep the working set stationary: the day's delete
+        # volume is apportioned across pressured partitions by live-data
+        # share, so multi-partition builds delete the same total volume
+        # as single-partition ones
+        pressured = []
+        for partition in device.partitions.values():
             utilization = (
                 partition.live_data_gb() / partition.capacity_gb()
                 if partition.capacity_gb() > 0
                 else 1.0
             )
             if utilization > 0.85:
-                partition.host_delete(summary.delete_gb)
-        if summary.day % config.sample_every_days == 0 or summary.day == len(summaries) - 1:
+                pressured.append(partition)
+        live_total = sum(p.live_data_gb() for p in pressured)
+        if live_total > 0:
+            for partition in pressured:
+                partition.host_delete(
+                    summary.delete_gb * partition.live_data_gb() / live_total
+                )
+        # sample the last summary by position: trace days may be sliced
+        # or 1-indexed, so the day value alone cannot identify the end
+        if summary.day % config.sample_every_days == 0 or position == len(summaries) - 1:
             assert sys_part is not None
             result.samples.append(
                 DaySample(

@@ -22,16 +22,24 @@ Wear placement policy per partition:
 * ``wear_leveling=False`` (SOS SPARE): *churn* writes concentrate on a
   hot subset of groups while *new* data appends round-robin to the
   coldest groups -- worn blocks are simply allowed to wear (§4.3).
+
+Group state is stored as structure-of-arrays on the partition (one numpy
+array per field) so the daily hot path -- write placement, RBER
+evaluation, quality and failure aggregation -- runs as whole-partition
+array operations.  :class:`BlockGroup` remains the public per-group
+handle: it is a write-through view onto one slot of those arrays, so
+tests and callers can keep reading and poking individual groups.
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
+
+import numpy as np
 
 from repro.ecc.policy import ProtectionPolicy
 from repro.flash.cell import CellMode
-from repro.flash.error_model import ErrorModel
+from repro.flash.error_model import cached_error_model
 from repro.flash.reliability import endurance_pec
 
 __all__ = ["PartitionSpec", "BlockGroup", "Partition", "LifetimeDevice"]
@@ -67,18 +75,80 @@ class PartitionSpec:
     n_groups: int = 20
 
 
-@dataclass(slots=True)
 class BlockGroup:
-    """A cohort of blocks wearing and aging together."""
+    """A cohort of blocks wearing and aging together.
 
-    mode: CellMode
-    capacity_gb: float
-    pec: float = 0.0
-    #: mean simulation time at which live data was written
-    mean_write_time: float = 0.0
-    live_gb: float = 0.0
-    retired: bool = False
-    refreshes: int = 0
+    View onto one slot of the owning partition's state arrays: reads and
+    writes go straight through, so mutating a group (as tests do when
+    staging wear) is equivalent to mutating the partition state.
+    """
+
+    __slots__ = ("_partition", "_index")
+
+    def __init__(self, partition: "Partition", index: int) -> None:
+        self._partition = partition
+        self._index = index
+
+    # -- array-backed fields ----------------------------------------------------
+
+    @property
+    def mode(self) -> CellMode:
+        return self._partition._modes[self._index]
+
+    @mode.setter
+    def mode(self, value: CellMode) -> None:
+        self._partition._set_mode(self._index, value)
+
+    @property
+    def capacity_gb(self) -> float:
+        return float(self._partition._capacity[self._index])
+
+    @capacity_gb.setter
+    def capacity_gb(self, value: float) -> None:
+        self._partition._capacity[self._index] = value
+
+    @property
+    def pec(self) -> float:
+        return float(self._partition._pec[self._index])
+
+    @pec.setter
+    def pec(self, value: float) -> None:
+        self._partition._pec[self._index] = value
+
+    @property
+    def mean_write_time(self) -> float:
+        """Mean simulation time at which live data was written."""
+        return float(self._partition._write_time[self._index])
+
+    @mean_write_time.setter
+    def mean_write_time(self, value: float) -> None:
+        self._partition._write_time[self._index] = value
+
+    @property
+    def live_gb(self) -> float:
+        return float(self._partition._live[self._index])
+
+    @live_gb.setter
+    def live_gb(self, value: float) -> None:
+        self._partition._live[self._index] = value
+
+    @property
+    def retired(self) -> bool:
+        return bool(self._partition._retired[self._index])
+
+    @retired.setter
+    def retired(self, value: bool) -> None:
+        self._partition._retired[self._index] = value
+
+    @property
+    def refreshes(self) -> int:
+        return int(self._partition._refreshes[self._index])
+
+    @refreshes.setter
+    def refreshes(self, value: int) -> None:
+        self._partition._refreshes[self._index] = value
+
+    # -- behaviour --------------------------------------------------------------
 
     def data_age(self, now: float) -> float:
         """Mean retention age of the group's live data."""
@@ -88,20 +158,20 @@ class BlockGroup:
 
     def absorb_write(self, gb: float, now: float, waf: float) -> None:
         """Account host+amplified writes into this group."""
-        if self.retired or self.capacity_gb <= 0:
+        if self.retired or self.capacity_gb <= 0 or gb <= 0:
             return
-        self.pec += gb * waf / self.capacity_gb
-        new_live = min(self.capacity_gb, self.live_gb + gb)
-        if new_live > 0:
-            # blend write times: new bytes are written "now"
-            old_weight = max(0.0, new_live - gb) / new_live
-            self.mean_write_time = old_weight * self.mean_write_time + (1 - old_weight) * now
-        self.live_gb = new_live
+        self._partition._absorb(np.array([self._index]), gb, now, waf)
 
     def rber(self, now: float, extra_age: float = 0.0) -> float:
         """Predicted RBER of the group's data (optionally looking ahead)."""
-        model = ErrorModel(self.mode)
+        model = cached_error_model(self.mode)
         return model.rber(pec=self.pec, years_since_write=self.data_age(now) + extra_age)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BlockGroup(mode={self.mode.name}, capacity_gb={self.capacity_gb:.3f}, "
+            f"pec={self.pec:.1f}, live_gb={self.live_gb:.3f}, retired={self.retired})"
+        )
 
 
 class Partition:
@@ -109,8 +179,19 @@ class Partition:
 
     def __init__(self, spec: PartitionSpec) -> None:
         self.spec = spec
-        per_group = spec.capacity_gb / spec.n_groups
-        self.groups = [BlockGroup(spec.mode, per_group) for _ in range(spec.n_groups)]
+        n = spec.n_groups
+        per_group = spec.capacity_gb / n
+        self._capacity = np.full(n, per_group, dtype=float)
+        self._pec = np.zeros(n, dtype=float)
+        self._write_time = np.zeros(n, dtype=float)
+        self._live = np.zeros(n, dtype=float)
+        self._retired = np.zeros(n, dtype=bool)
+        self._refreshes = np.zeros(n, dtype=np.int64)
+        self._modes: list[CellMode] = [spec.mode] * n
+        #: lazily maintained: the single CellMode shared by every group, or
+        #: None once resuscitation (or a test) makes modes heterogeneous
+        self._uniform_mode: CellMode | None = spec.mode
+        self.groups = [BlockGroup(self, i) for i in range(n)]
         self._cold_cursor = 0
         self.refresh_writes_gb = 0.0
         self.retired_count = 0
@@ -121,28 +202,37 @@ class Partition:
 
     def live_groups(self) -> list[BlockGroup]:
         """Groups still in service."""
-        return [g for g in self.groups if not g.retired]
+        return [g for g, dead in zip(self.groups, self._retired) if not dead]
+
+    def _live_indices(self) -> np.ndarray:
+        return np.flatnonzero(~self._retired)
+
+    def _holder_indices(self) -> np.ndarray:
+        """Live groups currently holding data."""
+        return np.flatnonzero(~self._retired & (self._live > 0))
 
     def capacity_gb(self) -> float:
         """Current usable capacity (shrinks with retirement, §4.3)."""
-        return sum(g.capacity_gb for g in self.live_groups())
+        return float(self._capacity[~self._retired].sum())
 
     def live_data_gb(self) -> float:
         """Live data currently resident."""
-        return sum(g.live_gb for g in self.live_groups())
+        return float(self._live[~self._retired].sum())
 
     def mean_pec(self) -> float:
         """Capacity-weighted mean PEC over live groups."""
-        live = self.live_groups()
-        total = sum(g.capacity_gb for g in live)
+        alive = ~self._retired
+        total = self._capacity[alive].sum()
         if total == 0:
             return 0.0
-        return sum(g.pec * g.capacity_gb for g in live) / total
+        return float((self._pec[alive] * self._capacity[alive]).sum() / total)
 
     def max_pec(self) -> float:
         """Highest group PEC."""
-        live = self.live_groups()
-        return max((g.pec for g in live), default=0.0)
+        alive = ~self._retired
+        if not alive.any():
+            return 0.0
+        return float(self._pec[alive].max())
 
     def wear_used_fraction(self) -> float:
         """Mean PEC over rated endurance of the operating mode."""
@@ -150,31 +240,49 @@ class Partition:
 
     # -- writes --------------------------------------------------------------------
 
+    def _set_mode(self, index: int, mode: CellMode) -> None:
+        self._modes[index] = mode
+        self._uniform_mode = mode if all(m == mode for m in self._modes) else None
+
+    def _absorb(self, idx: np.ndarray, gb: float, now: float, waf: float) -> None:
+        """Account ``gb`` of host+amplified writes into *each* group in ``idx``.
+
+        ``idx`` must name non-retired groups with positive capacity and
+        ``gb`` must be positive (both hold for every internal caller, and
+        the guard in :meth:`BlockGroup.absorb_write` covers the view path),
+        so ``new_live`` is strictly positive and the write-time blend needs
+        no zero-division guard.
+        """
+        cap = self._capacity[idx]
+        self._pec[idx] += gb * waf / cap
+        new_live = np.minimum(cap, self._live[idx] + gb)
+        # blend write times: new bytes are written "now"
+        old_weight = np.maximum(0.0, new_live - gb) / new_live
+        self._write_time[idx] = old_weight * self._write_time[idx] + (1.0 - old_weight) * now
+        self._live[idx] = new_live
+
     def host_write(self, gb: float, now: float, churn: bool) -> None:
         """Apply host writes; churn concentrates on hot groups if WL off."""
         if gb <= 0:
             return
-        live = self.live_groups()
-        if not live:
+        live = self._live_indices()
+        if live.size == 0:
             return
         waf = self.spec.waf
         if self.spec.wear_leveling:
             waf *= 1.0 + WL_WRITE_OVERHEAD
-            share = gb / len(live)
-            for group in live:
-                group.absorb_write(share, now, waf)
+            self._absorb(live, gb / live.size, now, waf)
             return
         if churn:
-            hot_count = max(1, int(len(live) * HOT_GROUP_FRACTION))
-            hot = sorted(live, key=lambda g: -g.pec)[:hot_count]
-            share = gb / len(hot)
-            for group in hot:
-                group.absorb_write(share, now, waf)
+            hot_count = max(1, int(live.size * HOT_GROUP_FRACTION))
+            order = np.argsort(-self._pec[live], kind="stable")
+            hot = live[order[:hot_count]]
+            self._absorb(hot, gb / hot.size, now, waf)
         else:
             # append new data round-robin over the coldest groups
-            target = live[self._cold_cursor % len(live)]
+            target = live[self._cold_cursor % live.size]
             self._cold_cursor += 1
-            target.absorb_write(gb, now, waf)
+            self._absorb(np.array([target]), gb, now, waf)
 
     def host_delete(self, gb: float) -> None:
         """Remove live data (spread proportionally over groups)."""
@@ -182,40 +290,59 @@ class Partition:
         if total <= 0 or gb <= 0:
             return
         fraction = min(1.0, gb / total)
-        for group in self.live_groups():
-            group.live_gb *= 1.0 - fraction
+        alive = ~self._retired
+        self._live[alive] *= 1.0 - fraction
 
     # -- quality / reliability --------------------------------------------------------
 
+    def _rber_many(
+        self, idx: np.ndarray, now: float, extra_age: float = 0.0, from_data_age: bool = True
+    ) -> np.ndarray:
+        """RBER for each group in ``idx``, batched per operating mode."""
+        if from_data_age:
+            ages = np.where(
+                self._live[idx] > 0, np.maximum(0.0, now - self._write_time[idx]), 0.0
+            ) + extra_age
+        else:
+            ages = np.full(idx.size, extra_age)
+        if self._uniform_mode is not None:
+            return cached_error_model(self._uniform_mode).rber_many(self._pec[idx], ages)
+        out = np.empty(idx.size, dtype=float)
+        by_mode: dict[CellMode, list[int]] = {}
+        for pos, i in enumerate(idx):
+            by_mode.setdefault(self._modes[i], []).append(pos)
+        for mode, positions in by_mode.items():
+            model = cached_error_model(mode)
+            out[positions] = model.rber_many(self._pec[idx[positions]], ages[positions])
+        return out
+
     def worst_group_rber(self, now: float, horizon: float = 0.0) -> float:
         """Highest predicted RBER among live data-holding groups."""
-        holders = [g for g in self.live_groups() if g.live_gb > 0]
-        if not holders:
+        holders = self._holder_indices()
+        if holders.size == 0:
             return 0.0
-        return max(g.rber(now, extra_age=horizon) for g in holders)
+        return float(self._rber_many(holders, now, extra_age=horizon).max())
 
     def mean_quality(self, now: float) -> float:
         """Data-weighted quality proxy after the partition's protection."""
-        holders = [g for g in self.live_groups() if g.live_gb > 0]
-        if not holders:
+        holders = self._holder_indices()
+        if holders.size == 0:
             return 1.0
-        total = sum(g.live_gb for g in holders)
-        quality = 0.0
-        for group in holders:
-            residual = self.spec.protection.residual_ber(group.rber(now))
-            quality += math.exp(-self.spec.quality_sensitivity * residual) * group.live_gb
-        return quality / total
+        residual = self.spec.protection.residual_ber_many(self._rber_many(holders, now))
+        quality = np.exp(-self.spec.quality_sensitivity * residual)
+        live = self._live[holders]
+        return float((quality * live).sum() / live.sum())
 
     def expected_uncorrectable(self, now: float, page_bits: int = 4096 * 8) -> float:
         """Expected uncorrectable-page events across live data, this instant."""
-        events = 0.0
-        for group in self.live_groups():
-            if group.live_gb <= 0:
-                continue
-            pages = group.live_gb * 1e9 * 8 / page_bits
-            p_fail = self.spec.protection.page_failure_prob(group.rber(now), page_bits)
-            events += pages * p_fail
-        return events
+        holders = self._holder_indices()
+        if holders.size == 0:
+            return 0.0
+        pages = self._live[holders] * 1e9 * 8 / page_bits
+        p_fail = self.spec.protection.page_failure_prob_many(
+            self._rber_many(holders, now), page_bits
+        )
+        return float((pages * p_fail).sum())
 
     # -- maintenance --------------------------------------------------------------------
 
@@ -227,51 +354,57 @@ class Partition:
         self._health_check(now)
 
     def _scrub(self, now: float) -> None:
-        for group in self.live_groups():
-            if group.live_gb <= 0:
-                continue
-            look_ahead = group.rber(now, extra_age=self.spec.health_horizon_years)
-            residual = self.spec.protection.residual_ber(look_ahead)
-            quality = math.exp(-self.spec.quality_sensitivity * residual)
-            if quality < self.spec.scrub_quality_floor:
-                # rewrite the group's live data fresh (costs one group PEC
-                # worth of writes somewhere in the partition)
-                self.refresh_writes_gb += group.live_gb
-                group.pec += group.live_gb * self.spec.waf / group.capacity_gb
-                group.mean_write_time = now
-                group.refreshes += 1
+        holders = self._holder_indices()
+        if holders.size == 0:
+            return
+        look_ahead = self._rber_many(
+            holders, now, extra_age=self.spec.health_horizon_years
+        )
+        residual = self.spec.protection.residual_ber_many(look_ahead)
+        quality = np.exp(-self.spec.quality_sensitivity * residual)
+        refresh = holders[quality < self.spec.scrub_quality_floor]
+        if refresh.size == 0:
+            return
+        # rewrite each group's live data fresh (costs one group PEC
+        # worth of writes somewhere in the partition)
+        live = self._live[refresh]
+        self.refresh_writes_gb += float(live.sum())
+        self._pec[refresh] += live * self.spec.waf / self._capacity[refresh]
+        self._write_time[refresh] = now
+        self._refreshes[refresh] += 1
 
     def _health_check(self, now: float) -> None:
-        for group in self.live_groups():
-            model = ErrorModel(group.mode)
-            predicted = model.rber(
-                pec=group.pec, years_since_write=self.spec.health_horizon_years
-            )
-            if predicted <= self.spec.max_rber:
-                continue
+        live = self._live_indices()
+        if live.size == 0:
+            return
+        predicted = self._rber_many(
+            live, now, extra_age=self.spec.health_horizon_years, from_data_age=False
+        )
+        for i in live[predicted > self.spec.max_rber]:
+            mode = self._modes[i]
             resuscitated = False
             for bits in self.spec.resuscitation_bits:
-                if bits >= group.mode.operating_bits:
+                if bits >= mode.operating_bits:
                     continue
-                candidate = CellMode(group.mode.technology, bits)
-                cand_rber = ErrorModel(candidate).rber(
-                    pec=group.pec, years_since_write=self.spec.health_horizon_years
+                candidate = CellMode(mode.technology, bits)
+                cand_rber = cached_error_model(candidate).rber(
+                    pec=self._pec[i], years_since_write=self.spec.health_horizon_years
                 )
                 if cand_rber <= self.spec.max_rber:
                     # density drop: capacity shrinks proportionally; live
                     # data is re-hosted (counted as refresh writes)
-                    ratio = bits / group.mode.operating_bits
-                    self.refresh_writes_gb += group.live_gb
-                    group.capacity_gb *= ratio
-                    group.live_gb = min(group.live_gb, group.capacity_gb)
-                    group.mode = candidate
-                    group.mean_write_time = now
+                    ratio = bits / mode.operating_bits
+                    self.refresh_writes_gb += float(self._live[i])
+                    self._capacity[i] *= ratio
+                    self._live[i] = min(self._live[i], self._capacity[i])
+                    self._set_mode(int(i), candidate)
+                    self._write_time[i] = now
                     self.resuscitated_count += 1
                     resuscitated = True
                     break
             if not resuscitated:
-                group.retired = True
-                group.live_gb = 0.0
+                self._retired[i] = True
+                self._live[i] = 0.0
                 self.retired_count += 1
 
 

@@ -32,13 +32,25 @@ class ReplayStats:
     reads: int = 0
     deletes: int = 0
     skipped_full: int = 0
+    skipped_exists: int = 0
     daemon_runs: int = 0
     trim_events: int = 0
 
 
-def _create(device, op, attrs, rng, page, stats) -> bool:
+#: Outcomes of :func:`_create`.
+_CREATED = "created"
+_EXISTS = "exists"
+_FULL = "full"
+
+
+def _create(device, op, attrs, rng, page, stats) -> str:
     """Create a file; on partition exhaustion, run the daemon (demotion
-    frees SYS, trim frees capacity) and retry once.  Returns success."""
+    frees SYS, trim frees capacity) and retry once.
+
+    Returns one of ``_CREATED``, ``_EXISTS`` (duplicate path), or
+    ``_FULL`` (out of space even after the daemon ran) so the caller can
+    count duplicate-path creates separately from ENOSPC skips.
+    """
     for attempt in range(2):
         try:
             device.create_file(
@@ -46,15 +58,23 @@ def _create(device, op, attrs, rng, page, stats) -> bool:
                 content=lambda o: rng.bytes(min(page, 256)),
             )
             stats.creates += 1
-            return True
+            return _CREATED
         except FileExistsError:
-            return False
+            return _EXISTS
         except (FsFullError, OutOfSpaceError):
             if attempt == 1:
-                return False
+                return _FULL
             device.run_daemon()
             stats.daemon_runs += 1
-    return False
+    return _FULL
+
+
+def _count_skip(stats: ReplayStats, outcome: str) -> None:
+    """Attribute a failed create to the matching skip counter."""
+    if outcome == _EXISTS:
+        stats.skipped_exists += 1
+    elif outcome == _FULL:
+        stats.skipped_full += 1
 
 
 def replay(
@@ -79,9 +99,11 @@ def replay(
 
     Notes
     -----
-    CREATEs that exceed current capacity are skipped and counted --
-    a real device would return ENOSPC to the app; the trim policy then
-    frees space on the next daemon run.
+    CREATEs that exceed current capacity are skipped and counted in
+    ``skipped_full`` -- a real device would return ENOSPC to the app; the
+    trim policy then frees space on the next daemon run.  CREATEs naming
+    a path that already exists are counted in ``skipped_exists`` (EEXIST,
+    not a capacity event).
     """
     rng = np.random.default_rng(seed)
     stats = ReplayStats()
@@ -102,14 +124,16 @@ def replay(
                 last_access_years=device.now_years,
                 cloud_backed=op.cloud_backed,
             )
-            if not _create(device, op, attrs, rng, page, stats):
-                stats.skipped_full += 1
+            outcome = _create(device, op, attrs, rng, page, stats)
+            if outcome != _CREATED:
+                _count_skip(stats, outcome)
         elif op.kind is OpKind.OVERWRITE:
             try:
                 record = device.filesystem.lookup(op.path)
             except FileNotFoundError:
-                if not _create(device, op, None, rng, page, stats):
-                    stats.skipped_full += 1
+                outcome = _create(device, op, None, rng, page, stats)
+                if outcome != _CREATED:
+                    _count_skip(stats, outcome)
                     continue
                 record = device.filesystem.lookup(op.path)
             ordinal = int(rng.integers(0, len(record.extents)))

@@ -1,0 +1,55 @@
+"""Stable hashing and the pickle-per-key result cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runner import CacheEntry, ResultCache, stable_key
+
+
+class TestStableKey:
+    def test_deterministic(self):
+        obj = {"sweep": "s", "params": {"a": 1, "b": [1, 2.5, "x"]}, "seed": 7}
+        assert stable_key(obj) == stable_key(obj)
+
+    def test_dict_order_insensitive(self):
+        assert stable_key({"a": 1, "b": 2}) == stable_key({"b": 2, "a": 1})
+
+    def test_tuple_equals_list(self):
+        assert stable_key({"g": (1, 2)}) == stable_key({"g": [1, 2]})
+
+    def test_value_sensitivity(self):
+        base = stable_key({"a": 1})
+        assert stable_key({"a": 2}) != base
+        assert stable_key({"b": 1}) != base
+
+    def test_rejects_arbitrary_objects(self):
+        with pytest.raises(TypeError, match="not cache-keyable"):
+            stable_key({"fn": object()})
+
+    def test_rejects_non_string_dict_keys(self):
+        with pytest.raises(TypeError, match="must be str"):
+            stable_key({1: "x"})
+
+
+class TestResultCache:
+    def test_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = stable_key({"p": 1})
+        assert cache.load(key) is None
+        cache.store(key, {"answer": 42}, wall_s=0.5)
+        assert cache.load(key) == CacheEntry(value={"answer": 42}, wall_s=0.5)
+
+    def test_corrupt_file_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = stable_key({"p": 1})
+        cache.store(key, "value", wall_s=0.1)
+        (tmp_path / f"{key}.pkl").write_bytes(b"not a pickle")
+        assert cache.load(key) is None
+
+    def test_keys_isolate_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store(stable_key({"p": 1}), "one", wall_s=0.1)
+        cache.store(stable_key({"p": 2}), "two", wall_s=0.1)
+        assert cache.load(stable_key({"p": 1})).value == "one"
+        assert cache.load(stable_key({"p": 2})).value == "two"

@@ -1,0 +1,129 @@
+"""Sweep runner: seed derivation, determinism, caching, ordering."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.runner import Sweep, derive_seeds, run_sweep
+from repro.runner.points import lifetime_point, population_point
+
+#: small but non-trivial lifetime grid (120 days keeps it fast)
+LIFETIME_GRID = tuple(
+    {"build": name, "capacity_gb": 64.0, "mix": "typical", "days": 120}
+    for name in ("tlc_baseline", "sos", "qlc_baseline", "plc_naive")
+)
+
+
+def _lifetime_sweep() -> Sweep:
+    return Sweep(name="test-lifetime", fn=lifetime_point, grid=LIFETIME_GRID,
+                 base_seed=7)
+
+
+class TestDeriveSeeds:
+    def test_deterministic(self):
+        assert derive_seeds(7, 5) == derive_seeds(7, 5)
+
+    def test_prefix_stable(self):
+        # a point's seed depends only on (base_seed, index) -- growing the
+        # grid must not move existing points
+        assert derive_seeds(7, 8)[:3] == derive_seeds(7, 3)
+
+    def test_base_seed_matters(self):
+        assert derive_seeds(7, 4) != derive_seeds(8, 4)
+
+    def test_distinct_within_sweep(self):
+        seeds = derive_seeds(0, 64)
+        assert len(set(seeds)) == len(seeds)
+
+
+class TestDeterminism:
+    def test_parallel_matches_serial_bit_identical(self):
+        serial = run_sweep(_lifetime_sweep(), jobs=1)
+        parallel = run_sweep(_lifetime_sweep(), jobs=4)
+        assert serial.jobs == 1 and parallel.jobs == 4
+        for a, b in zip(serial.points, parallel.points):
+            assert a.params == b.params
+            assert a.seed == b.seed
+            assert a.value.samples == b.value.samples  # bit-identical, not approx
+            assert a.value.final == b.value.final
+
+    def test_results_in_grid_order(self):
+        outcome = run_sweep(_lifetime_sweep(), jobs=4)
+        assert [p.params["build"] for p in outcome.points] == [
+            g["build"] for g in LIFETIME_GRID
+        ]
+        assert [p.index for p in outcome.points] == list(range(len(LIFETIME_GRID)))
+
+    def test_derived_seeds_feed_workloads(self):
+        # no workload_seed in params: each point must get its own derived
+        # stream, so different builds on the same grid still see the same
+        # workload (same index ordering) across runs
+        wear = run_sweep(
+            Sweep(name="pop", fn=population_point, base_seed=3, grid=tuple(
+                {"mix": "typical", "capacity_gb": 64.0, "days": 90,
+                 "workload_seed": 1000 + u} for u in range(3)
+            )),
+            jobs=2,
+        ).values()
+        assert wear == run_sweep(
+            Sweep(name="pop", fn=population_point, base_seed=3, grid=tuple(
+                {"mix": "typical", "capacity_gb": 64.0, "days": 90,
+                 "workload_seed": 1000 + u} for u in range(3)
+            )),
+            jobs=1,
+        ).values()
+
+
+class TestCaching:
+    def test_second_run_is_fully_cached(self, tmp_path):
+        first = run_sweep(_lifetime_sweep(), jobs=1, cache_dir=tmp_path)
+        second = run_sweep(_lifetime_sweep(), jobs=1, cache_dir=tmp_path)
+        assert first.cached_count == 0
+        assert second.cached_count == len(LIFETIME_GRID)
+        assert second.computed_count == 0
+        for a, b in zip(first.points, second.points):
+            assert a.value.samples == b.value.samples
+
+    def test_version_tag_invalidates(self, tmp_path):
+        sweep = _lifetime_sweep()
+        run_sweep(sweep, jobs=1, cache_dir=tmp_path)
+        bumped = dataclasses.replace(sweep, version_tag="v2")
+        rerun = run_sweep(bumped, jobs=1, cache_dir=tmp_path)
+        assert rerun.cached_count == 0
+
+    def test_param_change_misses(self, tmp_path):
+        run_sweep(_lifetime_sweep(), jobs=1, cache_dir=tmp_path)
+        grown = Sweep(
+            name="test-lifetime", fn=lifetime_point, base_seed=7,
+            grid=LIFETIME_GRID + (
+                {"build": "tlc_baseline", "capacity_gb": 128.0,
+                 "mix": "typical", "days": 120},
+            ),
+        )
+        rerun = run_sweep(grown, jobs=1, cache_dir=tmp_path)
+        # prefix-stable seeds: the original points all hit, only the new
+        # point computes
+        assert rerun.cached_count == len(LIFETIME_GRID)
+        assert rerun.computed_count == 1
+
+    def test_unkeyable_grid_rejected_even_without_cache(self):
+        sweep = Sweep(
+            name="bad", fn=lifetime_point, base_seed=0,
+            grid=({"build": "tlc_baseline", "obj": object(),
+                   "capacity_gb": 64.0, "mix": "typical", "days": 30},),
+        )
+        with pytest.raises(TypeError, match="not cache-keyable"):
+            run_sweep(sweep, jobs=1)
+
+
+class TestValidation:
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError, match="at least one point"):
+            Sweep(name="empty", fn=lifetime_point, grid=())
+
+    def test_bad_jobs_rejected(self):
+        with pytest.raises(ValueError, match="jobs"):
+            run_sweep(_lifetime_sweep(), jobs=0)

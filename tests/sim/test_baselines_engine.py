@@ -12,6 +12,7 @@ from repro.sim.baselines import (
 )
 from repro.sim.engine import SimConfig, run_lifetime
 from repro.workloads.mobile import MobileWorkload, WorkloadConfig
+from repro.workloads.traces import DailySummary
 
 
 @pytest.fixture(scope="module")
@@ -97,3 +98,88 @@ class TestEngine:
         result = LifetimeResult(build_name="x", capacity_gb=1.0, intensity_kg_per_gb=0.1)
         with pytest.raises(ValueError):
             _ = result.final
+
+
+def _delete_only_day(day: int, delete_gb: float) -> DailySummary:
+    return DailySummary(day=day, new_media_gb=0.0, new_other_gb=0.0,
+                        overwrite_gb=0.0, read_gb=0.0, delete_gb=delete_gb)
+
+
+def _fill(partition, fraction: float) -> None:
+    for group in partition.live_groups():
+        group.live_gb = group.capacity_gb * fraction
+        group.mean_write_time = 0.0
+
+
+class TestDeleteAccounting:
+    """Deletion volume must be apportioned, not duplicated, across
+    pressured partitions (multi-partition builds used to delete the
+    day's volume once *per* partition)."""
+
+    def test_single_partition_deletes_exactly_the_summary_volume(self):
+        build = build_tlc_baseline(64.0)
+        partition = build.device.partition("main")
+        _fill(partition, 0.9)
+        before = partition.live_data_gb()
+        run_lifetime(build, [_delete_only_day(0, 5.0)])
+        assert before - partition.live_data_gb() == pytest.approx(5.0)
+
+    def test_two_pressured_partitions_delete_the_volume_once_total(self):
+        build = build_sos(64.0)
+        for name in ("sys", "spare"):
+            _fill(build.device.partition(name), 0.9)
+        before = sum(p.live_data_gb() for p in build.device.partitions.values())
+        run_lifetime(build, [_delete_only_day(0, 5.0)])
+        after = sum(p.live_data_gb() for p in build.device.partitions.values())
+        # the old per-partition loop removed 5 GB from EACH partition
+        assert before - after == pytest.approx(5.0)
+
+    def test_apportionment_follows_live_data_share(self):
+        build = build_sos(64.0)
+        sys_part = build.device.partition("sys")
+        spare = build.device.partition("spare")
+        _fill(sys_part, 0.9)
+        _fill(spare, 0.95)
+        sys_before = sys_part.live_data_gb()
+        spare_before = spare.live_data_gb()
+        run_lifetime(build, [_delete_only_day(0, 4.0)])
+        sys_share = sys_before / (sys_before + spare_before)
+        assert sys_before - sys_part.live_data_gb() == pytest.approx(4.0 * sys_share)
+        assert spare_before - spare.live_data_gb() == pytest.approx(
+            4.0 * (1 - sys_share)
+        )
+
+    def test_unpressured_partitions_keep_their_data(self):
+        build = build_sos(64.0)
+        _fill(build.device.partition("sys"), 0.9)
+        _fill(build.device.partition("spare"), 0.2)  # below the 0.85 trigger
+        spare_before = build.device.partition("spare").live_data_gb()
+        run_lifetime(build, [_delete_only_day(0, 5.0)])
+        assert build.device.partition("spare").live_data_gb() == pytest.approx(
+            spare_before
+        )
+
+
+class TestSamplingPositions:
+    """The final sample must be taken by position: trace days may be
+    1-indexed or sliced, so ``day % cadence`` alone cannot find the end."""
+
+    def test_short_one_indexed_trace_still_yields_a_final_sample(self):
+        summaries = [_delete_only_day(day, 0.0) for day in range(1, 11)]
+        result = run_lifetime(build_tlc_baseline(64.0), summaries)
+        assert result.samples  # old behavior: no day hit the cadence -> empty
+        assert result.final.day == 10
+
+    def test_sliced_trace_samples_cadence_and_end(self):
+        summaries = [_delete_only_day(day, 0.0) for day in range(5, 41)]
+        result = run_lifetime(
+            build_tlc_baseline(64.0), summaries, SimConfig(sample_every_days=30)
+        )
+        assert [s.day for s in result.samples] == [30, 40]
+
+    def test_final_sample_not_duplicated_when_cadence_hits_the_end(self):
+        summaries = [_delete_only_day(day, 0.0) for day in range(0, 31)]
+        result = run_lifetime(
+            build_tlc_baseline(64.0), summaries, SimConfig(sample_every_days=30)
+        )
+        assert [s.day for s in result.samples] == [0, 30]

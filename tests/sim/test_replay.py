@@ -50,11 +50,13 @@ class TestBasicOps:
         assert stats.reads == 0
         assert stats.deletes == 0
 
-    def test_duplicate_create_counts_skipped(self, device):
+    def test_duplicate_create_counts_skipped_exists(self, device):
+        """EEXIST is not ENOSPC: duplicate paths get their own counter."""
         stats = replay(device, [op(0, OpKind.CREATE, "/a"),
                                 op(0, OpKind.CREATE, "/a")])
         assert stats.creates == 1
-        assert stats.skipped_full == 1
+        assert stats.skipped_exists == 1
+        assert stats.skipped_full == 0
 
     def test_cloud_backed_create_feeds_backup(self, device):
         replay(device, [op(0, OpKind.CREATE, "/v", cloud=True,
