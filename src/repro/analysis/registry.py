@@ -71,6 +71,8 @@ EXPERIMENTS: list[Experiment] = [
                "benchmarks/test_bench_a7_gc_policy.py"),
     Experiment("A8", "Less-pervasive tracking", "ablation (§4.5 Security)",
                "benchmarks/test_bench_a8_privacy.py"),
+    Experiment("A9", "Deterministic fault injection at scale", "ablation (§4.3)",
+               "benchmarks/test_bench_a9_fault_ablation.py"),
     Experiment("P1", "Sweep runner scaling (serial vs parallel)", "infrastructure",
                "benchmarks/test_bench_runner_scaling.py"),
 ]

@@ -19,6 +19,8 @@ Commands
 ``classify``
     Train the classifiers on a fresh synthetic corpus and report their
     operating points (E9).
+``faults selftest``
+    Deterministic fault-plan replay and crash-containment smoke test.
 """
 
 from __future__ import annotations
@@ -106,7 +108,7 @@ def _cmd_credits(args: argparse.Namespace) -> None:
     print(f"\nbaseline-intensity surcharge: {headline * 100:.1f}% of the drive price")
 
 
-def _cmd_lifetime(args: argparse.Namespace) -> None:
+def _cmd_lifetime(args: argparse.Namespace) -> int:
     from repro.runner import Sweep, run_sweep, write_bench_json
     from repro.runner.points import lifetime_point
     from repro.sim.baselines import ALL_BUILDERS
@@ -122,7 +124,14 @@ def _cmd_lifetime(args: argparse.Namespace) -> None:
         for name in ALL_BUILDERS
     )
     sweep = Sweep(name="cli-lifetime", fn=lifetime_point, grid=grid, base_seed=args.seed)
-    outcome = run_sweep(sweep, jobs=args.jobs, cache_dir=args.cache_dir)
+    outcome = run_sweep(
+        sweep,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        retries=args.retries,
+        timeout_s=args.timeout,
+        keep_going=args.keep_going,
+    )
     rows = []
     for point in outcome.points:
         result = point.value
@@ -141,6 +150,122 @@ def _cmd_lifetime(args: argparse.Namespace) -> None:
     if args.bench_json:
         write_bench_json(args.bench_json, [outcome], notes="repro.cli lifetime")
         print(f"\nwrote per-point timings to {args.bench_json}")
+    if outcome.errors:
+        print(f"\n{len(outcome.errors)} point(s) failed:")
+        for err in outcome.errors:
+            print(f"  [{err.kind}] {err.params.get('build', err.index)}: "
+                  f"{err.message} ({err.attempts} attempt(s))")
+        return 1
+    return 0
+
+
+def _cmd_faults(args: argparse.Namespace) -> int:
+    """``repro faults selftest``: deterministic fault-plan replay smoke.
+
+    Four checks, each cheap enough for CI:
+
+    1. plan determinism -- identical (config, seed, horizon, targets)
+       generates an identical event log and digest;
+    2. zero-rate transparency -- an all-zero-rate plan leaves the
+       lifetime engine bit-identical to running with no plan at all;
+    3. schedule replay -- serial and 2-worker sweeps over the same
+       faulty grid report identical fault counters;
+    4. crash containment -- a sweep with one crashing worker finishes
+       under ``--keep-going`` with every healthy point completed and the
+       crasher reported as a structured error.
+    """
+    import tempfile
+
+    from repro.faults import FaultConfig, FaultPlan
+    from repro.runner import Sweep, run_sweep
+    from repro.runner.faultfns import crash_point
+    from repro.runner.points import lifetime_point
+    from repro.sim.baselines import build_tlc_baseline
+    from repro.sim.engine import run_lifetime
+    from repro.workloads.mobile import MobileWorkload, WorkloadConfig
+
+    failures: list[str] = []
+
+    def check(name: str, ok: bool, detail: str = "") -> None:
+        print(f"  [{'ok' if ok else 'FAIL'}] {name}" + (f": {detail}" if detail else ""))
+        if not ok:
+            failures.append(name)
+
+    print("fault-injection selftest")
+    config = FaultConfig(
+        block_infant_mortality=0.05,
+        transient_read_rate=0.4,
+        power_loss_rate=0.1,
+        cloud_outage_rate=0.05,
+    )
+    targets = {"main": 8}
+    plans = [
+        FaultPlan.generate(config, seed=args.seed, horizon_days=180, targets=targets)
+        for _ in range(2)
+    ]
+    check(
+        "plan determinism",
+        plans[0].digest() == plans[1].digest()
+        and plans[0].event_log() == plans[1].event_log(),
+        f"{len(plans[0])} events, digest {plans[0].digest()[:12]}",
+    )
+
+    summaries = MobileWorkload(
+        WorkloadConfig(mix="typical", days=180, seed=args.seed)
+    ).daily_summaries()
+    zero_plan = FaultPlan.generate(
+        FaultConfig(), seed=args.seed, horizon_days=180, targets=targets
+    )
+    bare = run_lifetime(build_tlc_baseline(32.0), summaries)
+    gated = run_lifetime(build_tlc_baseline(32.0), summaries, fault_plan=zero_plan)
+    check(
+        "zero-rate transparency",
+        bare.samples == gated.samples and gated.faults.total_events == 0,
+        f"{len(bare.samples)} samples compared",
+    )
+
+    faults = {"block_infant_mortality": 0.05, "transient_read_rate": 0.4,
+              "power_loss_rate": 0.1, "cloud_outage_rate": 0.05}
+    grid = tuple(
+        {"build": "tlc_baseline", "capacity_gb": 32.0, "mix": "typical", "days": 180,
+         "workload_seed": args.seed + i, "faults": faults}
+        for i in range(3)
+    )
+    sweep = Sweep(name="faults-selftest", fn=lifetime_point, grid=grid,
+                  base_seed=args.seed)
+    serial = run_sweep(sweep, jobs=1)
+    parallel = run_sweep(sweep, jobs=2)
+    serial_counters = [p.value.faults.as_dict() for p in serial.points]
+    parallel_counters = [p.value.faults.as_dict() for p in parallel.points]
+    total_events = sum(p.value.faults.total_events for p in serial.points)
+    check(
+        "serial == parallel replay",
+        serial_counters == parallel_counters and total_events > 0,
+        f"{total_events} fault events",
+    )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        crash_grid = tuple(
+            {"index": i, "crash": i == 1} for i in range(3)
+        )
+        crash_sweep = Sweep(name="faults-selftest-crash", fn=crash_point,
+                            grid=crash_grid, base_seed=args.seed)
+        outcome = run_sweep(crash_sweep, jobs=2, cache_dir=tmp, keep_going=True)
+        check(
+            "crash containment",
+            len(outcome.points) == 2
+            and len(outcome.errors) == 1
+            and outcome.errors[0].kind == "crash"
+            and outcome.errors[0].index == 1,
+            f"{len(outcome.points)} ok, {len(outcome.errors)} error(s), "
+            f"{outcome.pool_rebuilds} pool rebuild(s)",
+        )
+
+    if failures:
+        print(f"selftest FAILED: {', '.join(failures)}")
+        return 1
+    print("selftest passed")
+    return 0
 
 
 def _cmd_experiments(args: argparse.Namespace) -> None:
@@ -210,7 +335,22 @@ def main(argv: list[str] | None = None) -> int:
                    help="sweep result cache directory (default: no cache)")
     p.add_argument("--bench-json", default=None, metavar="PATH",
                    help="write per-point wall times (BENCH_runner.json format)")
+    p.add_argument("--retries", type=int, default=0,
+                   help="re-attempts per failed point (exponential backoff)")
+    p.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                   help="per-point wall-clock limit (parallel runs only)")
+    p.add_argument("--keep-going", action="store_true",
+                   help="report failed points as structured errors instead "
+                        "of aborting the sweep")
     p.set_defaults(func=_cmd_lifetime)
+
+    p = sub.add_parser("faults", help="fault-injection utilities")
+    faults_sub = p.add_subparsers(dest="faults_command", required=True)
+    p = faults_sub.add_parser(
+        "selftest", help="deterministic fault-plan replay + crash-containment smoke"
+    )
+    p.add_argument("--seed", type=int, default=7)
+    p.set_defaults(func=_cmd_faults)
 
     p = sub.add_parser("experiments", help="list all reproducible experiments")
     p.set_defaults(func=_cmd_experiments)
@@ -221,8 +361,8 @@ def main(argv: list[str] | None = None) -> int:
     p.set_defaults(func=_cmd_classify)
 
     args = parser.parse_args(argv)
-    args.func(args)
-    return 0
+    # commands that can fail return an int; display-only commands return None
+    return args.func(args) or 0
 
 
 if __name__ == "__main__":  # pragma: no cover

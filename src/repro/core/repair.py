@@ -6,13 +6,25 @@ degraded local data copies through a cloud-backed copy.  However, SOS
 does not inherently rely on the existence of such redundant copies."
 
 The backup is modelled as a lossless page store covering only the LPNs of
-files whose ``cloud_backed`` attribute is set, with an availability flag
-so experiments can run with and without cloud connectivity (ablation A4).
-Fetch counts model the network cost of repairs.
+files whose ``cloud_backed`` attribute is set.  Reachability is three
+layers deep, because "the cloud is there" and "the cloud answers this
+fetch" are different claims:
+
+* a static ``available`` flag (offline device / no subscription --
+  ablation A4);
+* an *outage schedule*: (start, end) windows on the device's year clock
+  during which no fetch succeeds (fault-injection plans generate these);
+* a seeded per-fetch *transient failure* rate (flaky RPCs), which is what
+  gives the scrubber's bounded-retry path something real to retry.
+
+Fetch counts model the network cost of repairs; every failure mode has
+its own counter so reports can say *why* repairs degraded to relocation.
 """
 
 from __future__ import annotations
 
+import random
+from collections.abc import Sequence
 from dataclasses import dataclass
 
 __all__ = ["CloudBackup", "BackupStats"]
@@ -22,9 +34,16 @@ __all__ = ["CloudBackup", "BackupStats"]
 class BackupStats:
     """Cumulative backup activity."""
 
+    #: distinct pages uploaded (first store of an LPN)
     pages_stored: int = 0
+    #: re-uploads of an LPN already in the store
+    pages_overwritten: int = 0
     pages_fetched: int = 0
     fetch_misses: int = 0
+    #: fetches refused because the device was inside an outage window
+    fetch_outage_failures: int = 0
+    #: fetches that failed transiently (retry may succeed)
+    fetch_transient_failures: int = 0
 
 
 class CloudBackup:
@@ -35,25 +54,78 @@ class CloudBackup:
     available:
         When False the store accepts uploads but serves no fetches
         (offline device / no backup subscription).
+    outage_windows:
+        ``(start_years, end_years)`` half-open intervals during which
+        fetches fail; advance the clock with :meth:`advance_time`.
+    transient_failure_rate:
+        Per-fetch probability of a transient failure (seeded, so a run's
+        failure sequence is reproducible given the same call order).
+    seed:
+        Seed of the transient-failure RNG.
     """
 
-    def __init__(self, available: bool = True) -> None:
+    def __init__(
+        self,
+        available: bool = True,
+        outage_windows: Sequence[tuple[float, float]] = (),
+        transient_failure_rate: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 <= transient_failure_rate < 1.0:
+            raise ValueError("transient_failure_rate must be in [0, 1)")
         self.available = available
+        self.outage_windows = tuple(outage_windows)
+        self.transient_failure_rate = transient_failure_rate
         self.stats = BackupStats()
         self._pages: dict[int, bytes] = {}
+        self._now_years = 0.0
+        self._rng = random.Random(seed)
+
+    # -- availability ------------------------------------------------------------
+
+    def advance_time(self, now_years: float) -> None:
+        """Move the backup's clock forward (monotonic, outage lookups)."""
+        self._now_years = max(self._now_years, now_years)
+
+    def in_outage(self) -> bool:
+        """Whether the current time falls inside an outage window."""
+        now = self._now_years
+        return any(start <= now < end for start, end in self.outage_windows)
+
+    def reachable(self) -> bool:
+        """Whether a fetch could possibly succeed right now."""
+        return self.available and not self.in_outage()
+
+    # -- store/fetch ---------------------------------------------------------------
 
     def store_page(self, lpn: int, payload: bytes) -> None:
-        """Upload a clean page copy (called at write time for backed files)."""
+        """Upload a clean page copy (called at write time for backed files).
+
+        Re-uploading an existing LPN counts as an overwrite, not a new
+        stored page, so ``pages_stored`` tracks the store's footprint.
+        """
+        if lpn in self._pages:
+            self.stats.pages_overwritten += 1
+        else:
+            self.stats.pages_stored += 1
         self._pages[lpn] = bytes(payload)
-        self.stats.pages_stored += 1
 
     def fetch_page(self, lpn: int) -> bytes | None:
-        """Retrieve the clean copy, or None if absent/unavailable."""
+        """Retrieve the clean copy, or None if absent/unreachable/flaky."""
         if not self.available:
+            return None
+        if self.in_outage():
+            self.stats.fetch_outage_failures += 1
             return None
         payload = self._pages.get(lpn)
         if payload is None:
             self.stats.fetch_misses += 1
+            return None
+        if (
+            self.transient_failure_rate > 0.0
+            and self._rng.random() < self.transient_failure_rate
+        ):
+            self.stats.fetch_transient_failures += 1
             return None
         self.stats.pages_fetched += 1
         return payload

@@ -41,6 +41,13 @@ class ScrubReport:
     pages_relocated: int = 0
     blocks_retired: int = 0
     blocks_resuscitated: int = 0
+    #: fetch retries issued against a flaky/unreachable cloud
+    repair_retries: int = 0
+    #: simulated seconds spent in exponential backoff between retries
+    repair_backoff_s: float = 0.0
+    #: rescues where a clean copy existed but could not be fetched, so the
+    #: page degraded to relocation (graceful degradation, counted not fatal)
+    repairs_failed: int = 0
 
 
 class Scrubber:
@@ -56,6 +63,13 @@ class Scrubber:
         Cloud backup store (may hold clean copies of some LPNs).
     quality_floor:
         Forecast quality below which a page is rescued.
+    max_repair_retries:
+        Bounded retry budget for cloud fetches that fail while a clean
+        copy is known to exist (outage or transient failure).
+    repair_backoff_s:
+        Base of the exponential backoff between retries.  The scrubber
+        runs inside a simulation, so backoff is *accounted*, not slept:
+        it accrues into :attr:`ScrubReport.repair_backoff_s`.
     """
 
     def __init__(
@@ -64,11 +78,17 @@ class Scrubber:
         monitor: DegradationMonitor,
         backup: CloudBackup,
         quality_floor: float = 0.85,
+        max_repair_retries: int = 3,
+        repair_backoff_s: float = 0.05,
     ) -> None:
+        if max_repair_retries < 0:
+            raise ValueError("max_repair_retries must be >= 0")
         self.block_layer = block_layer
         self.monitor = monitor
         self.backup = backup
         self.quality_floor = quality_floor
+        self.max_repair_retries = max_repair_retries
+        self.repair_backoff_s = repair_backoff_s
 
     def scrub(self, lpns: list[int]) -> ScrubReport:
         """Scan the given LPNs and rescue endangered pages."""
@@ -93,12 +113,41 @@ class Scrubber:
     def _rescue(self, forecast: PageForecast, report: ScrubReport) -> None:
         ftl = self.monitor.ftl
         lpn = forecast.lpn
-        clean = self.backup.fetch_page(lpn)
+        clean = self._fetch_with_retry(lpn, report)
         if clean is not None:
             # repair: rewrite the clean copy at the SPARE write head
             ftl.write(lpn, clean, self.monitor.spare_stream)
             report.pages_repaired_from_cloud += 1
             return
+        if self.backup.covered(lpn):
+            # a clean copy exists but the cloud never answered: graceful
+            # degradation -- count the failed repair, keep rescuing
+            report.repairs_failed += 1
         # relocate best-effort: accrued errors travel with the data
         ftl.relocate(lpn, self.monitor.spare_stream)
         report.pages_relocated += 1
+
+    def _fetch_with_retry(self, lpn: int, report: ScrubReport) -> bytes | None:
+        """Fetch a clean copy, retrying with exponential backoff.
+
+        Retries only when the store is known to hold the page and the
+        failure is recoverable (an outage or transient failure) -- a miss
+        can never succeed, and a statically unavailable cloud never
+        answers, so neither burns the retry budget.
+        """
+        clean = self.backup.fetch_page(lpn)
+        if (
+            clean is not None
+            or not self.backup.covered(lpn)
+            or not self.backup.available
+        ):
+            return clean
+        backoff = self.repair_backoff_s
+        for _ in range(self.max_repair_retries):
+            report.repair_retries += 1
+            report.repair_backoff_s += backoff
+            backoff *= 2.0
+            clean = self.backup.fetch_page(lpn)
+            if clean is not None:
+                return clean
+        return None

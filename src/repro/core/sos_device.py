@@ -22,6 +22,7 @@ from repro.carbon.embodied import DeviceCarbon, device_embodied_kg
 from repro.classify.auto_delete import AutoDeletePredictor, train_auto_delete
 from repro.classify.classifier import FileClassifier, train_classifier
 from repro.classify.corpus import CorpusConfig, generate_corpus
+from repro.faults.plan import FaultPlan, FaultSummary
 from repro.host.block_layer import BlockLayer
 from repro.host.files import FileAttributes, FileKind, FileRecord
 from repro.host.filesystem import FileSystem
@@ -81,6 +82,14 @@ class SOSDevice:
         synthetic corpus (deterministic under ``config.seed``).
     cloud_available:
         Whether the cloud backup serves repairs (A4 ablation).
+    fault_plan:
+        Optional precomputed fault schedule: infant-mortality block
+        deaths (targets keyed by stream name) are applied as the clock
+        passes their scheduled day, and the plan's cloud-outage windows
+        gate the backup.  ``None`` is the exact pre-fault behaviour.
+    cloud_transient_failure_rate:
+        Per-fetch transient cloud failure probability (exercises the
+        scrubber's bounded-retry repair path).
     """
 
     def __init__(
@@ -89,12 +98,24 @@ class SOSDevice:
         classifier: FileClassifier | None = None,
         auto_delete: AutoDeletePredictor | None = None,
         cloud_available: bool = True,
+        fault_plan: FaultPlan | None = None,
+        cloud_transient_failure_rate: float = 0.0,
     ) -> None:
         self.config = config or default_config()
         self.partitions: PartitionedDevice = build_partitions(self.config)
         self.ftl = self.partitions.ftl
         self.chip = self.partitions.chip
-        self.backup = CloudBackup(available=cloud_available)
+        self.fault_plan = fault_plan
+        self.fault_summary = FaultSummary() if fault_plan is not None else None
+        self._fault_cursor = 0
+        self.backup = CloudBackup(
+            available=cloud_available,
+            outage_windows=(
+                fault_plan.outage_windows_years() if fault_plan is not None else ()
+            ),
+            transient_failure_rate=cloud_transient_failure_rate,
+            seed=self.config.seed,
+        )
         self.block_layer = _BackupAwareBlockLayer(self.ftl, self.backup)
         self.filesystem = FileSystem(self.block_layer)
         if classifier is None or auto_delete is None:
@@ -135,9 +156,30 @@ class SOSDevice:
         return self.chip.now_years
 
     def advance_time(self, now_years: float) -> None:
-        """Advance device and host clocks together."""
+        """Advance device and host clocks together.
+
+        Fault-plan events scheduled up to the new time are applied here:
+        infant-mortality deaths force-retire the scheduled block of the
+        target stream (live data migrates off first, §4.3's contract).
+        """
         self.chip.advance_time(now_years)
         self.filesystem.advance_time(now_years)
+        self.backup.advance_time(now_years)
+        if self.fault_plan is None:
+            return
+        assert self.fault_summary is not None
+        events = self.fault_plan.events
+        while self._fault_cursor < len(events):
+            event = events[self._fault_cursor]
+            if event.day / 365.0 > now_years:
+                break
+            self._fault_cursor += 1
+            if event.kind != "infant_death" or event.target not in self.ftl.stream_names():
+                continue
+            stream_blocks = self.ftl.stream(event.target).blocks
+            if event.unit < len(stream_blocks):
+                if self.ftl.force_retire(event.target, stream_blocks[event.unit]):
+                    self.fault_summary.infant_deaths += 1
 
     def run_daemon(self) -> DaemonRunReport:
         """One periodic daemon pass at the current time."""

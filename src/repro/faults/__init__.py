@@ -1,0 +1,12 @@
+"""Deterministic fault-injection subsystem.
+
+Seeded, fully precomputed fault schedules (infant mortality, transient
+reads, power-loss torn programs, cloud outages) that both simulation
+fidelities replay identically regardless of execution order.
+
+* :mod:`repro.faults.plan` -- FaultConfig / FaultPlan / FaultSummary
+"""
+
+from .plan import FaultConfig, FaultEvent, FaultPlan, FaultSummary
+
+__all__ = ["FaultConfig", "FaultEvent", "FaultPlan", "FaultSummary"]

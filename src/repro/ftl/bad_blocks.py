@@ -18,11 +18,18 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.flash.block import Block
 from repro.flash.cell import CellMode
 from repro.flash.error_model import ErrorModel
 
-__all__ = ["BlockHealthPolicy", "BlockVerdict", "assess_block"]
+__all__ = [
+    "BlockHealthPolicy",
+    "BlockVerdict",
+    "assess_block",
+    "infant_mortality_deaths",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -83,3 +90,25 @@ def assess_block(block: Block, policy: BlockHealthPolicy) -> BlockVerdict:
         if _mode_is_reliable(mode, block.pec, policy):
             return BlockVerdict(healthy=False, resuscitate_to=mode)
     return BlockVerdict(healthy=False, retire=True)
+
+
+def infant_mortality_deaths(
+    n_units: int, rate: float, rng: np.random.Generator
+) -> list[int]:
+    """Sample which of ``n_units`` blocks die in infancy.
+
+    Real flash failure populations are not uniform wear-out: "The Dirty
+    Secret of SSDs" reports failures clustered in early life (latent
+    manufacturing defects) on top of the wear-driven tail.  Each unit
+    dies independently with probability ``rate``; callers (the fault
+    planner) schedule *when* inside the infant window.
+
+    Consumes exactly one ``rng.random(n_units)`` draw, so plan
+    generation stays reproducible as other fault classes are added.
+    """
+    if n_units <= 0:
+        return []
+    draws = rng.random(n_units)
+    if rate <= 0.0:
+        return []
+    return [int(i) for i in np.flatnonzero(draws < rate)]

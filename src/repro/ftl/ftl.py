@@ -278,6 +278,36 @@ class Ftl:
                 self.chip.retire_block(block_index)
                 self.stats.blocks_retired += 1
 
+    def force_retire(self, stream_name: str, block_index: int) -> bool:
+        """Retire one specific block outright (fault injection path).
+
+        Models an infant-mortality death: the block is lost regardless of
+        its assessed health.  Live pages are migrated to the stream's
+        write path first, so data survives the block -- the §4.3 contract
+        is that media failure degrades capacity, not integrity, for
+        protected data.  Returns False when the block is already retired.
+        """
+        stream = self._streams[stream_name]
+        if block_index not in stream.blocks:
+            raise ValueError(f"block {block_index} is not in stream '{stream_name}'")
+        block = self.chip.blocks[block_index]
+        if block.retired:
+            return False
+        if stream.open_block == block_index:
+            stream.open_block = None
+        if block_index in stream.free:
+            stream.free.remove(block_index)
+        elif any(True for _ in self.page_map.live_lpns(block_index)):
+            # rescue live data onto the write path (appends victim to the
+            # free list as a side effect; pull it back out before retiring)
+            self._migrate_block(stream, block_index)
+            stream.free.remove(block_index)
+        else:
+            self.page_map.on_erase(block_index)
+        self.chip.retire_block(block_index)
+        self.stats.blocks_retired += 1
+        return True
+
     # -- internals ---------------------------------------------------------------
 
     def _allocate_page(self, stream: _Stream, during_gc: bool = False) -> tuple[int, int]:

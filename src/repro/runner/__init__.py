@@ -13,7 +13,16 @@ per-point wall times for the ``BENCH_runner.json`` perf baseline.
 
 from .cache import CacheEntry, ResultCache, stable_key
 from .metrics import BENCH_SCHEMA, bench_record, write_bench_json
-from .sweep import PointResult, Sweep, SweepResult, derive_seeds, run_sweep
+from .sweep import (
+    PointError,
+    PointResult,
+    Sweep,
+    SweepCrashError,
+    SweepResult,
+    SweepTimeoutError,
+    derive_seeds,
+    run_sweep,
+)
 
 __all__ = [
     "CacheEntry",
@@ -22,9 +31,12 @@ __all__ = [
     "BENCH_SCHEMA",
     "bench_record",
     "write_bench_json",
+    "PointError",
     "PointResult",
     "Sweep",
+    "SweepCrashError",
     "SweepResult",
+    "SweepTimeoutError",
     "derive_seeds",
     "run_sweep",
 ]

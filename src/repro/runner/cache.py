@@ -3,9 +3,19 @@
 Each sweep point is identified by a *stable key*: the SHA-256 of a
 canonical JSON encoding of everything that determines its result -- the
 sweep name, a code-version tag, the point's parameters, and its derived
-seed.  Results are pickled one-file-per-key, written atomically, so a
-re-run of a sweep only computes points whose key changed (new params,
-new seed derivation, or a bumped version tag).
+seed.  Results are pickled one-file-per-key, written atomically (write
+to a temp file, then rename), so a re-run of a sweep only computes
+points whose key changed (new params, new seed derivation, or a bumped
+version tag).
+
+The load contract is **"a torn or stale file is a miss, not an
+error"**: truncated writes from a killed process, hand-edited garbage,
+and pickles whose class layout has since changed (renamed module,
+removed attribute, incompatible ``__init__``) all deserialize into some
+exception -- every one of them answers "no cached value" rather than
+propagating.  Leftover ``*.tmp`` files from a writer that died before
+its rename are swept out on cache construction once they are old enough
+that no live writer can still own them.
 """
 
 from __future__ import annotations
@@ -15,11 +25,28 @@ import json
 import os
 import pickle
 import tempfile
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
 
 __all__ = ["CacheEntry", "ResultCache", "stable_key"]
+
+#: Exceptions that mean "this cache file cannot serve a hit".  Beyond
+#: torn-file errors (UnpicklingError/EOFError/KeyError), a *stale* pickle
+#: whose class layout changed since it was written surfaces as
+#: AttributeError (attribute/class gone), ImportError/ModuleNotFoundError
+#: (module moved), TypeError (constructor signature changed), or
+#: IndexError (reduce payload reshaped) -- all of them are misses.
+_MISS_ERRORS = (
+    pickle.UnpicklingError,
+    EOFError,
+    KeyError,
+    AttributeError,
+    ImportError,
+    TypeError,
+    IndexError,
+)
 
 
 def _jsonable(obj: Any) -> Any:
@@ -60,9 +87,13 @@ class CacheEntry:
 class ResultCache:
     """Pickle-per-key store under one directory."""
 
+    #: age (seconds) past which an orphaned ``*.tmp`` file is fair game
+    STALE_TMP_AGE_S = 3600.0
+
     def __init__(self, root: str | Path) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self.remove_stale_tmp()
 
     def _path(self, key: str) -> Path:
         return self.root / f"{key}.pkl"
@@ -76,7 +107,7 @@ class ResultCache:
             return CacheEntry(value=payload["value"], wall_s=payload["wall_s"])
         except FileNotFoundError:
             return None
-        except (pickle.UnpicklingError, EOFError, KeyError):
+        except _MISS_ERRORS:
             # a torn or stale file is a miss, not an error
             return None
 
@@ -94,3 +125,24 @@ class ResultCache:
             except FileNotFoundError:
                 pass
             raise
+
+    def remove_stale_tmp(self, max_age_s: float | None = None) -> int:
+        """Delete orphaned ``*.tmp`` files left by a killed writer.
+
+        Only files older than ``max_age_s`` (default
+        :attr:`STALE_TMP_AGE_S`) are removed, so a concurrent sweep's
+        in-flight write is never swept out from under its rename.
+        Returns the number of files removed.
+        """
+        cutoff = time.time() - (
+            self.STALE_TMP_AGE_S if max_age_s is None else max_age_s
+        )
+        removed = 0
+        for tmp in self.root.glob("*.tmp"):
+            try:
+                if tmp.stat().st_mtime <= cutoff:
+                    tmp.unlink()
+                    removed += 1
+            except FileNotFoundError:
+                continue  # lost a race with another cleaner/writer
+        return removed

@@ -1,0 +1,50 @@
+"""Deliberately misbehaving point functions for fault-tolerance tests.
+
+Worker processes unpickle point functions by module reference, so the
+crash/flake/hang functions the fault-tolerance tests fan out must live
+at module scope in an importable module (the test tree has no package
+``__init__``).  Each is driven entirely by its ``params`` so the same
+function can play a healthy point and a faulty one in one grid.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+
+__all__ = ["crash_point", "flaky_point", "sleepy_point"]
+
+
+def crash_point(params: dict, seed: int) -> dict:
+    """Die without ceremony when ``params["crash"]`` is truthy.
+
+    ``os._exit`` skips interpreter teardown entirely -- the worker
+    vanishes mid-task exactly like a segfault or an OOM kill, which is
+    what makes the executor raise ``BrokenProcessPool``.  Non-crashing
+    points return a small verifiable payload.
+    """
+    if params.get("crash"):
+        os._exit(13)
+    return {"index": params["index"], "seed": seed}
+
+
+def flaky_point(params: dict, seed: int) -> dict:
+    """Raise on the first ``params["fail_times"]`` calls, then succeed.
+
+    Attempt count is shared across processes via marker files in
+    ``params["scratch"]``, so retries land on whichever worker is free.
+    """
+    scratch = Path(params["scratch"])
+    marker = scratch / f"attempts-{params['index']}"
+    attempts = len(list(scratch.glob(f"{marker.name}-*")))
+    (scratch / f"{marker.name}-{attempts}").touch()
+    if attempts < params.get("fail_times", 0):
+        raise RuntimeError(f"flaky point {params['index']}: attempt {attempts} fails")
+    return {"index": params["index"], "attempts": attempts + 1, "seed": seed}
+
+
+def sleepy_point(params: dict, seed: int) -> dict:
+    """Sleep ``params["sleep_s"]`` seconds, then return."""
+    time.sleep(params.get("sleep_s", 0.0))
+    return {"index": params["index"], "seed": seed}

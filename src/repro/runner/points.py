@@ -25,6 +25,7 @@ __all__ = [
     "threshold_point",
     "sensitivity_point",
     "population_point",
+    "fault_ablation_point",
 ]
 
 
@@ -32,11 +33,35 @@ def _summaries(mix: str, days: int, seed: int):
     return MobileWorkload(WorkloadConfig(mix=mix, days=days, seed=seed)).daily_summaries()
 
 
+def _fault_plan(build, fault_params: dict | None, days: int, seed: int):
+    """Materialize a FaultPlan for ``build`` from plain-data params.
+
+    The schedule targets every partition of the build (units = block
+    groups) and is generated *before* the run, so it depends only on
+    ``(fault_params, seed, days, build shape)`` -- never on worker
+    placement or completion order.
+    """
+    if not fault_params:
+        return None
+    from repro.faults.plan import FaultConfig, FaultPlan
+
+    config = FaultConfig.from_params(fault_params)
+    if config.is_zero:
+        return None
+    targets = {
+        name: partition.spec.n_groups
+        for name, partition in build.device.partitions.items()
+    }
+    return FaultPlan.generate(config, seed=seed, horizon_days=days, targets=targets)
+
+
 def lifetime_point(params: dict, seed: int):
     """One (build, workload) lifetime run; the CLI ``lifetime`` point.
 
     params: ``build`` (key into ALL_BUILDERS), ``capacity_gb``, ``mix``,
-    ``days``, ``workload_seed`` (optional; the derived seed otherwise).
+    ``days``, ``workload_seed`` (optional; the derived seed otherwise),
+    ``faults`` (optional plain-data :class:`FaultConfig` mapping; omitted
+    or all-zero means the exact fault-free run).
     Returns the :class:`~repro.sim.engine.LifetimeResult`.
     """
     from repro.sim.baselines import ALL_BUILDERS
@@ -47,7 +72,8 @@ def lifetime_point(params: dict, seed: int):
         params["mix"], params["days"], seed if workload_seed is None else workload_seed
     )
     build = ALL_BUILDERS[params["build"]](params["capacity_gb"])
-    return run_lifetime(build, summaries)
+    plan = _fault_plan(build, params.get("faults"), params["days"], seed)
+    return run_lifetime(build, summaries, fault_plan=plan)
 
 
 def split_point(params: dict, seed: int) -> dict:
@@ -137,6 +163,47 @@ def sensitivity_point(params: dict, seed: int) -> dict:
         }
     finally:
         ENDURANCE_TABLE[CellTechnology.PLC] = original
+
+
+def fault_ablation_point(params: dict, seed: int) -> dict:
+    """One fault-scale point of the A9 fault-injection ablation.
+
+    params: ``fault_scale`` (multiplier on the base fault rates),
+    ``capacity_gb``, ``mix``, ``days``, ``workload_seed``.  Returns the
+    end-of-life survival metrics plus the structured fault counters, so
+    the benchmark can claim both graceful degradation and counter
+    scaling.
+    """
+    from repro.sim.baselines import build_sos
+    from repro.sim.engine import run_lifetime
+
+    scale = params["fault_scale"]
+    summaries = _summaries(params["mix"], params["days"], params["workload_seed"])
+    build = build_sos(params["capacity_gb"])
+    plan = _fault_plan(
+        build,
+        {
+            "block_infant_mortality": 0.02 * scale,
+            "transient_read_rate": 0.5 * scale,
+            "power_loss_rate": 0.1 * scale,
+            "cloud_outage_rate": 0.02 * scale,
+            "cloud_outage_days": 3,
+        },
+        params["days"],
+        params["workload_seed"],
+    )
+    result = run_lifetime(build, summaries, fault_plan=plan)
+    final = result.final
+    faults = result.faults.as_dict() if result.faults is not None else {}
+    return {
+        "fault_scale": scale,
+        "capacity_fraction": final.capacity_gb / params["capacity_gb"],
+        "spare_quality": final.spare_quality,
+        "retired_groups": final.retired_groups,
+        "survived": result.survived(min_capacity_fraction=0.5, quality_floor=0.5),
+        "faults": faults,
+        "plan_digest": plan.digest() if plan is not None else None,
+    }
 
 
 def population_point(params: dict, seed: int) -> float:

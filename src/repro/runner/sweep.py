@@ -1,7 +1,7 @@
-"""Deterministic parallel sweep runner.
+"""Deterministic, fault-tolerant parallel sweep runner.
 
 A *sweep* is a named grid of independent experiment points, each a call
-of one picklable function ``fn(params, seed)``.  The runner owns three
+of one picklable function ``fn(params, seed)``.  The runner owns four
 concerns the ad-hoc benchmark loops used to interleave:
 
 * **parallelism** -- points fan out over a
@@ -10,8 +10,18 @@ concerns the ad-hoc benchmark loops used to interleave:
   because per-point seeds are derived from the point *index* via
   :meth:`numpy.random.SeedSequence.spawn`, never from execution order;
 * **caching** -- with a ``cache_dir``, each point's result is persisted
-  under a stable hash of (sweep name, code-version tag, params, seed),
-  so re-running a sweep only computes changed points;
+  under a stable hash of (sweep name, code-version tag, params, seed)
+  *as soon as it completes*, so a crashed or aborted sweep resumes from
+  its last finished point and a re-run only computes changed points;
+* **fault tolerance** -- completions are streamed as they finish; failed
+  points are retried with exponential backoff (``retries``), long-running
+  points are bounded by a per-point ``timeout_s`` (the hung worker pool
+  is killed and rebuilt), a worker process dying mid-point
+  (:class:`~concurrent.futures.process.BrokenProcessPool`) is survived by
+  rebuilding the pool and re-running the in-flight points in isolation so
+  the culprit is attributed precisely, and ``keep_going=True`` turns
+  exhausted failures into structured :class:`PointError` records instead
+  of aborting the sweep;
 * **timing** -- every point records its compute wall time, and the
   sweep aggregates into a record that :mod:`repro.runner.metrics` can
   emit as a ``BENCH_runner.json`` perf baseline.
@@ -24,8 +34,11 @@ construction).
 
 from __future__ import annotations
 
+import math
 import time
-from concurrent.futures import ProcessPoolExecutor
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Sequence
@@ -36,7 +49,30 @@ from repro import __version__ as _CODE_VERSION
 
 from .cache import ResultCache, stable_key
 
-__all__ = ["Sweep", "PointResult", "SweepResult", "derive_seeds", "run_sweep"]
+__all__ = [
+    "Sweep",
+    "PointResult",
+    "PointError",
+    "SweepTimeoutError",
+    "SweepCrashError",
+    "SweepResult",
+    "derive_seeds",
+    "run_sweep",
+]
+
+#: Poll interval of the completion-streaming loop (seconds).
+_TICK_S = 0.05
+
+#: Ceiling on a single retry backoff delay (seconds).
+_MAX_BACKOFF_S = 2.0
+
+
+class SweepTimeoutError(TimeoutError):
+    """A sweep point exceeded its per-point timeout (``keep_going`` off)."""
+
+
+class SweepCrashError(RuntimeError):
+    """A sweep point killed its worker process (``keep_going`` off)."""
 
 
 @dataclass(frozen=True, slots=True)
@@ -84,7 +120,7 @@ class Sweep:
 
 @dataclass(slots=True)
 class PointResult:
-    """Outcome of one sweep point."""
+    """Outcome of one successful sweep point."""
 
     index: int
     params: dict
@@ -97,16 +133,46 @@ class PointResult:
 
 
 @dataclass(slots=True)
+class PointError:
+    """Structured record of one point that exhausted its retry budget.
+
+    ``kind`` distinguishes how the point failed:
+
+    * ``"error"``   -- ``fn`` raised an exception;
+    * ``"timeout"`` -- the point exceeded ``timeout_s`` and its worker
+      pool was killed;
+    * ``"crash"``   -- the point's worker process died (segfault,
+      ``os._exit``, OOM-kill ...), observed as a broken process pool.
+    """
+
+    index: int
+    params: dict
+    seed: int
+    kind: str
+    message: str
+    attempts: int
+
+
+@dataclass(slots=True)
 class SweepResult:
-    """All point results of one sweep run, in grid order."""
+    """All point results of one sweep run.
+
+    ``points`` holds the successful points in grid order; under
+    ``keep_going`` the points that exhausted their retries appear in
+    ``errors`` instead (also grid order).  Without ``keep_going`` a
+    failure raises, so ``errors`` is always empty there.
+    """
 
     name: str
     jobs: int
     total_wall_s: float
     points: list[PointResult] = field(default_factory=list)
+    errors: list[PointError] = field(default_factory=list)
+    #: worker pools rebuilt after a crash or timeout kill
+    pool_rebuilds: int = 0
 
     def values(self) -> list[Any]:
-        """Point values in grid order."""
+        """Successful point values in grid order."""
         return [p.value for p in self.points]
 
     @property
@@ -118,6 +184,16 @@ class SweepResult:
     def computed_count(self) -> int:
         """Points computed this run."""
         return sum(1 for p in self.points if not p.cached)
+
+    @property
+    def failed_count(self) -> int:
+        """Points that exhausted their retries (``keep_going`` runs)."""
+        return len(self.errors)
+
+    @property
+    def ok(self) -> bool:
+        """Whether every grid point produced a value."""
+        return not self.errors
 
 
 def derive_seeds(base_seed: int, n: int) -> list[int]:
@@ -139,10 +215,290 @@ def _execute_point(fn: Callable[[dict, int], Any], params: dict, seed: int) -> t
     return value, time.perf_counter() - start
 
 
+@dataclass(slots=True)
+class _PointState:
+    """Coordinator-side bookkeeping for one pending point."""
+
+    index: int
+    attempts: int = 0
+    #: monotonic time before which the point must not be resubmitted
+    ready_at: float = 0.0
+    #: monotonic deadline of the in-flight attempt (inf = no timeout)
+    deadline: float = math.inf
+
+
+class _Coordinator:
+    """Streams completions from a worker pool, surviving faults.
+
+    One instance drives the parallel portion of one :func:`run_sweep`
+    call.  The loop invariants:
+
+    * a point is in exactly one place: the ready queue, in flight, the
+      results dict, or the errors dict;
+    * after any pool breakage the coordinator switches to *isolation
+      mode* (one in-flight point at a time) so the next crash attributes
+      to exactly one point -- the first breakage charges nobody, because
+      with several points in flight the culprit is unknowable;
+    * successful points are persisted to the cache immediately, before
+      any further scheduling decision, so no completed work can be lost.
+    """
+
+    def __init__(
+        self,
+        sweep: Sweep,
+        seeds: list[int],
+        keys: list[str],
+        cache: ResultCache | None,
+        jobs: int,
+        retries: int,
+        retry_backoff_s: float,
+        timeout_s: float | None,
+        keep_going: bool,
+    ) -> None:
+        self.sweep = sweep
+        self.seeds = seeds
+        self.keys = keys
+        self.cache = cache
+        self.jobs = jobs
+        self.retries = retries
+        self.retry_backoff_s = retry_backoff_s
+        self.timeout_s = timeout_s
+        self.keep_going = keep_going
+        self.results: dict[int, PointResult] = {}
+        self.errors: dict[int, PointError] = {}
+        self.pool_rebuilds = 0
+        self._queue: deque[int] = deque()
+        self._states: dict[int, _PointState] = {}
+        self._inflight: dict[Future, _PointState] = {}
+        self._executor: ProcessPoolExecutor | None = None
+        self._isolate = False
+
+    # -- public ----------------------------------------------------------------
+
+    def run(self, pending: Sequence[int]) -> None:
+        """Execute all pending points; fills ``results`` and ``errors``."""
+        self._states = {i: _PointState(i) for i in pending}
+        self._queue = deque(pending)
+        try:
+            while self._queue or self._inflight:
+                self._submit_ready()
+                self._pump()
+        finally:
+            self._teardown()
+
+    # -- scheduling ------------------------------------------------------------
+
+    def _submit_ready(self) -> None:
+        if not self._queue:
+            return
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=self.jobs)
+        now = time.monotonic()
+        capacity = 1 if self._isolate else self.jobs
+        # one pass over the queue: submit what is ready, keep the rest
+        for _ in range(len(self._queue)):
+            if len(self._inflight) >= capacity:
+                break
+            index = self._queue.popleft()
+            state = self._states[index]
+            if state.ready_at > now:
+                self._queue.append(index)  # in backoff; revisit next tick
+                continue
+            try:
+                future = self._executor.submit(
+                    _execute_point, self.sweep.fn, self.sweep.grid[index],
+                    self.seeds[index],
+                )
+            except (BrokenProcessPool, RuntimeError):
+                # pool died between completions; put the point back and
+                # let the crash path rebuild
+                self._queue.appendleft(index)
+                self._handle_pool_break(culprit=None)
+                return
+            state.deadline = (
+                now + self.timeout_s if self.timeout_s is not None else math.inf
+            )
+            self._inflight[future] = state
+
+    def _pump(self) -> None:
+        """Wait for progress: completions, timeouts, or backoff expiry."""
+        if not self._inflight:
+            if self._queue:
+                now = time.monotonic()
+                soonest = min(self._states[i].ready_at for i in self._queue)
+                if soonest > now:
+                    time.sleep(min(soonest - now, _MAX_BACKOFF_S))
+            return
+        done, _ = wait(set(self._inflight), timeout=_TICK_S,
+                       return_when=FIRST_COMPLETED)
+        for future in done:
+            state = self._inflight.pop(future, None)
+            if state is None:
+                continue
+            exc = future.exception()
+            if exc is None:
+                value, wall_s = future.result()
+                self._record_success(state.index, value, wall_s)
+            elif isinstance(exc, BrokenProcessPool):
+                self._handle_pool_break(culprit=state)
+                return  # every other in-flight future is broken too
+            else:
+                self._record_failure(state, "error", exc)
+        self._check_timeouts()
+
+    # -- outcome recording -------------------------------------------------------
+
+    def _record_success(self, index: int, value: Any, wall_s: float) -> None:
+        # persist first: a crash after this line loses nothing
+        if self.cache is not None:
+            self.cache.store(self.keys[index], value, wall_s)
+        self.results[index] = PointResult(
+            index=index, params=self.sweep.grid[index], seed=self.seeds[index],
+            value=value, wall_s=wall_s, cached=False,
+        )
+
+    def _record_failure(
+        self, state: _PointState, kind: str, exc: BaseException | None,
+        message: str | None = None,
+    ) -> None:
+        """Charge one failed attempt; requeue, record, or abort."""
+        state.attempts += 1
+        if state.attempts <= self.retries:
+            backoff = min(
+                self.retry_backoff_s * (2 ** (state.attempts - 1)), _MAX_BACKOFF_S
+            )
+            state.ready_at = time.monotonic() + backoff
+            self._queue.append(state.index)
+            return
+        error = PointError(
+            index=state.index,
+            params=self.sweep.grid[state.index],
+            seed=self.seeds[state.index],
+            kind=kind,
+            message=message if message is not None else repr(exc),
+            attempts=state.attempts,
+        )
+        if self.keep_going:
+            self.errors[state.index] = error
+            return
+        if kind == "error" and exc is not None:
+            raise exc  # backwards-compatible: surface fn's own exception
+        if kind == "timeout":
+            raise SweepTimeoutError(
+                f"sweep '{self.sweep.name}' point {state.index} "
+                f"({error.message}) after {state.attempts} attempt(s)"
+            )
+        raise SweepCrashError(
+            f"sweep '{self.sweep.name}' point {state.index} "
+            f"({error.message}) after {state.attempts} attempt(s)"
+        )
+
+    # -- fault paths ---------------------------------------------------------------
+
+    def _handle_pool_break(self, culprit: _PointState | None) -> None:
+        """The worker pool died under some in-flight point(s).
+
+        In isolation mode exactly one point was in flight, so the crash
+        is attributed and charged.  Otherwise the culprit is ambiguous:
+        every in-flight point is requeued uncharged and the coordinator
+        enters isolation mode, where any repeat offender is caught.
+        """
+        survivors = list(self._inflight.values())
+        self._inflight.clear()
+        self._teardown()
+        self.pool_rebuilds += 1
+        message = "worker process died (broken process pool)"
+        if self._isolate and culprit is not None and not survivors:
+            self._record_failure(culprit, "crash", None, message=message)
+        else:
+            for state in ([culprit] if culprit is not None else []) + survivors:
+                state.deadline = math.inf
+                self._queue.appendleft(state.index)
+        self._isolate = True
+
+    def _check_timeouts(self) -> None:
+        if self.timeout_s is None or not self._inflight:
+            return
+        now = time.monotonic()
+        expired = [f for f, s in self._inflight.items() if now >= s.deadline]
+        if not expired:
+            return
+        # a running task cannot be cancelled: kill the whole pool, then
+        # requeue the innocent in-flight points uncharged
+        for future in expired:
+            state = self._inflight.pop(future)
+            self._record_failure(
+                state, "timeout", None,
+                message=f"exceeded per-point timeout of {self.timeout_s}s",
+            )
+        for state in self._inflight.values():
+            state.deadline = math.inf
+            self._queue.appendleft(state.index)
+        self._inflight.clear()
+        self._teardown()
+        self.pool_rebuilds += 1
+
+    def _teardown(self) -> None:
+        if self._executor is None:
+            return
+        # terminate first: shutdown() alone would wait on a hung worker
+        for process in list(getattr(self._executor, "_processes", {}).values()):
+            process.terminate()
+        self._executor.shutdown(wait=False, cancel_futures=True)
+        self._executor = None
+
+
+def _run_serial(
+    sweep: Sweep,
+    seeds: list[int],
+    keys: list[str],
+    cache: ResultCache | None,
+    pending: Sequence[int],
+    retries: int,
+    retry_backoff_s: float,
+    keep_going: bool,
+    results: dict[int, PointResult],
+    errors: dict[int, PointError],
+) -> None:
+    """In-process execution (``jobs=1``): retries and ``keep_going``
+    apply; per-point timeouts and crash survival need worker processes,
+    so they do not (a hard crash of ``fn`` takes the caller with it)."""
+    for index in pending:
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                value, wall_s = _execute_point(sweep.fn, sweep.grid[index], seeds[index])
+            except Exception as exc:
+                if attempts <= retries:
+                    time.sleep(min(retry_backoff_s * (2 ** (attempts - 1)),
+                                   _MAX_BACKOFF_S))
+                    continue
+                if keep_going:
+                    errors[index] = PointError(
+                        index=index, params=sweep.grid[index], seed=seeds[index],
+                        kind="error", message=repr(exc), attempts=attempts,
+                    )
+                    break
+                raise
+            else:
+                if cache is not None:
+                    cache.store(keys[index], value, wall_s)
+                results[index] = PointResult(
+                    index=index, params=sweep.grid[index], seed=seeds[index],
+                    value=value, wall_s=wall_s, cached=False,
+                )
+                break
+
+
 def run_sweep(
     sweep: Sweep,
     jobs: int = 1,
     cache_dir: str | Path | None = None,
+    retries: int = 0,
+    retry_backoff_s: float = 0.05,
+    timeout_s: float | None = None,
+    keep_going: bool = False,
 ) -> SweepResult:
     """Run every point of ``sweep`` and return results in grid order.
 
@@ -154,10 +510,26 @@ def run_sweep(
         Worker processes; ``1`` runs serially in-process.
     cache_dir:
         Directory for the on-disk result cache; ``None`` disables
-        caching.
+        caching.  Completed points are persisted as they finish, so an
+        interrupted sweep resumes from its last completed point.
+    retries:
+        Failed attempts a point may retry before it counts as failed.
+    retry_backoff_s:
+        Base of the exponential backoff between retries.
+    timeout_s:
+        Per-point wall-clock bound (``jobs > 1`` only): a point running
+        longer has its worker pool killed and counts as a failed attempt.
+    keep_going:
+        When True, points that exhaust their retries become structured
+        :class:`PointError` records on the result instead of aborting
+        the sweep; completed points are always kept either way.
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
+    if retries < 0:
+        raise ValueError("retries must be >= 0")
+    if timeout_s is not None and timeout_s <= 0:
+        raise ValueError("timeout_s must be positive")
     start = time.perf_counter()
     n = len(sweep.grid)
     seeds = derive_seeds(sweep.base_seed, n)
@@ -167,6 +539,7 @@ def run_sweep(
     cache = ResultCache(cache_dir) if cache_dir is not None else None
 
     results: dict[int, PointResult] = {}
+    errors: dict[int, PointError] = {}
     pending: list[int] = []
     for i in range(n):
         entry = cache.load(keys[i]) if cache is not None else None
@@ -178,27 +551,25 @@ def run_sweep(
         else:
             pending.append(i)
 
-    if jobs == 1 or len(pending) <= 1:
-        computed = [_execute_point(sweep.fn, sweep.grid[i], seeds[i]) for i in pending]
+    pool_rebuilds = 0
+    if jobs == 1 or not pending:
+        _run_serial(sweep, seeds, keys, cache, pending, retries,
+                    retry_backoff_s, keep_going, results, errors)
     else:
-        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as executor:
-            futures = [
-                executor.submit(_execute_point, sweep.fn, sweep.grid[i], seeds[i])
-                for i in pending
-            ]
-            computed = [f.result() for f in futures]
-
-    for i, (value, wall_s) in zip(pending, computed):
-        if cache is not None:
-            cache.store(keys[i], value, wall_s)
-        results[i] = PointResult(
-            index=i, params=sweep.grid[i], seed=seeds[i],
-            value=value, wall_s=wall_s, cached=False,
+        coordinator = _Coordinator(
+            sweep, seeds, keys, cache, min(jobs, len(pending)),
+            retries, retry_backoff_s, timeout_s, keep_going,
         )
+        coordinator.run(pending)
+        results.update(coordinator.results)
+        errors.update(coordinator.errors)
+        pool_rebuilds = coordinator.pool_rebuilds
 
     return SweepResult(
         name=sweep.name,
         jobs=jobs,
         total_wall_s=time.perf_counter() - start,
-        points=[results[i] for i in range(n)],
+        points=[results[i] for i in range(n) if i in results],
+        errors=[errors[i] for i in sorted(errors)],
+        pool_rebuilds=pool_rebuilds,
     )

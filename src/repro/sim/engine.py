@@ -12,12 +12,23 @@ device's partitions:
 
 Deletion volume keeps utilization stationary; per-day metrics are
 sampled at a configurable cadence.
+
+A precomputed :class:`~repro.faults.plan.FaultPlan` can be threaded
+through :func:`run_lifetime`: infant-mortality deaths retire block
+groups, transient reads exercise the bounded-retry accounting, torn
+programs cost recovery rewrites, and cloud-outage windows defer the
+scrub pass (the epoch model's stand-in for the §4.3 repair path).  Fault
+days are indexed by *position* in the summary list, not the trace's
+``day`` field, so sliced or 1-indexed traces replay the same schedule.
+With no plan (or an all-zero-rate plan) results are bit-identical to the
+fault-free engine.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.faults.plan import FaultPlan, FaultSummary
 from repro.workloads.traces import DailySummary
 
 from .baselines import DeviceBuild
@@ -66,6 +77,8 @@ class LifetimeResult:
     capacity_gb: float
     intensity_kg_per_gb: float
     samples: list[DaySample] = field(default_factory=list)
+    #: structured fault counters; None when the run had no fault plan
+    faults: FaultSummary | None = None
 
     @property
     def embodied_kg(self) -> float:
@@ -109,10 +122,39 @@ def _route_writes(
     }
 
 
+def _apply_day_faults(
+    device, plan: FaultPlan, summary_counters: FaultSummary, position: int
+) -> None:
+    """Apply one day's scheduled faults to the epoch device."""
+    for target, unit in plan.infant_deaths(position):
+        partition = device.partitions.get(target)
+        if partition is not None and unit < partition.spec.n_groups:
+            if partition.retire_group(unit):
+                summary_counters.infant_deaths += 1
+    for target, unit, attempts_needed in plan.transient_reads(position):
+        if target not in device.partitions:
+            continue
+        summary_counters.transient_reads += 1
+        retries = min(attempts_needed - 1, plan.config.max_read_retries)
+        summary_counters.read_retry_attempts += retries
+        if attempts_needed - 1 <= plan.config.max_read_retries:
+            summary_counters.reads_recovered += 1
+        else:
+            # retry budget exhausted: graceful degradation, count and go on
+            summary_counters.reads_unrecovered += 1
+    for target, unit in plan.torn_programs(position):
+        partition = device.partitions.get(target)
+        if partition is not None and unit < partition.spec.n_groups:
+            rewritten = partition.power_loss_rewrite(unit, device.now_years)
+            summary_counters.torn_programs += 1
+            summary_counters.torn_rewrite_gb += rewritten
+
+
 def run_lifetime(
     build: DeviceBuild,
     summaries: list[DailySummary],
     config: SimConfig | None = None,
+    fault_plan: FaultPlan | None = None,
 ) -> LifetimeResult:
     """Run a device build through a daily workload, sampling metrics."""
     config = config or SimConfig()
@@ -120,13 +162,25 @@ def run_lifetime(
         build_name=build.name,
         capacity_gb=build.capacity_gb,
         intensity_kg_per_gb=build.intensity_kg_per_gb,
+        faults=FaultSummary() if fault_plan is not None else None,
     )
     device = build.device
     spare = device.partitions.get("spare")
     sys_part = device.partitions.get("sys") or device.partitions.get("main")
     for position, summary in enumerate(summaries):
         writes = _route_writes(build, summary, config)
-        device.step_day(writes)
+        scrub_allowed = True
+        if fault_plan is not None:
+            assert result.faults is not None
+            if fault_plan.in_cloud_outage(position):
+                result.faults.cloud_outage_days += 1
+                scrub_allowed = False
+                result.faults.scrubs_deferred += sum(
+                    1 for p in device.partitions.values() if p.spec.scrub_enabled
+                )
+        device.step_day(writes, scrub_allowed=scrub_allowed)
+        if fault_plan is not None:
+            _apply_day_faults(device, fault_plan, result.faults, position)
         # deletions keep the working set stationary: the day's delete
         # volume is apportioned across pressured partitions by live-data
         # share, so multi-partition builds delete the same total volume

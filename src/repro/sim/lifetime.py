@@ -344,12 +344,53 @@ class Partition:
         )
         return float((pages * p_fail).sum())
 
+    # -- fault injection ---------------------------------------------------------------
+
+    def retire_group(self, index: int) -> bool:
+        """Force-retire one group (infant-mortality fault injection).
+
+        Unlike wear-driven retirement, the death is not predicted at the
+        health horizon -- the group simply dies, taking its live data
+        with it (the epoch model has no per-page rescue path).  Returns
+        False when the group was already retired.
+        """
+        if self._retired[index]:
+            return False
+        self._retired[index] = True
+        self._live[index] = 0.0
+        self.retired_count += 1
+        return True
+
+    def power_loss_rewrite(self, index: int, now: float) -> float:
+        """Recover a power-loss-interrupted program on one group.
+
+        The interrupted write unit (modelled as up to 5% of the group's
+        capacity, bounded by its live data) is torn and must be
+        re-programmed, costing extra wear and refresh writes.  Returns
+        the GB re-written (0.0 when the group holds nothing to tear).
+        """
+        if self._retired[index] or self._capacity[index] <= 0:
+            return 0.0
+        gb = min(float(self._live[index]), float(self._capacity[index]) * 0.05)
+        if gb <= 0.0:
+            return 0.0
+        # data age is unchanged: the torn unit was freshly written anyway
+        self._pec[index] += gb * self.spec.waf / self._capacity[index]
+        self.refresh_writes_gb += gb
+        return gb
+
     # -- maintenance --------------------------------------------------------------------
 
-    def maintain(self, now: float) -> None:
+    def maintain(self, now: float, scrub_allowed: bool = True) -> None:
         """Health checks: scrub, retire, resuscitate (order matters:
-        scrub first so a refresh can save a group from retirement)."""
-        if self.spec.scrub_enabled:
+        scrub first so a refresh can save a group from retirement).
+
+        ``scrub_allowed=False`` defers the rescue pass (fault plans use
+        it to model repair sources being unreachable) while the
+        retire/resuscitate health check still runs -- degraded media must
+        keep being managed even when it cannot be refreshed.
+        """
+        if self.spec.scrub_enabled and scrub_allowed:
             self._scrub(now)
         self._health_check(now)
 
@@ -425,7 +466,12 @@ class LifetimeDevice:
         """Total current usable capacity."""
         return sum(p.capacity_gb() for p in self.partitions.values())
 
-    def step_day(self, writes: dict[str, tuple[float, float]], maintain: bool = True) -> None:
+    def step_day(
+        self,
+        writes: dict[str, tuple[float, float]],
+        maintain: bool = True,
+        scrub_allowed: bool = True,
+    ) -> None:
         """Advance one day.
 
         Parameters
@@ -434,6 +480,9 @@ class LifetimeDevice:
             partition name -> (new_data_gb, churn_gb) for the day.
         maintain:
             Run scrub/health maintenance after applying writes.
+        scrub_allowed:
+            Passed through to :meth:`Partition.maintain`; False defers
+            the day's scrub pass (repair source unreachable).
         """
         dt = 1.0 / 365.0
         self.now_years += dt
@@ -443,4 +492,4 @@ class LifetimeDevice:
             partition.host_write(churn_gb, self.now_years, churn=True)
         if maintain:
             for partition in self.partitions.values():
-                partition.maintain(self.now_years)
+                partition.maintain(self.now_years, scrub_allowed=scrub_allowed)

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import pytest
+
 from repro.core.repair import CloudBackup
 
 
@@ -22,6 +24,24 @@ class TestStoreFetch:
         backup.store_page(1, b"old")
         backup.store_page(1, b"new")
         assert backup.fetch_page(1) == b"new"
+
+    def test_overwrite_counts_separately_from_stores(self):
+        # re-uploading an LPN must not inflate the store's footprint
+        backup = CloudBackup()
+        backup.store_page(1, b"old")
+        backup.store_page(1, b"new")
+        backup.store_page(2, b"other")
+        assert backup.stats.pages_stored == 2
+        assert backup.stats.pages_overwritten == 1
+        assert len(backup) == 2
+
+    def test_restore_after_forget_is_a_fresh_store(self):
+        backup = CloudBackup()
+        backup.store_page(1, b"x")
+        backup.forget_page(1)
+        backup.store_page(1, b"y")
+        assert backup.stats.pages_stored == 2
+        assert backup.stats.pages_overwritten == 0
 
     def test_forget(self):
         backup = CloudBackup()
@@ -48,3 +68,66 @@ class TestAvailability:
         backup.store_page(1, bytes(data))
         data[0] = 0
         assert backup.fetch_page(1) == b"mutable"
+
+
+class TestOutageSchedule:
+    def test_fetches_fail_inside_windows_and_recover_after(self):
+        backup = CloudBackup(outage_windows=((0.5, 0.6), (1.0, 1.1)))
+        backup.store_page(1, b"x")
+        assert backup.fetch_page(1) == b"x"  # before any window
+        backup.advance_time(0.55)
+        assert backup.in_outage() and not backup.reachable()
+        assert backup.fetch_page(1) is None
+        assert backup.stats.fetch_outage_failures == 1
+        backup.advance_time(0.8)
+        assert backup.fetch_page(1) == b"x"  # between windows
+        backup.advance_time(1.05)
+        assert backup.fetch_page(1) is None  # second window
+        assert backup.stats.fetch_outage_failures == 2
+
+    def test_window_end_is_exclusive(self):
+        backup = CloudBackup(outage_windows=((0.5, 0.6),))
+        backup.advance_time(0.6)
+        assert not backup.in_outage()
+
+    def test_clock_is_monotonic(self):
+        backup = CloudBackup(outage_windows=((0.5, 0.6),))
+        backup.advance_time(0.7)
+        backup.advance_time(0.55)  # attempts to rewind are ignored
+        assert not backup.in_outage()
+
+    def test_outage_failures_do_not_count_as_misses(self):
+        backup = CloudBackup(outage_windows=((0.0, 1.0),))
+        backup.store_page(1, b"x")
+        backup.fetch_page(1)
+        assert backup.stats.fetch_misses == 0
+        assert backup.stats.pages_fetched == 0
+
+
+class TestTransientFailures:
+    def test_seeded_failure_sequence_is_reproducible(self):
+        def run():
+            backup = CloudBackup(transient_failure_rate=0.5, seed=11)
+            backup.store_page(1, b"x")
+            return [backup.fetch_page(1) for _ in range(32)]
+
+        first, second = run(), run()
+        assert first == second
+        assert None in first  # some fetches flake ...
+        assert b"x" in first  # ... and some succeed
+
+    def test_failures_counted_separately(self):
+        backup = CloudBackup(transient_failure_rate=0.5, seed=11)
+        backup.store_page(1, b"x")
+        for _ in range(32):
+            backup.fetch_page(1)
+        assert backup.stats.fetch_transient_failures > 0
+        assert backup.stats.pages_fetched > 0
+        assert (
+            backup.stats.fetch_transient_failures + backup.stats.pages_fetched
+            == 32
+        )
+
+    def test_rate_one_rejected(self):
+        with pytest.raises(ValueError, match="transient_failure_rate"):
+            CloudBackup(transient_failure_rate=1.0)

@@ -89,3 +89,102 @@ class TestScrub:
         wear_spare_blocks(device, 5000)  # beyond the resuscitation ladder too
         report = scrubber.scrub(lpns)
         assert report.blocks_retired + report.blocks_resuscitated > 0
+
+
+def _scrubber_with_backup(device, layer, backup, **kwargs):
+    monitor = DegradationMonitor(device.ftl, horizon_years=0.5)
+    return Scrubber(layer, monitor, backup, quality_floor=0.85, **kwargs)
+
+
+class TestRepairRetry:
+    """Bounded retry + graceful degradation of the cloud repair path."""
+
+    def _endangered_backed_pages(self, device, layer, backup, n=4, base=600):
+        lpns = [base + i for i in range(n)]
+        for lpn in lpns:
+            write_spare(layer, lpn, b"clean!")
+            backup.store_page(lpn, b"clean!")
+        wear_spare_blocks(device, 1500)
+        return lpns
+
+    def test_outage_burns_retries_then_degrades_to_relocation(self, setup):
+        device, layer, _, _ = setup
+        backup = CloudBackup(outage_windows=((0.0, 10.0),))
+        scrubber = _scrubber_with_backup(
+            device, layer, backup, max_repair_retries=2, repair_backoff_s=0.5
+        )
+        lpns = self._endangered_backed_pages(device, layer, backup)
+        report = scrubber.scrub(lpns)
+        assert report.pages_repaired_from_cloud == 0
+        # graceful degradation: every failed repair counted, every page
+        # still rescued by relocation -- the sweep keeps simulating
+        assert report.repairs_failed == len(lpns)
+        assert report.pages_relocated == len(lpns)
+        assert report.repair_retries == 2 * len(lpns)
+
+    def test_backoff_is_accounted_not_slept(self, setup):
+        device, layer, _, _ = setup
+        backup = CloudBackup(outage_windows=((0.0, 10.0),))
+        scrubber = _scrubber_with_backup(
+            device, layer, backup, max_repair_retries=3, repair_backoff_s=0.5
+        )
+        lpns = self._endangered_backed_pages(device, layer, backup, n=1)
+        import time
+
+        start = time.perf_counter()
+        report = scrubber.scrub(lpns)
+        elapsed = time.perf_counter() - start
+        # exponential: 0.5 + 1.0 + 2.0 simulated seconds, ~none real
+        assert report.repair_backoff_s == pytest.approx(3.5)
+        assert elapsed < 1.0
+
+    def test_transient_failures_recover_within_retry_budget(self, setup):
+        device, layer, _, _ = setup
+        backup = CloudBackup(transient_failure_rate=0.5, seed=11)
+        scrubber = _scrubber_with_backup(
+            device, layer, backup, max_repair_retries=8
+        )
+        lpns = self._endangered_backed_pages(device, layer, backup)
+        report = scrubber.scrub(lpns)
+        # rate 0.5 with 8 retries: recovery is near-certain per page, and
+        # every endangered page was rescued one way or the other
+        assert report.pages_repaired_from_cloud > 0
+        assert (
+            report.pages_repaired_from_cloud
+            + report.repairs_failed
+            + (report.pages_relocated - report.repairs_failed)
+            == len(lpns)
+        )
+        assert report.repair_retries > 0
+
+    def test_misses_do_not_burn_the_retry_budget(self, setup):
+        device, layer, backup, _ = setup
+        scrubber = _scrubber_with_backup(
+            device, layer, backup, max_repair_retries=5
+        )
+        lpns = [700 + i for i in range(3)]
+        for lpn in lpns:
+            write_spare(layer, lpn)  # endangered but NOT cloud-backed
+        wear_spare_blocks(device, 1500)
+        report = scrubber.scrub(lpns)
+        assert report.repair_retries == 0
+        assert report.repairs_failed == 0
+        assert report.pages_relocated == len(lpns)
+
+    def test_statically_unavailable_cloud_skips_retries(self, setup):
+        device, layer, _, _ = setup
+        backup = CloudBackup(available=False)
+        scrubber = _scrubber_with_backup(
+            device, layer, backup, max_repair_retries=5
+        )
+        lpns = self._endangered_backed_pages(device, layer, backup)
+        report = scrubber.scrub(lpns)
+        # retrying a cloud that is configured off can never help
+        assert report.repair_retries == 0
+        assert report.repairs_failed == len(lpns)
+        assert report.pages_relocated == len(lpns)
+
+    def test_negative_retry_budget_rejected(self, setup):
+        device, layer, backup, _ = setup
+        with pytest.raises(ValueError, match="max_repair_retries"):
+            _scrubber_with_backup(device, layer, backup, max_repair_retries=-1)

@@ -88,3 +88,50 @@ class TestSnapshot:
     def test_cloud_availability_flag(self):
         device = SOSDevice(default_config(seed=6), cloud_available=False)
         assert not device.backup.available
+
+
+class TestFaultPlan:
+    def _plan(self, rate=0.3, seed=6):
+        from repro.faults import FaultConfig, FaultPlan
+
+        config = FaultConfig(block_infant_mortality=rate, infant_window_days=180)
+        return FaultPlan.generate(
+            config, seed=seed, horizon_days=365,
+            targets={"sys": 8, "spare": 8},
+        )
+
+    def test_infant_deaths_applied_as_time_passes(self):
+        device = SOSDevice(default_config(seed=6), fault_plan=self._plan())
+        assert device.fault_summary.infant_deaths == 0
+        device.advance_time(1.0)  # past the whole infant window
+        assert device.fault_summary.infant_deaths == len(
+            [e for e in device.fault_plan.events if e.kind == "infant_death"]
+        )
+        assert device.ftl.stats.blocks_retired >= device.fault_summary.infant_deaths
+
+    def test_events_apply_once_across_increments(self):
+        device = SOSDevice(default_config(seed=6), fault_plan=self._plan())
+        for step in range(1, 13):
+            device.advance_time(step / 12)
+        total = device.fault_summary.infant_deaths
+        device.advance_time(2.0)  # no window events left to apply
+        assert device.fault_summary.infant_deaths == total
+
+    def test_no_plan_leaves_no_summary(self):
+        device = SOSDevice(default_config(seed=6))
+        assert device.fault_plan is None and device.fault_summary is None
+        device.advance_time(1.0)  # exercises the early-return path
+
+    def test_plan_outages_gate_the_backup(self):
+        from repro.faults import FaultConfig, FaultPlan
+
+        plan = FaultPlan.generate(
+            FaultConfig(cloud_outage_rate=0.1, cloud_outage_days=10),
+            seed=6, horizon_days=365, targets={"sys": 8, "spare": 8},
+        )
+        assert plan.outage_windows  # rate high enough to schedule some
+        device = SOSDevice(default_config(seed=6), fault_plan=plan)
+        start_years, _ = plan.outage_windows_years()[0]
+        device.advance_time(start_years + 1e-9)
+        assert device.backup.in_outage()
+        assert not device.backup.reachable()

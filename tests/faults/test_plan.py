@@ -1,0 +1,123 @@
+"""FaultPlan: deterministic generation, lookups, digests, config round-trip."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import FaultConfig, FaultPlan
+from repro.faults.plan import CLOUD_TARGET, _merge_windows
+
+RICH = FaultConfig(
+    block_infant_mortality=0.2,
+    infant_window_days=30,
+    transient_read_rate=0.5,
+    power_loss_rate=0.2,
+    cloud_outage_rate=0.05,
+    cloud_outage_days=4,
+)
+TARGETS = {"sys": 12, "spare": 20}
+
+
+def _plan(seed: int = 9, config: FaultConfig = RICH) -> FaultPlan:
+    return FaultPlan.generate(config, seed=seed, horizon_days=365, targets=TARGETS)
+
+
+class TestGeneration:
+    def test_same_inputs_same_schedule(self):
+        a, b = _plan(), _plan()
+        assert a.event_log() == b.event_log()
+        assert a.digest() == b.digest()
+
+    def test_seed_changes_schedule(self):
+        assert _plan(seed=9).digest() != _plan(seed=10).digest()
+
+    def test_config_changes_digest_even_with_empty_schedule(self):
+        # digest covers the inputs, not just the sampled events
+        a = FaultPlan.generate(FaultConfig(), seed=1, horizon_days=10, targets=TARGETS)
+        b = FaultPlan.generate(
+            FaultConfig(max_read_retries=5), seed=1, horizon_days=10, targets=TARGETS
+        )
+        assert a.empty and b.empty
+        assert a.digest() != b.digest()
+
+    def test_zero_config_is_empty(self):
+        plan = FaultPlan.generate(FaultConfig(), seed=3, horizon_days=365,
+                                  targets=TARGETS)
+        assert plan.empty and len(plan) == 0
+        assert plan.outage_windows == ()
+        assert not any(plan.in_cloud_outage(d) for d in range(365))
+
+    def test_rich_config_populates_every_kind(self):
+        kinds = {e.kind for e in _plan().events}
+        assert kinds == {"infant_death", "transient_read", "torn_program",
+                         "cloud_outage"}
+
+    def test_infant_deaths_respect_window(self):
+        for event in _plan().events:
+            if event.kind == "infant_death":
+                assert 0 <= event.day < RICH.infant_window_days
+                assert event.unit < TARGETS[event.target]
+
+    def test_events_sorted_by_day(self):
+        days = [e.day for e in _plan().events]
+        assert days == sorted(days)
+
+    def test_reserved_cloud_target_rejected(self):
+        with pytest.raises(ValueError, match="reserved"):
+            FaultPlan.generate(RICH, seed=0, horizon_days=10,
+                               targets={CLOUD_TARGET: 4})
+
+    def test_bad_horizon_rejected(self):
+        with pytest.raises(ValueError, match="horizon_days"):
+            FaultPlan.generate(RICH, seed=0, horizon_days=0, targets=TARGETS)
+
+
+class TestLookups:
+    def test_per_day_lookups_cover_all_events(self):
+        plan = _plan()
+        recovered = 0
+        for day in range(plan.horizon_days):
+            recovered += len(plan.infant_deaths(day))
+            recovered += len(plan.transient_reads(day))
+            recovered += len(plan.torn_programs(day))
+        outages = sum(1 for e in plan.events if e.kind == "cloud_outage")
+        assert recovered + outages == len(plan)
+
+    def test_outage_days_marked(self):
+        plan = _plan()
+        for start, end in plan.outage_windows:
+            assert plan.in_cloud_outage(start)
+            assert plan.in_cloud_outage(end - 1)
+            assert not plan.in_cloud_outage(end)
+
+    def test_outage_windows_merge_overlaps(self):
+        assert _merge_windows([(5, 8), (7, 10), (20, 22)]) == ((5, 10), (20, 22))
+
+    def test_outage_windows_in_years(self):
+        plan = _plan()
+        for (d0, d1), (y0, y1) in zip(plan.outage_windows,
+                                      plan.outage_windows_years()):
+            assert y0 == pytest.approx(d0 / 365.0)
+            assert y1 == pytest.approx(d1 / 365.0)
+
+
+class TestConfig:
+    def test_params_roundtrip(self):
+        assert FaultConfig.from_params(RICH.to_params()) == RICH
+
+    def test_params_are_cache_keyable(self):
+        from repro.runner import stable_key
+
+        assert stable_key(RICH.to_params()) == stable_key(RICH.to_params())
+
+    def test_is_zero(self):
+        assert FaultConfig().is_zero
+        assert not RICH.is_zero
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            FaultConfig(transient_read_rate=-0.1)
+
+    def test_infant_mortality_must_be_probability(self):
+        with pytest.raises(ValueError, match="probability"):
+            FaultConfig(block_infant_mortality=1.5)

@@ -101,3 +101,41 @@ class TestThresholdSensitivity:
         block = plc_block(pec)
         assert assess_block(block, short).healthy
         assert not assess_block(block, long).healthy
+
+
+class TestInfantMortality:
+    def test_zero_rate_kills_nothing(self):
+        from repro.ftl.bad_blocks import infant_mortality_deaths
+
+        rng = np.random.default_rng(0)
+        assert infant_mortality_deaths(100, 0.0, rng) == []
+
+    def test_deterministic_under_seed(self):
+        from repro.ftl.bad_blocks import infant_mortality_deaths
+
+        a = infant_mortality_deaths(200, 0.1, np.random.default_rng(3))
+        b = infant_mortality_deaths(200, 0.1, np.random.default_rng(3))
+        assert a == b and len(a) > 0
+
+    def test_rate_scales_death_count(self):
+        from repro.ftl.bad_blocks import infant_mortality_deaths
+
+        low = len(infant_mortality_deaths(2000, 0.05, np.random.default_rng(1)))
+        high = len(infant_mortality_deaths(2000, 0.5, np.random.default_rng(1)))
+        assert low < high
+
+    def test_zero_rate_consumes_same_rng_draws(self):
+        """Rate 0 must advance the rng exactly like rate > 0, so adding a
+        disabled fault class never shifts downstream sampling."""
+        from repro.ftl.bad_blocks import infant_mortality_deaths
+
+        rng_a = np.random.default_rng(7)
+        infant_mortality_deaths(50, 0.0, rng_a)
+        rng_b = np.random.default_rng(7)
+        infant_mortality_deaths(50, 0.9, rng_b)
+        assert rng_a.random() == rng_b.random()
+
+    def test_empty_population(self):
+        from repro.ftl.bad_blocks import infant_mortality_deaths
+
+        assert infant_mortality_deaths(0, 0.5, np.random.default_rng(0)) == []

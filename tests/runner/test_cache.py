@@ -2,6 +2,10 @@
 
 from __future__ import annotations
 
+import os
+import pickle
+import time
+
 import pytest
 
 from repro.runner import CacheEntry, ResultCache, stable_key
@@ -53,3 +57,69 @@ class TestResultCache:
         cache.store(stable_key({"p": 2}), "two", wall_s=0.1)
         assert cache.load(stable_key({"p": 1})).value == "one"
         assert cache.load(stable_key({"p": 2})).value == "two"
+
+
+class TestCrashConsistency:
+    """A torn or stale cache file is a miss, not an error."""
+
+    def test_truncated_pickle_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = stable_key({"p": 1})
+        cache.store(key, {"big": list(range(1000))}, wall_s=0.1)
+        path = tmp_path / f"{key}.pkl"
+        # tear the file mid-write, as a killed process would
+        path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+        assert cache.load(key) is None
+
+    def test_wrong_payload_shape_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = stable_key({"p": 1})
+        (tmp_path / f"{key}.pkl").write_bytes(pickle.dumps({"no": "value"}))
+        assert cache.load(key) is None
+
+    @pytest.mark.parametrize(
+        ("raw", "raises"),
+        [
+            # protocol-0 GLOBAL naming an attribute this module lost
+            (b"crepro.runner.cache\nClassThatNeverExisted\n.", AttributeError),
+            # GLOBAL naming a module that no longer imports
+            (b"cmodule_that_never_existed_xyz\nKlass\n.", ModuleNotFoundError),
+            # REDUCE with a bad call signature (class __init__ changed)
+            (b"cbuiltins\nabs\n(tR.", TypeError),
+        ],
+        ids=["attribute-gone", "module-gone", "signature-changed"],
+    )
+    def test_stale_class_layout_is_a_miss(self, tmp_path, raw, raises):
+        # the crafted bytes really do raise what a stale pickle would
+        with pytest.raises(raises):
+            pickle.loads(raw)
+        cache = ResultCache(tmp_path)
+        key = stable_key({"p": 1})
+        (tmp_path / f"{key}.pkl").write_bytes(raw)
+        assert cache.load(key) is None
+
+    def test_stale_tmp_files_swept_on_construction(self, tmp_path):
+        stale = tmp_path / "deadbeef.tmp"
+        stale.write_bytes(b"half a write")
+        two_hours_ago = time.time() - 7200
+        os.utime(stale, (two_hours_ago, two_hours_ago))
+        fresh = tmp_path / "cafef00d.tmp"
+        fresh.write_bytes(b"a write in progress")
+        ResultCache(tmp_path)
+        assert not stale.exists()  # orphan from a killed writer: gone
+        assert fresh.exists()  # young enough to belong to a live writer
+
+    def test_tmp_cleanup_ignores_real_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = stable_key({"p": 1})
+        cache.store(key, "kept", wall_s=0.1)
+        old = time.time() - 7200
+        os.utime(tmp_path / f"{key}.pkl", (old, old))
+        assert cache.remove_stale_tmp() == 0
+        assert cache.load(key).value == "kept"
+
+    def test_store_failure_leaves_no_tmp_behind(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        with pytest.raises(Exception):
+            cache.store(stable_key({"p": 1}), lambda: None, wall_s=0.1)
+        assert list(tmp_path.glob("*.tmp")) == []

@@ -1,0 +1,156 @@
+"""Fault-tolerant sweep execution: crashes, retries, timeouts, resume.
+
+The misbehaving point functions live in :mod:`repro.runner.faultfns`
+(workers unpickle them by module reference).  Crash tests always run
+with ``jobs >= 2``: a crashing point must never execute in the caller's
+process.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runner import (
+    Sweep,
+    SweepCrashError,
+    SweepTimeoutError,
+    run_sweep,
+)
+from repro.runner.faultfns import crash_point, flaky_point, sleepy_point
+
+
+def _crash_sweep(n: int = 4, crash_index: int = 1) -> Sweep:
+    return Sweep(
+        name="ft-crash",
+        fn=crash_point,
+        grid=tuple({"index": i, "crash": i == crash_index} for i in range(n)),
+        base_seed=5,
+    )
+
+
+class TestCrashSurvival:
+    def test_keep_going_reports_crash_and_completes_rest(self, tmp_path):
+        outcome = run_sweep(_crash_sweep(), jobs=2, cache_dir=tmp_path,
+                            keep_going=True)
+        assert [p.params["index"] for p in outcome.points] == [0, 2, 3]
+        assert outcome.failed_count == 1 and not outcome.ok
+        error = outcome.errors[0]
+        assert error.index == 1
+        assert error.kind == "crash"
+        assert error.attempts == 1
+        assert "process" in error.message
+        assert outcome.pool_rebuilds >= 1
+
+    def test_rerun_recomputes_only_the_crashed_point(self, tmp_path):
+        first = run_sweep(_crash_sweep(), jobs=2, cache_dir=tmp_path,
+                          keep_going=True)
+        assert first.computed_count == 3
+        # zero lost completed points: the re-run serves every completed
+        # point from cache and re-attempts only the crasher
+        second = run_sweep(_crash_sweep(), jobs=2, cache_dir=tmp_path,
+                           keep_going=True)
+        assert second.cached_count == 3
+        assert second.computed_count == 0
+        assert [e.index for e in second.errors] == [1]
+        for a, b in zip(first.points, second.points):
+            assert a.value == b.value
+
+    def test_crash_without_keep_going_raises(self, tmp_path):
+        with pytest.raises(SweepCrashError, match="point 1"):
+            run_sweep(_crash_sweep(), jobs=2, cache_dir=tmp_path)
+        # completed points persisted before the abort are not lost
+        rerun = run_sweep(
+            Sweep(name="ft-crash", fn=crash_point, base_seed=5,
+                  grid=tuple({"index": i, "crash": False} for i in range(4))),
+            jobs=2, cache_dir=tmp_path,
+        )
+        assert rerun.ok and len(rerun.points) == 4
+
+    def test_crash_retries_are_charged_per_attempt(self):
+        outcome = run_sweep(_crash_sweep(n=3), jobs=2, retries=1,
+                            retry_backoff_s=0.01, keep_going=True)
+        assert outcome.errors[0].kind == "crash"
+        assert outcome.errors[0].attempts == 2
+        assert len(outcome.points) == 2
+
+
+class TestRetries:
+    def test_flaky_point_recovers_within_budget(self, tmp_path):
+        grid = tuple(
+            {"index": i, "fail_times": 2 if i == 1 else 0,
+             "scratch": str(tmp_path)}
+            for i in range(3)
+        )
+        sweep = Sweep(name="ft-flaky", fn=flaky_point, grid=grid, base_seed=1)
+        outcome = run_sweep(sweep, jobs=2, retries=2, retry_backoff_s=0.01)
+        assert outcome.ok and len(outcome.points) == 3
+        flaky = next(p for p in outcome.points if p.params["index"] == 1)
+        assert flaky.value["attempts"] == 3
+
+    def test_flaky_point_recovers_serially_too(self, tmp_path):
+        grid = ({"index": 0, "fail_times": 1, "scratch": str(tmp_path)},)
+        sweep = Sweep(name="ft-flaky-serial", fn=flaky_point, grid=grid)
+        outcome = run_sweep(sweep, jobs=1, retries=1, retry_backoff_s=0.01)
+        assert outcome.ok and outcome.points[0].value["attempts"] == 2
+
+    def test_exhausted_retries_surface_original_exception(self, tmp_path):
+        grid = ({"index": 0, "fail_times": 99, "scratch": str(tmp_path)},)
+        sweep = Sweep(name="ft-flaky-fatal", fn=flaky_point, grid=grid)
+        with pytest.raises(RuntimeError, match="flaky point 0"):
+            run_sweep(sweep, jobs=2, retries=1, retry_backoff_s=0.01)
+
+    def test_exhausted_retries_as_error_record_under_keep_going(self, tmp_path):
+        grid = tuple(
+            {"index": i, "fail_times": 99 if i == 0 else 0,
+             "scratch": str(tmp_path)}
+            for i in range(2)
+        )
+        for jobs in (1, 2):
+            outcome = run_sweep(
+                Sweep(name=f"ft-flaky-kg-{jobs}", fn=flaky_point, grid=grid),
+                jobs=jobs, retries=1, retry_backoff_s=0.01, keep_going=True,
+            )
+            error = outcome.errors[0]
+            assert (error.index, error.kind, error.attempts) == (0, "error", 2)
+            assert "flaky point 0" in error.message
+            assert [p.params["index"] for p in outcome.points] == [1]
+
+
+class TestTimeouts:
+    def _sleepy_sweep(self) -> Sweep:
+        return Sweep(
+            name="ft-sleepy",
+            fn=sleepy_point,
+            grid=tuple(
+                {"index": i, "sleep_s": 30.0 if i == 1 else 0.0}
+                for i in range(3)
+            ),
+            base_seed=2,
+        )
+
+    def test_timeout_reported_under_keep_going(self, tmp_path):
+        outcome = run_sweep(self._sleepy_sweep(), jobs=2, cache_dir=tmp_path,
+                            timeout_s=1.0, keep_going=True)
+        assert [p.params["index"] for p in outcome.points] == [0, 2]
+        error = outcome.errors[0]
+        assert error.index == 1 and error.kind == "timeout"
+        assert "timeout" in error.message
+        assert outcome.pool_rebuilds >= 1
+
+    def test_timeout_without_keep_going_raises(self):
+        with pytest.raises(SweepTimeoutError, match="point 1"):
+            run_sweep(self._sleepy_sweep(), jobs=2, timeout_s=1.0)
+
+    def test_fast_points_unaffected_by_generous_timeout(self):
+        grid = tuple({"index": i, "sleep_s": 0.0} for i in range(3))
+        sweep = Sweep(name="ft-fast", fn=sleepy_point, grid=grid)
+        outcome = run_sweep(sweep, jobs=2, timeout_s=60.0)
+        assert outcome.ok and outcome.pool_rebuilds == 0
+
+    def test_bad_timeout_rejected(self):
+        with pytest.raises(ValueError, match="timeout_s"):
+            run_sweep(self._sleepy_sweep(), jobs=2, timeout_s=0.0)
+
+    def test_bad_retries_rejected(self):
+        with pytest.raises(ValueError, match="retries"):
+            run_sweep(self._sleepy_sweep(), jobs=2, retries=-1)

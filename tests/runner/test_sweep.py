@@ -109,6 +109,21 @@ class TestCaching:
         assert rerun.cached_count == len(LIFETIME_GRID)
         assert rerun.computed_count == 1
 
+    def test_resume_after_partial_sweep_is_bit_identical(self, tmp_path):
+        full = run_sweep(_lifetime_sweep(), jobs=1, cache_dir=tmp_path)
+        # simulate a sweep interrupted after 3 of 4 points: drop one
+        # cached entry, as if the crash happened before it was stored
+        victim = 2
+        key = _lifetime_sweep().point_key(
+            victim, derive_seeds(7, len(LIFETIME_GRID))[victim]
+        )
+        (tmp_path / f"{key}.pkl").unlink()
+        resumed = run_sweep(_lifetime_sweep(), jobs=2, cache_dir=tmp_path)
+        assert resumed.cached_count == len(LIFETIME_GRID) - 1
+        assert resumed.computed_count == 1
+        for a, b in zip(full.points, resumed.points):
+            assert a.value.samples == b.value.samples  # bit-identical resume
+
     def test_unkeyable_grid_rejected_even_without_cache(self):
         sweep = Sweep(
             name="bad", fn=lifetime_point, base_seed=0,

@@ -53,3 +53,28 @@ class TestCli:
     def test_unknown_command_errors(self):
         with pytest.raises(SystemExit):
             main(["bogus"])
+
+    def test_lifetime_with_runner_flags(self, capsys):
+        assert main([
+            "lifetime", "--years", "1", "--mix", "light",
+            "--jobs", "2", "--retries", "1", "--timeout", "600",
+            "--keep-going",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "sos" in out
+        assert "failed" not in out
+
+    def test_faults_selftest(self, capsys):
+        """Tier-1 CI smoke: deterministic fault-plan replay end to end."""
+        assert main(["faults", "selftest"]) == 0
+        out = capsys.readouterr().out
+        assert "plan determinism" in out
+        assert "zero-rate transparency" in out
+        assert "serial == parallel replay" in out
+        assert "crash containment" in out
+        assert "selftest passed" in out
+        assert "FAIL" not in out
+
+    def test_faults_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["faults"])
