@@ -21,6 +21,9 @@ Commands
     operating points (E9).
 ``faults selftest``
     Deterministic fault-plan replay and crash-containment smoke test.
+``obs report``
+    Render span timings, top counters, and event totals from a run
+    directory produced by ``lifetime --trace/--metrics-json``.
 """
 
 from __future__ import annotations
@@ -109,6 +112,12 @@ def _cmd_credits(args: argparse.Namespace) -> None:
 
 
 def _cmd_lifetime(args: argparse.Namespace) -> int:
+    from repro.obs import (
+        merge_snapshots,
+        observed,
+        write_metrics_json,
+        write_trace_jsonl,
+    )
     from repro.runner import Sweep, run_sweep, write_bench_json
     from repro.runner.points import lifetime_point
     from repro.sim.baselines import ALL_BUILDERS
@@ -124,14 +133,57 @@ def _cmd_lifetime(args: argparse.Namespace) -> int:
         for name in ALL_BUILDERS
     )
     sweep = Sweep(name="cli-lifetime", fn=lifetime_point, grid=grid, base_seed=args.seed)
-    outcome = run_sweep(
-        sweep,
-        jobs=args.jobs,
-        cache_dir=args.cache_dir,
-        retries=args.retries,
-        timeout_s=args.timeout,
-        keep_going=args.keep_going,
-    )
+    collect = bool(args.trace or args.metrics_json)
+    profiler = None
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+    try:
+        if collect:
+            with observed(trace=False) as coordinator_obs:
+                outcome = run_sweep(
+                    sweep,
+                    jobs=args.jobs,
+                    cache_dir=args.cache_dir,
+                    retries=args.retries,
+                    timeout_s=args.timeout,
+                    keep_going=args.keep_going,
+                    collect_obs=True,
+                )
+        else:
+            outcome = run_sweep(
+                sweep,
+                jobs=args.jobs,
+                cache_dir=args.cache_dir,
+                retries=args.retries,
+                timeout_s=args.timeout,
+                keep_going=args.keep_going,
+            )
+    finally:
+        if profiler is not None:
+            profiler.disable()
+    if args.profile:
+        profiler.dump_stats(args.profile)
+        print(f"wrote cProfile stats to {args.profile} "
+              "(inspect: python -m pstats)")
+    if collect:
+        merged = outcome.merged_metrics()
+        snapshots = [coordinator_obs.registry.snapshot()]
+        if merged is not None:
+            snapshots.append(merged)
+        merged = merge_snapshots(*snapshots)
+        if args.metrics_json:
+            write_metrics_json(
+                args.metrics_json, merged,
+                context={"sweep": sweep.name, "jobs": args.jobs,
+                         "seed": args.seed, "mix": args.mix},
+            )
+            print(f"wrote merged metrics to {args.metrics_json}")
+        if args.trace:
+            count = write_trace_jsonl(args.trace, outcome.merged_trace())
+            print(f"wrote {count} trace events to {args.trace}")
     rows = []
     for point in outcome.points:
         result = point.value
@@ -268,6 +320,15 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs_report(args: argparse.Namespace) -> int:
+    """``repro obs report``: render observability artifacts as tables."""
+    from repro.obs import format_obs_report, load_run_artifacts
+
+    snapshot, events = load_run_artifacts(args.run)
+    print(format_obs_report(snapshot, events, top=args.top))
+    return 0 if snapshot is not None or events is not None else 1
+
+
 def _cmd_experiments(args: argparse.Namespace) -> None:
     from repro.analysis.registry import EXPERIMENTS
 
@@ -342,6 +403,15 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--keep-going", action="store_true",
                    help="report failed points as structured errors instead "
                         "of aborting the sweep")
+    p.add_argument("--trace", default=None, metavar="PATH",
+                   help="write the deterministic JSONL event trace here")
+    p.add_argument("--metrics-json", default=None, metavar="PATH",
+                   help="write the merged metrics snapshot here "
+                        "(repro.obs.metrics/v1)")
+    p.add_argument("--profile", default=None, metavar="PATH",
+                   help="profile the sweep with cProfile and dump stats here "
+                        "(coordinator + serial points; workers are separate "
+                        "processes)")
     p.set_defaults(func=_cmd_lifetime)
 
     p = sub.add_parser("faults", help="fault-injection utilities")
@@ -351,6 +421,17 @@ def main(argv: list[str] | None = None) -> int:
     )
     p.add_argument("--seed", type=int, default=7)
     p.set_defaults(func=_cmd_faults)
+
+    p = sub.add_parser("obs", help="observability utilities")
+    obs_sub = p.add_subparsers(dest="obs_command", required=True)
+    p = obs_sub.add_parser(
+        "report", help="render metrics/trace artifacts from a run directory"
+    )
+    p.add_argument("run", help="run directory (metrics.json / trace.jsonl) "
+                               "or a single artifact path")
+    p.add_argument("--top", type=int, default=10,
+                   help="counters to show (largest first)")
+    p.set_defaults(func=_cmd_obs_report)
 
     p = sub.add_parser("experiments", help="list all reproducible experiments")
     p.set_defaults(func=_cmd_experiments)

@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.host.block_layer import BlockLayer
+from repro.obs import get_observer
 
 from .degradation import DegradationMonitor, PageForecast
 from .repair import CloudBackup
@@ -94,38 +95,47 @@ class Scrubber:
         """Scan the given LPNs and rescue endangered pages."""
         report = ScrubReport()
         ftl = self.monitor.ftl
-        retired_before = ftl.stats.blocks_retired
-        resuscitated_before = ftl.stats.blocks_resuscitated
-        # health first: rescues must land on healthy blocks, so a worn
-        # open block is abandoned before any rewrite happens
-        ftl.check_stream_health(self.monitor.spare_stream)
-        forecasts = self.monitor.scan(lpns)
-        report.pages_scanned = len(forecasts)
-        endangered = [f for f in forecasts if f.below_floor(self.quality_floor)]
-        report.pages_endangered = len(endangered)
-        for forecast in endangered:
-            self._rescue(forecast, report)
-        ftl.check_stream_health(self.monitor.spare_stream)
-        report.blocks_retired = ftl.stats.blocks_retired - retired_before
-        report.blocks_resuscitated = ftl.stats.blocks_resuscitated - resuscitated_before
+        obs = get_observer()
+        with obs.span("scrub.pass"):
+            retired_before = ftl.stats.blocks_retired
+            resuscitated_before = ftl.stats.blocks_resuscitated
+            # health first: rescues must land on healthy blocks, so a worn
+            # open block is abandoned before any rewrite happens
+            ftl.check_stream_health(self.monitor.spare_stream)
+            forecasts = self.monitor.scan(lpns)
+            report.pages_scanned = len(forecasts)
+            endangered = [f for f in forecasts if f.below_floor(self.quality_floor)]
+            report.pages_endangered = len(endangered)
+            for forecast in endangered:
+                self._rescue(forecast, report)
+            ftl.check_stream_health(self.monitor.spare_stream)
+            report.blocks_retired = ftl.stats.blocks_retired - retired_before
+            report.blocks_resuscitated = ftl.stats.blocks_resuscitated - resuscitated_before
+        obs.count("scrub.pages_scanned", report.pages_scanned)
+        obs.count("scrub.pages_endangered", report.pages_endangered)
         return report
 
     def _rescue(self, forecast: PageForecast, report: ScrubReport) -> None:
         ftl = self.monitor.ftl
+        obs = get_observer()
+        now = ftl.chip.now_years
         lpn = forecast.lpn
         clean = self._fetch_with_retry(lpn, report)
         if clean is not None:
             # repair: rewrite the clean copy at the SPARE write head
             ftl.write(lpn, clean, self.monitor.spare_stream)
             report.pages_repaired_from_cloud += 1
+            obs.event("cloud_repair", t=now, lpn=lpn, outcome="repaired")
             return
         if self.backup.covered(lpn):
             # a clean copy exists but the cloud never answered: graceful
             # degradation -- count the failed repair, keep rescuing
             report.repairs_failed += 1
+            obs.event("cloud_repair", t=now, lpn=lpn, outcome="failed")
         # relocate best-effort: accrued errors travel with the data
         ftl.relocate(lpn, self.monitor.spare_stream)
         report.pages_relocated += 1
+        obs.event("page_relocated", t=now, lpn=lpn)
 
     def _fetch_with_retry(self, lpn: int, report: ScrubReport) -> bytes | None:
         """Fetch a clean copy, retrying with exponential backoff.
@@ -142,11 +152,13 @@ class Scrubber:
             or not self.backup.available
         ):
             return clean
+        obs = get_observer()
         backoff = self.repair_backoff_s
         for _ in range(self.max_repair_retries):
             report.repair_retries += 1
             report.repair_backoff_s += backoff
             backoff *= 2.0
+            obs.count("scrub.repair_retries")
             clean = self.backup.fetch_page(lpn)
             if clean is not None:
                 return clean

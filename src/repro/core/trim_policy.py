@@ -20,6 +20,7 @@ from dataclasses import dataclass
 
 from repro.classify.auto_delete import AutoDeletePredictor
 from repro.host.filesystem import FileSystem
+from repro.obs import get_observer
 
 __all__ = ["TrimMode", "TrimEvent", "TrimPolicy"]
 
@@ -107,6 +108,10 @@ class TrimPolicy:
             capacity_pages=self.filesystem.capacity_pages(),
         )
         self.events.append(event)
+        get_observer().event(
+            "auto_delete_fallback", t=now, files_deleted=files_deleted,
+            pages_freed=pages_freed,
+        )
         if self.filesystem.free_pages() >= target:
             self.mode = TrimMode.DEGRADATION_ONLY
         return event

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from repro.ecc.page_codec import PageCodec, PageReadResult
 from repro.flash.chip import FlashChip
 from repro.flash.timing import TimingModel
+from repro.obs import get_observer
 
 from .bad_blocks import assess_block
 from .gc import select_victim
@@ -263,6 +264,7 @@ class Ftl:
             verdict = assess_block(self.chip.blocks[stream.open_block], policy)
             if not verdict.healthy:
                 stream.open_block = None
+        obs = get_observer()
         for block_index in list(stream.free):
             block = self.chip.blocks[block_index]
             verdict = assess_block(block, policy)
@@ -273,10 +275,19 @@ class Ftl:
                     block.erase()
                 self.chip.reconfigure_block(block_index, verdict.resuscitate_to)
                 self.stats.blocks_resuscitated += 1
+                obs.event(
+                    "block_resuscitated", t=self.chip.now_years,
+                    stream=stream_name, block=block_index,
+                    bits=verdict.resuscitate_to.operating_bits,
+                )
             elif verdict.retire:
                 stream.free.remove(block_index)
                 self.chip.retire_block(block_index)
                 self.stats.blocks_retired += 1
+                obs.event(
+                    "block_retired", t=self.chip.now_years,
+                    stream=stream_name, block=block_index, reason="wear",
+                )
 
     def force_retire(self, stream_name: str, block_index: int) -> bool:
         """Retire one specific block outright (fault injection path).
@@ -306,6 +317,10 @@ class Ftl:
             self.page_map.on_erase(block_index)
         self.chip.retire_block(block_index)
         self.stats.blocks_retired += 1
+        get_observer().event(
+            "block_retired", t=self.chip.now_years, stream=stream_name,
+            block=block_index, reason="fault",
+        )
         return True
 
     # -- internals ---------------------------------------------------------------
@@ -385,6 +400,10 @@ class Ftl:
 
     def _garbage_collect(self, stream: _Stream) -> None:
         """Reclaim blocks until the free pool exceeds its threshold."""
+        with get_observer().span("ftl.gc"):
+            self._garbage_collect_inner(stream)
+
+    def _garbage_collect_inner(self, stream: _Stream) -> None:
         target = stream.config.gc_free_block_threshold + 1
         attempts = 0
         while len(stream.free) < target and attempts < len(stream.blocks):

@@ -20,6 +20,7 @@ import enum
 from collections.abc import Callable, Iterable
 
 from repro.flash.block import Block
+from repro.obs import get_observer
 
 from .mapping import PageMap
 
@@ -79,14 +80,18 @@ def select_victim(
     scorer = _SCORERS[policy]
     best_index: int | None = None
     best_score = float("inf")
-    for block_index, block in candidates:
-        if block.retired:
-            continue
-        valid = page_map.valid_pages(block_index)
-        if valid >= block.usable_pages:
-            continue
-        score = scorer(block_index, block, page_map, now_years)
-        if score < best_score:
-            best_score = score
-            best_index = block_index
+    considered = 0
+    with get_observer().span("gc.select_victim"):
+        for block_index, block in candidates:
+            if block.retired:
+                continue
+            valid = page_map.valid_pages(block_index)
+            if valid >= block.usable_pages:
+                continue
+            considered += 1
+            score = scorer(block_index, block, page_map, now_years)
+            if score < best_score:
+                best_score = score
+                best_index = block_index
+    get_observer().count("gc.candidates_considered", considered)
     return best_index

@@ -1,0 +1,59 @@
+"""Observability layer: metrics registry, phase spans, JSONL tracing.
+
+Design constraints (guarded by tests):
+
+* **off by default, zero overhead** -- the global observer is a shared
+  no-op singleton; instrumented code paths allocate nothing and results
+  are bit-identical with observability on or off;
+* **deterministic** -- events carry simulation time only, snapshots
+  merge associatively, and sweep traces are seed-ordered, so serial and
+  parallel runs of the same grid produce identical merged artifacts;
+* **plain data** -- snapshots and events are JSON-able dicts end to end,
+  so they pickle across worker processes and diff as text.
+"""
+
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_histogram_bounds,
+    empty_snapshot,
+    merge_snapshots,
+    strip_timings,
+)
+from .observer import (
+    NULL_OBSERVER,
+    NullObserver,
+    Observer,
+    get_observer,
+    observed,
+    set_observer,
+)
+from .report import METRICS_SCHEMA, format_obs_report, load_run_artifacts, write_metrics_json
+from .trace import event_line, merge_point_traces, read_trace_jsonl, write_trace_jsonl
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "METRICS_SCHEMA",
+    "NULL_OBSERVER",
+    "NullObserver",
+    "Observer",
+    "default_histogram_bounds",
+    "empty_snapshot",
+    "event_line",
+    "format_obs_report",
+    "get_observer",
+    "load_run_artifacts",
+    "merge_point_traces",
+    "merge_snapshots",
+    "observed",
+    "read_trace_jsonl",
+    "set_observer",
+    "strip_timings",
+    "write_metrics_json",
+    "write_trace_jsonl",
+]

@@ -1,0 +1,111 @@
+"""Render metrics/trace artifacts from a run directory.
+
+The CLI writes two artifacts per observed run:
+
+* ``metrics.json`` -- ``{"schema": "repro.obs.metrics/v1", "metrics":
+  <snapshot>}`` (see :mod:`repro.obs.metrics`);
+* ``trace.jsonl`` -- the deterministic event stream (see
+  :mod:`repro.obs.trace`).
+
+``repro obs report RUN_DIR`` loads whichever are present and renders
+span timings, the top-N counters, and event-kind totals as text tables.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter as _TallyCounter
+from pathlib import Path
+
+from repro.analysis.reporting import format_table
+
+from .trace import read_trace_jsonl
+
+__all__ = ["METRICS_SCHEMA", "format_obs_report", "load_run_artifacts", "write_metrics_json"]
+
+#: Schema tag stamped into every metrics.json artifact.
+METRICS_SCHEMA = "repro.obs.metrics/v1"
+
+
+def write_metrics_json(path: str | Path, snapshot: dict, context: dict | None = None) -> dict:
+    """Write a metrics artifact and return its payload."""
+    payload = {"schema": METRICS_SCHEMA, "context": context or {}, "metrics": snapshot}
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return payload
+
+
+def load_run_artifacts(path: str | Path) -> tuple[dict | None, list[dict] | None]:
+    """Load ``(metrics snapshot, trace events)`` from a run directory.
+
+    ``path`` may also point directly at a ``metrics.json`` or a
+    ``*.jsonl`` trace file; missing artifacts come back as None.
+    """
+    path = Path(path)
+    metrics_path: Path | None = None
+    trace_path: Path | None = None
+    if path.is_dir():
+        candidate = path / "metrics.json"
+        metrics_path = candidate if candidate.exists() else None
+        candidate = path / "trace.jsonl"
+        trace_path = candidate if candidate.exists() else None
+    elif path.suffix == ".jsonl":
+        trace_path = path
+    else:
+        metrics_path = path
+    snapshot = None
+    if metrics_path is not None and metrics_path.exists():
+        payload = json.loads(metrics_path.read_text())
+        snapshot = payload.get("metrics", payload)
+    events = read_trace_jsonl(trace_path) if trace_path is not None else None
+    return snapshot, events
+
+
+def format_obs_report(
+    snapshot: dict | None, events: list[dict] | None, top: int = 10
+) -> str:
+    """Render span timings, top counters, and event totals as text."""
+    sections: list[str] = []
+    if snapshot is not None:
+        spans = snapshot.get("spans", {})
+        if spans:
+            rows = [
+                [name, stat["calls"], f"{stat.get('wall_s', 0.0) * 1e3:.2f}",
+                 f"{stat.get('wall_s', 0.0) * 1e3 / max(1, stat['calls']):.4f}"]
+                for name, stat in sorted(
+                    spans.items(), key=lambda kv: -kv[1].get("wall_s", 0.0)
+                )
+            ]
+            sections.append(
+                format_table(["span", "calls", "total ms", "ms/call"], rows,
+                             title="phase spans")
+            )
+        counters = snapshot.get("counters", {})
+        if counters:
+            ranked = sorted(counters.items(), key=lambda kv: (-kv[1], kv[0]))[:top]
+            sections.append(
+                format_table(["counter", "value"], [[k, v] for k, v in ranked],
+                             title=f"top {min(top, len(counters))} counters")
+            )
+        histograms = snapshot.get("histograms", {})
+        if histograms:
+            rows = [
+                [name, h["count"], f"{h['total']:.4g}",
+                 f"{h['total'] / h['count']:.4g}" if h["count"] else "-"]
+                for name, h in sorted(histograms.items())
+            ]
+            sections.append(
+                format_table(["histogram", "samples", "total", "mean"], rows,
+                             title="histograms")
+            )
+    if events is not None:
+        tally = _TallyCounter(event.get("kind", "?") for event in events)
+        rows = [[kind, count] for kind, count in tally.most_common()]
+        sections.append(
+            format_table(["event kind", "count"], rows,
+                         title=f"trace: {len(events)} events")
+        )
+    if not sections:
+        return "no observability artifacts found (expected metrics.json / trace.jsonl)"
+    return "\n\n".join(sections)

@@ -1,0 +1,67 @@
+"""Deterministic JSONL event traces.
+
+One event per line, canonical encoding (sorted keys, minimal
+separators), no wall-clock anywhere in the payload -- a fixed-seed run
+serializes to the identical bytes every time, so traces can be
+snapshot-tested and diffed across runs, hosts, and worker counts.
+
+Sweep traces are *seed-ordered*: each point's events are tagged with the
+point's grid index and concatenated in grid order, which is independent
+of completion order (per-point seeds derive from the index, so grid
+order is seed order).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Mapping
+
+__all__ = [
+    "event_line",
+    "merge_point_traces",
+    "read_trace_jsonl",
+    "write_trace_jsonl",
+]
+
+
+def event_line(event: dict) -> str:
+    """Canonical single-line JSON encoding of one event."""
+    return json.dumps(event, sort_keys=True, separators=(",", ":"))
+
+
+def write_trace_jsonl(path: str | Path, events: Iterable[dict]) -> int:
+    """Write events one-per-line; returns the number written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    count = 0
+    with path.open("w") as handle:
+        for event in events:
+            handle.write(event_line(event) + "\n")
+            count += 1
+    return count
+
+
+def read_trace_jsonl(path: str | Path) -> list[dict]:
+    """Load a JSONL trace back into a list of event dicts."""
+    events = []
+    with Path(path).open() as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
+def merge_point_traces(point_events: Mapping[int, list[dict]]) -> list[dict]:
+    """Combine per-point event lists into one seed-ordered trace.
+
+    Events gain a ``"point"`` tag; points appear in grid-index order and
+    each point's events keep their simulation order, so the merged trace
+    is identical however the points were scheduled.
+    """
+    merged: list[dict] = []
+    for index in sorted(point_events):
+        for event in point_events[index]:
+            merged.append({"point": index, **event})
+    return merged

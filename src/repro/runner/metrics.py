@@ -4,6 +4,13 @@
 sweep runner: per-point compute wall times plus enough host context
 (CPU count, python version) to interpret them.  The scaling smoke
 benchmark and the CLI both emit it through :func:`write_bench_json`.
+
+A record is honest about *how* a sweep ran, not just how long: cache
+hits vs fresh computes, retry attempts absorbed per point, structured
+errors from ``keep_going`` runs, and worker-pool rebuilds all appear, so
+a resumed or fault-ridden sweep is distinguishable from a clean one.
+When the sweep ran with ``collect_obs``, the merged deterministic
+metrics rollup (see :mod:`repro.obs`) is folded in as well.
 """
 
 from __future__ import annotations
@@ -14,22 +21,28 @@ import platform
 import time
 from pathlib import Path
 
+from repro.obs import strip_timings
+
 from .sweep import SweepResult
 
 __all__ = ["BENCH_SCHEMA", "bench_record", "write_bench_json"]
 
 #: Schema tag for BENCH_runner.json consumers.
-BENCH_SCHEMA = "repro.runner.bench/v1"
+BENCH_SCHEMA = "repro.runner.bench/v2"
 
 
 def bench_record(result: SweepResult) -> dict:
     """JSON-able timing record for one sweep run."""
-    return {
+    record = {
         "sweep": result.name,
         "jobs": result.jobs,
         "total_wall_s": result.total_wall_s,
+        "grid_points": len(result.points) + len(result.errors),
         "cached_points": result.cached_count,
         "computed_points": result.computed_count,
+        "failed_points": result.failed_count,
+        "retry_attempts": result.retry_attempts,
+        "pool_rebuilds": result.pool_rebuilds,
         "points": [
             {
                 "index": p.index,
@@ -37,10 +50,26 @@ def bench_record(result: SweepResult) -> dict:
                 "seed": p.seed,
                 "wall_s": p.wall_s,
                 "cached": p.cached,
+                "attempts": p.attempts,
             }
             for p in result.points
         ],
+        "errors": [
+            {
+                "index": e.index,
+                "params": e.params,
+                "seed": e.seed,
+                "kind": e.kind,
+                "message": e.message,
+                "attempts": e.attempts,
+            }
+            for e in result.errors
+        ],
     }
+    merged = result.merged_metrics()
+    if merged is not None:
+        record["metrics"] = strip_timings(merged)
+    return record
 
 
 def write_bench_json(

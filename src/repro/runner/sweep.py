@@ -46,6 +46,7 @@ from typing import Any, Callable, Sequence
 import numpy as np
 
 from repro import __version__ as _CODE_VERSION
+from repro.obs import get_observer, merge_point_traces, merge_snapshots, observed
 
 from .cache import ResultCache, stable_key
 
@@ -130,6 +131,13 @@ class PointResult:
     #: compute's time when the point was served from cache)
     wall_s: float
     cached: bool
+    #: attempts the point took to succeed (1 = first try; cached points
+    #: report 1 -- the original attempts are not persisted)
+    attempts: int = 1
+    #: worker-side observability payload ({"metrics": snapshot,
+    #: "events": [...]}) when the sweep ran with ``collect_obs``;
+    #: None otherwise and for cache hits
+    obs: dict | None = None
 
 
 @dataclass(slots=True)
@@ -191,9 +199,37 @@ class SweepResult:
         return len(self.errors)
 
     @property
+    def retry_attempts(self) -> int:
+        """Failed attempts absorbed by retries across all points."""
+        return (
+            sum(p.attempts - 1 for p in self.points)
+            + sum(e.attempts - 1 for e in self.errors)
+        )
+
+    @property
     def ok(self) -> bool:
         """Whether every grid point produced a value."""
         return not self.errors
+
+    def merged_metrics(self) -> dict | None:
+        """Associative merge of per-point metric snapshots, in grid order.
+
+        Grid order makes the merge independent of completion order, so
+        serial and parallel runs of the same sweep produce the identical
+        merged snapshot (up to span wall times; see
+        :func:`repro.obs.strip_timings`).  None when no point carried an
+        observability payload.
+        """
+        snapshots = [p.obs["metrics"] for p in self.points if p.obs is not None]
+        if not snapshots:
+            return None
+        return merge_snapshots(*snapshots)
+
+    def merged_trace(self) -> list[dict]:
+        """Seed-ordered merged event trace across all observed points."""
+        return merge_point_traces(
+            {p.index: p.obs["events"] for p in self.points if p.obs is not None}
+        )
 
 
 def derive_seeds(base_seed: int, n: int) -> list[int]:
@@ -208,11 +244,23 @@ def derive_seeds(base_seed: int, n: int) -> list[int]:
     return [int(child.generate_state(1, dtype=np.uint64)[0]) for child in children]
 
 
-def _execute_point(fn: Callable[[dict, int], Any], params: dict, seed: int) -> tuple[Any, float]:
-    """Run one point, timing the call (runs inside worker processes)."""
+def _execute_point(
+    fn: Callable[[dict, int], Any], params: dict, seed: int, collect_obs: bool = False
+) -> tuple[Any, float, dict | None]:
+    """Run one point, timing the call (runs inside worker processes).
+
+    With ``collect_obs`` a fresh observer is installed for the call and
+    its snapshot/events come back as plain data, so the coordinator can
+    merge per-point metrics deterministically whatever process ran them.
+    """
     start = time.perf_counter()
-    value = fn(params, seed)
-    return value, time.perf_counter() - start
+    if not collect_obs:
+        value = fn(params, seed)
+        return value, time.perf_counter() - start, None
+    with observed() as obs:
+        value = fn(params, seed)
+    payload = {"metrics": obs.registry.snapshot(), "events": obs.events}
+    return value, time.perf_counter() - start, payload
 
 
 @dataclass(slots=True)
@@ -254,6 +302,7 @@ class _Coordinator:
         retry_backoff_s: float,
         timeout_s: float | None,
         keep_going: bool,
+        collect_obs: bool = False,
     ) -> None:
         self.sweep = sweep
         self.seeds = seeds
@@ -264,6 +313,7 @@ class _Coordinator:
         self.retry_backoff_s = retry_backoff_s
         self.timeout_s = timeout_s
         self.keep_going = keep_going
+        self.collect_obs = collect_obs
         self.results: dict[int, PointResult] = {}
         self.errors: dict[int, PointError] = {}
         self.pool_rebuilds = 0
@@ -307,7 +357,7 @@ class _Coordinator:
             try:
                 future = self._executor.submit(
                     _execute_point, self.sweep.fn, self.sweep.grid[index],
-                    self.seeds[index],
+                    self.seeds[index], self.collect_obs,
                 )
             except (BrokenProcessPool, RuntimeError):
                 # pool died between completions; put the point back and
@@ -337,8 +387,8 @@ class _Coordinator:
                 continue
             exc = future.exception()
             if exc is None:
-                value, wall_s = future.result()
-                self._record_success(state.index, value, wall_s)
+                value, wall_s, obs_payload = future.result()
+                self._record_success(state, value, wall_s, obs_payload)
             elif isinstance(exc, BrokenProcessPool):
                 self._handle_pool_break(culprit=state)
                 return  # every other in-flight future is broken too
@@ -348,13 +398,18 @@ class _Coordinator:
 
     # -- outcome recording -------------------------------------------------------
 
-    def _record_success(self, index: int, value: Any, wall_s: float) -> None:
+    def _record_success(
+        self, state: _PointState, value: Any, wall_s: float,
+        obs_payload: dict | None = None,
+    ) -> None:
+        index = state.index
         # persist first: a crash after this line loses nothing
         if self.cache is not None:
             self.cache.store(self.keys[index], value, wall_s)
         self.results[index] = PointResult(
             index=index, params=self.sweep.grid[index], seed=self.seeds[index],
             value=value, wall_s=wall_s, cached=False,
+            attempts=state.attempts + 1, obs=obs_payload,
         )
 
     def _record_failure(
@@ -459,6 +514,7 @@ def _run_serial(
     keep_going: bool,
     results: dict[int, PointResult],
     errors: dict[int, PointError],
+    collect_obs: bool = False,
 ) -> None:
     """In-process execution (``jobs=1``): retries and ``keep_going``
     apply; per-point timeouts and crash survival need worker processes,
@@ -468,7 +524,9 @@ def _run_serial(
         while True:
             attempts += 1
             try:
-                value, wall_s = _execute_point(sweep.fn, sweep.grid[index], seeds[index])
+                value, wall_s, obs_payload = _execute_point(
+                    sweep.fn, sweep.grid[index], seeds[index], collect_obs
+                )
             except Exception as exc:
                 if attempts <= retries:
                     time.sleep(min(retry_backoff_s * (2 ** (attempts - 1)),
@@ -487,6 +545,7 @@ def _run_serial(
                 results[index] = PointResult(
                     index=index, params=sweep.grid[index], seed=seeds[index],
                     value=value, wall_s=wall_s, cached=False,
+                    attempts=attempts, obs=obs_payload,
                 )
                 break
 
@@ -499,6 +558,7 @@ def run_sweep(
     retry_backoff_s: float = 0.05,
     timeout_s: float | None = None,
     keep_going: bool = False,
+    collect_obs: bool = False,
 ) -> SweepResult:
     """Run every point of ``sweep`` and return results in grid order.
 
@@ -523,6 +583,11 @@ def run_sweep(
         When True, points that exhaust their retries become structured
         :class:`PointError` records on the result instead of aborting
         the sweep; completed points are always kept either way.
+    collect_obs:
+        Capture each computed point's metrics snapshot and event trace
+        (an observer is installed around ``fn`` in whichever process
+        runs it) onto :attr:`PointResult.obs`.  Cache hits carry no
+        payload -- only freshly computed points are observed.
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
@@ -531,6 +596,7 @@ def run_sweep(
     if timeout_s is not None and timeout_s <= 0:
         raise ValueError("timeout_s must be positive")
     start = time.perf_counter()
+    obs = get_observer()
     n = len(sweep.grid)
     seeds = derive_seeds(sweep.base_seed, n)
     # keys are computed even with caching off, so every grid is
@@ -550,20 +616,25 @@ def run_sweep(
             )
         else:
             pending.append(i)
+    obs.count("sweep.cache_hits", len(results))
+    obs.count("sweep.cache_misses", len(pending))
 
     pool_rebuilds = 0
-    if jobs == 1 or not pending:
-        _run_serial(sweep, seeds, keys, cache, pending, retries,
-                    retry_backoff_s, keep_going, results, errors)
-    else:
-        coordinator = _Coordinator(
-            sweep, seeds, keys, cache, min(jobs, len(pending)),
-            retries, retry_backoff_s, timeout_s, keep_going,
-        )
-        coordinator.run(pending)
-        results.update(coordinator.results)
-        errors.update(coordinator.errors)
-        pool_rebuilds = coordinator.pool_rebuilds
+    with obs.span("sweep.run"):
+        if jobs == 1 or not pending:
+            _run_serial(sweep, seeds, keys, cache, pending, retries,
+                        retry_backoff_s, keep_going, results, errors,
+                        collect_obs)
+        else:
+            coordinator = _Coordinator(
+                sweep, seeds, keys, cache, min(jobs, len(pending)),
+                retries, retry_backoff_s, timeout_s, keep_going,
+                collect_obs,
+            )
+            coordinator.run(pending)
+            results.update(coordinator.results)
+            errors.update(coordinator.errors)
+            pool_rebuilds = coordinator.pool_rebuilds
 
     return SweepResult(
         name=sweep.name,

@@ -29,6 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.faults.plan import FaultPlan, FaultSummary
+from repro.obs import get_observer
 from repro.workloads.traces import DailySummary
 
 from .baselines import DeviceBuild
@@ -126,11 +127,15 @@ def _apply_day_faults(
     device, plan: FaultPlan, summary_counters: FaultSummary, position: int
 ) -> None:
     """Apply one day's scheduled faults to the epoch device."""
+    obs = get_observer()
+    now = device.now_years
     for target, unit in plan.infant_deaths(position):
         partition = device.partitions.get(target)
         if partition is not None and unit < partition.spec.n_groups:
             if partition.retire_group(unit):
                 summary_counters.infant_deaths += 1
+                obs.event("block_retired", t=now, partition=target, group=int(unit),
+                          reason="infant_mortality")
     for target, unit, attempts_needed in plan.transient_reads(position):
         if target not in device.partitions:
             continue
@@ -139,15 +144,21 @@ def _apply_day_faults(
         summary_counters.read_retry_attempts += retries
         if attempts_needed - 1 <= plan.config.max_read_retries:
             summary_counters.reads_recovered += 1
+            obs.event("transient_read", t=now, partition=target, recovered=True,
+                      retries=int(retries))
         else:
             # retry budget exhausted: graceful degradation, count and go on
             summary_counters.reads_unrecovered += 1
+            obs.event("transient_read", t=now, partition=target, recovered=False,
+                      retries=int(retries))
     for target, unit in plan.torn_programs(position):
         partition = device.partitions.get(target)
         if partition is not None and unit < partition.spec.n_groups:
             rewritten = partition.power_loss_rewrite(unit, device.now_years)
             summary_counters.torn_programs += 1
             summary_counters.torn_rewrite_gb += rewritten
+            obs.event("torn_program", t=now, partition=target, group=int(unit),
+                      rewrite_gb=float(rewritten))
 
 
 def run_lifetime(
@@ -167,8 +178,16 @@ def run_lifetime(
     device = build.device
     spare = device.partitions.get("spare")
     sys_part = device.partitions.get("sys") or device.partitions.get("main")
+    obs = get_observer()
+    engine_span = obs.span("engine.run")
+    engine_span.__enter__()
     for position, summary in enumerate(summaries):
         writes = _route_writes(build, summary, config)
+        obs.count("engine.days")
+        obs.observe(
+            "engine.day_write_gb",
+            sum(new + churn for new, churn in writes.values()),
+        )
         scrub_allowed = True
         if fault_plan is not None:
             assert result.faults is not None
@@ -180,6 +199,8 @@ def run_lifetime(
                 )
         device.step_day(writes, scrub_allowed=scrub_allowed)
         if fault_plan is not None:
+            if not scrub_allowed:
+                obs.event("cloud_outage_day", t=device.now_years, day=summary.day)
             _apply_day_faults(device, fault_plan, result.faults, position)
         # deletions keep the working set stationary: the day's delete
         # volume is apportioned across pressured partitions by live-data
@@ -225,4 +246,5 @@ def run_lifetime(
                     ),
                 )
             )
+    engine_span.__exit__(None, None, None)
     return result

@@ -41,6 +41,7 @@ from repro.ecc.policy import ProtectionPolicy
 from repro.flash.cell import CellMode
 from repro.flash.error_model import cached_error_model
 from repro.flash.reliability import endurance_pec
+from repro.obs import get_observer
 
 __all__ = ["PartitionSpec", "BlockGroup", "Partition", "LifetimeDevice"]
 
@@ -390,9 +391,10 @@ class Partition:
         retire/resuscitate health check still runs -- degraded media must
         keep being managed even when it cannot be refreshed.
         """
-        if self.spec.scrub_enabled and scrub_allowed:
-            self._scrub(now)
-        self._health_check(now)
+        with get_observer().span("lifetime.maintain"):
+            if self.spec.scrub_enabled and scrub_allowed:
+                self._scrub(now)
+            self._health_check(now)
 
     def _scrub(self, now: float) -> None:
         holders = self._holder_indices()
@@ -413,6 +415,10 @@ class Partition:
         self._pec[refresh] += live * self.spec.waf / self._capacity[refresh]
         self._write_time[refresh] = now
         self._refreshes[refresh] += 1
+        get_observer().event(
+            "scrub_refresh", t=now, partition=self.spec.name,
+            groups=int(refresh.size), gb=float(live.sum()),
+        )
 
     def _health_check(self, now: float) -> None:
         live = self._live_indices()
@@ -421,6 +427,7 @@ class Partition:
         predicted = self._rber_many(
             live, now, extra_age=self.spec.health_horizon_years, from_data_age=False
         )
+        obs = get_observer()
         for i in live[predicted > self.spec.max_rber]:
             mode = self._modes[i]
             resuscitated = False
@@ -442,11 +449,19 @@ class Partition:
                     self._write_time[i] = now
                     self.resuscitated_count += 1
                     resuscitated = True
+                    obs.event(
+                        "block_resuscitated", t=now, partition=self.spec.name,
+                        group=int(i), bits=int(bits),
+                    )
                     break
             if not resuscitated:
                 self._retired[i] = True
                 self._live[i] = 0.0
                 self.retired_count += 1
+                obs.event(
+                    "block_retired", t=now, partition=self.spec.name,
+                    group=int(i), reason="wear",
+                )
 
 
 class LifetimeDevice:

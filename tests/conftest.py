@@ -1,17 +1,46 @@
-"""Shared fixtures for the SOS test suite."""
+"""Shared fixtures for the SOS test suite.
+
+The test tree is not a package, so child directories cannot import from
+this file -- but pytest makes every fixture here visible to them.  The
+two cross-cutting concerns live here once: deterministic RNG
+construction (``make_rng``/``rng``) and the SIGALRM wall-clock clamp
+that directories with hang-prone tests opt into via a tiny autouse
+fixture (see ``tests/runner/conftest.py``, ``tests/integration/conftest.py``).
+"""
 
 from __future__ import annotations
+
+import signal
 
 import numpy as np
 import pytest
 
 from repro.flash import SMALL_GEOMETRY, CellTechnology, FlashChip
 
+#: generous bound: the slowest legitimate clamped test finishes in well
+#: under a minute even on a loaded single-core box
+WALL_CLOCK_LIMIT_S = 120
+
+
+@pytest.fixture(scope="session")
+def make_rng():
+    """Factory for deterministic, independent test RNGs.
+
+    Prefer ``make_rng(seed)`` over inline ``np.random.default_rng(seed)``
+    so every seeded stream in the suite is built the same way (and a
+    future bit-generator swap is a one-line change here).
+    """
+
+    def _make(seed: int) -> np.random.Generator:
+        return np.random.default_rng(seed)
+
+    return _make
+
 
 @pytest.fixture
-def rng() -> np.random.Generator:
+def rng(make_rng) -> np.random.Generator:
     """Deterministic RNG for tests."""
-    return np.random.default_rng(1234)
+    return make_rng(1234)
 
 
 @pytest.fixture
@@ -24,3 +53,28 @@ def plc_chip() -> FlashChip:
 def tlc_chip() -> FlashChip:
     """A small TLC chip for bit-exact tests."""
     return FlashChip(SMALL_GEOMETRY, CellTechnology.TLC, seed=99)
+
+
+@pytest.fixture
+def wall_clock_clamp(request):
+    """Fail the requesting test if it runs longer than the clamp.
+
+    A regression in a scheduling loop (worker pools, backoff timers,
+    day-loop convergence) shows up as a hang, not a failure; the clamp
+    turns the hang into a loud, fast failure.  Not autouse -- a
+    directory opts in with an autouse pass-through fixture.
+    """
+
+    def _abort(signum, frame):
+        raise TimeoutError(
+            f"{request.node.nodeid} exceeded the {WALL_CLOCK_LIMIT_S}s "
+            "wall-clock clamp (scheduling loop hung?)"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _abort)
+    signal.alarm(WALL_CLOCK_LIMIT_S)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)

@@ -1,0 +1,17 @@
+"""Integration-test guardrails.
+
+Every test in this directory runs whole-device scenarios with day loops
+and convergence conditions; a regression that stops a loop from
+terminating would hang the suite.  Opt the whole directory into the
+shared wall-clock clamp from ``tests/conftest.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _clamped(wall_clock_clamp):
+    """Apply the shared SIGALRM wall-clock clamp to every test here."""
+    yield

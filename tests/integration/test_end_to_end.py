@@ -8,7 +8,6 @@ graceful capacity behaviour.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.core.config import default_config
@@ -17,14 +16,16 @@ from repro.flash.geometry import Geometry
 from repro.host.files import FileAttributes, FileKind
 from repro.host.hints import Placement
 
+pytestmark = pytest.mark.slow
+
 GEOM = Geometry(page_size_bytes=512, pages_per_block=16, blocks_per_plane=48,
                 planes_per_die=2, dies=1)
 
 
 @pytest.fixture(scope="module")
-def populated_device():
+def populated_device(make_rng):
     device = SOSDevice(default_config(seed=8, geometry=GEOM))
-    rng = np.random.default_rng(21)
+    rng = make_rng(21)
     reference = {}
     # critical system + personal data
     for i in range(3):

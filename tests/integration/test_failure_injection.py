@@ -19,6 +19,8 @@ from repro.flash.geometry import Geometry
 from repro.host.files import FileAttributes, FileKind
 from repro.host.hints import Placement
 
+pytestmark = pytest.mark.slow
+
 GEOM = Geometry(page_size_bytes=512, pages_per_block=16, blocks_per_plane=48,
                 planes_per_die=2, dies=1)
 

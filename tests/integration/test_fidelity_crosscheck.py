@@ -22,11 +22,11 @@ GEOM = Geometry(page_size_bytes=4096, pages_per_block=16, blocks_per_plane=8,
 
 
 class TestRberAgreement:
-    def test_block_rber_equals_group_rber_at_matched_state(self):
+    def test_block_rber_equals_group_rber_at_matched_state(self, make_rng):
         """A bit-exact block and an epoch group at the same (pec, age)
         must predict the same RBER."""
         mode = native_mode(CellTechnology.PLC)
-        block = Block(GEOM, mode, np.random.default_rng(0))
+        block = Block(GEOM, mode, make_rng(0))
         block.pec = 300
         block.program(0, b"x")
         block.advance_time(1.2)
@@ -45,11 +45,11 @@ class TestRberAgreement:
             group.rber(now=1.2), rel=1e-9
         )
 
-    def test_injected_error_rate_matches_model(self):
+    def test_injected_error_rate_matches_model(self, make_rng):
         """Monte-Carlo: the block's injected bit-error rate converges to
         the analytic model's prediction."""
         mode = native_mode(CellTechnology.PLC)
-        rng = np.random.default_rng(5)
+        rng = make_rng(5)
         block = Block(GEOM, mode, rng)
         block.pec = 800
         payload = b"\x00" * GEOM.page_size_bytes
@@ -69,14 +69,14 @@ class TestRberAgreement:
 
 
 class TestResidualAgreement:
-    def test_page_codec_residual_matches_analytic_model(self):
+    def test_page_codec_residual_matches_analytic_model(self, make_rng):
         """Inject errors at a known RBER through the STRONG page codec and
         compare the delivered error rate to residual_ber()."""
         from repro.ecc.page_codec import PageCodec
 
         policy = POLICIES[ProtectionLevel.STRONG]
         codec = PageCodec(policy, page_size_bytes=512)
-        rng = np.random.default_rng(9)
+        rng = make_rng(9)
         rber = 8e-3  # near the failure knee so both paths see failures
         payload = bytes(rng.integers(0, 256, codec.payload_bytes, dtype=np.uint8))
         delivered_errors = 0

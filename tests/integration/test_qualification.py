@@ -10,7 +10,6 @@ meaningless -- this suite pins the calibration.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.ecc.model import CodewordSpec, codeword_failure_prob
@@ -18,6 +17,8 @@ from repro.flash.block import Block
 from repro.flash.cell import CellTechnology, native_mode, pseudo_mode
 from repro.flash.error_model import ErrorModel
 from repro.flash.geometry import SMALL_GEOMETRY
+
+pytestmark = pytest.mark.slow
 from repro.flash.reliability import endurance_pec, retention_years
 
 #: Per-class qualification ECC: denser flash ships stronger correction
@@ -80,9 +81,9 @@ class TestBitExactBake:
     """Monte-Carlo bake on the bit-exact block, cross-checking the
     analytic qualification above."""
 
-    def test_tlc_bake_readback_error_rate(self):
+    def test_tlc_bake_readback_error_rate(self, make_rng):
         mode = native_mode(CellTechnology.TLC)
-        rng = np.random.default_rng(17)
+        rng = make_rng(17)
         block = Block(SMALL_GEOMETRY, mode, rng)
         block.pec = endurance_pec(mode)
         pattern = bytes(range(256)) * 2
@@ -98,10 +99,10 @@ class TestBitExactBake:
         observed = errors / total
         assert observed == pytest.approx(predicted, rel=0.5)
 
-    def test_fresh_block_bakes_clean(self):
+    def test_fresh_block_bakes_clean(self, make_rng):
         """Zero wear, zero retention: SLC block reads back bit-exact."""
         mode = native_mode(CellTechnology.SLC)
-        block = Block(SMALL_GEOMETRY, mode, np.random.default_rng(3))
+        block = Block(SMALL_GEOMETRY, mode, make_rng(3))
         pattern = b"\x5a" * SMALL_GEOMETRY.page_size_bytes
         block.program(0, pattern)
         assert block.read(0) == pattern

@@ -1,0 +1,98 @@
+"""Property-based guarantees behind the parallel metric rollup.
+
+The sweep coordinator merges per-point snapshots in grid order, but the
+*correctness* claim is stronger: any grouping and any order of merges
+yields the same snapshot, so worker count and scheduling can never leak
+into merged metrics.  Counter increments and histogram observations are
+drawn as integers (exactly representable, so sums are order-exact);
+gauges merge by max, which is exact for any floats.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import MetricsRegistry, empty_snapshot, merge_snapshots
+
+_NAMES = st.sampled_from(["a", "b", "c.d", "engine.days"])
+
+_OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("count"), _NAMES, st.integers(min_value=0, max_value=100)),
+        st.tuples(st.just("gauge"), _NAMES, st.integers(min_value=-50, max_value=50)),
+        st.tuples(st.just("hist"), _NAMES, st.integers(min_value=0, max_value=10_000)),
+        st.tuples(st.just("span"), _NAMES, st.integers(min_value=0, max_value=100)),
+    ),
+    max_size=30,
+)
+
+
+def _snapshot(ops) -> dict:
+    registry = MetricsRegistry()
+    for kind, name, value in ops:
+        if kind == "count":
+            registry.counter(name).inc(value)
+        elif kind == "gauge":
+            registry.gauge(name).set(float(value))
+        elif kind == "hist":
+            registry.histogram(name).observe(float(value))
+        else:
+            registry.span_record(name, float(value))
+    return registry.snapshot()
+
+
+@settings(max_examples=60, deadline=None)
+@given(_OPS, _OPS, _OPS)
+def test_merge_is_associative(ops_a, ops_b, ops_c):
+    a, b, c = _snapshot(ops_a), _snapshot(ops_b), _snapshot(ops_c)
+    assert merge_snapshots(merge_snapshots(a, b), c) == merge_snapshots(
+        a, merge_snapshots(b, c)
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(_OPS, _OPS)
+def test_merge_is_commutative(ops_a, ops_b):
+    a, b = _snapshot(ops_a), _snapshot(ops_b)
+    assert merge_snapshots(a, b) == merge_snapshots(b, a)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_OPS)
+def test_empty_snapshot_is_identity(ops):
+    snap = _snapshot(ops)
+    assert merge_snapshots(snap, empty_snapshot()) == merge_snapshots(snap)
+    assert merge_snapshots(empty_snapshot(), snap) == merge_snapshots(snap)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(st.integers(min_value=0, max_value=100_000), min_size=1, max_size=60),
+    st.data(),
+)
+def test_histogram_bins_preserved_under_any_split_and_merge_order(values, data):
+    """Splitting observations across registries and merging in any order
+    reproduces the single-registry histogram bin-for-bin."""
+    reference = MetricsRegistry()
+    for value in values:
+        reference.histogram("h").observe(float(value))
+    expected = reference.snapshot()["histograms"]["h"]
+
+    n_parts = data.draw(st.integers(min_value=1, max_value=min(6, len(values))))
+    assignment = data.draw(
+        st.lists(
+            st.integers(min_value=0, max_value=n_parts - 1),
+            min_size=len(values), max_size=len(values),
+        )
+    )
+    registries = [MetricsRegistry() for _ in range(n_parts)]
+    for value, part in zip(values, assignment):
+        registries[part].histogram("h").observe(float(value))
+    order = data.draw(st.permutations(range(n_parts)))
+    merged = merge_snapshots(*(registries[i].snapshot() for i in order))
+
+    result = merged["histograms"]["h"]
+    assert result["counts"] == expected["counts"]
+    assert result["count"] == expected["count"]
+    assert result["total"] == expected["total"]  # integer-valued: exact

@@ -1,0 +1,87 @@
+"""Sweep-level observability: worker placement must not leak.
+
+A faulty lifetime grid run serially and with two worker processes must
+roll up to the identical merged metrics snapshot (timings stripped --
+wall time is the one legitimately nondeterministic quantity) and the
+identical seed-ordered merged trace.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import strip_timings
+from repro.runner.points import lifetime_point
+from repro.runner.sweep import Sweep, run_sweep
+
+FAULTS = {
+    "block_infant_mortality": 0.05,
+    "transient_read_rate": 0.2,
+    "power_loss_rate": 0.05,
+    "cloud_outage_rate": 0.02,
+    "cloud_outage_days": 3,
+}
+
+
+def _sweep() -> Sweep:
+    grid = tuple(
+        {
+            "build": "tlc_baseline",
+            "capacity_gb": 32.0,
+            "mix": "typical",
+            "days": 180,
+            "workload_seed": 20 + i,
+            "faults": FAULTS,
+        }
+        for i in range(3)
+    )
+    return Sweep(name="obs-sweep-test", fn=lifetime_point, grid=grid, base_seed=7)
+
+
+@pytest.fixture(scope="module")
+def serial_and_parallel():
+    serial = run_sweep(_sweep(), jobs=1, collect_obs=True)
+    parallel = run_sweep(_sweep(), jobs=2, collect_obs=True)
+    return serial, parallel
+
+
+def test_every_computed_point_carries_an_obs_payload(serial_and_parallel):
+    serial, parallel = serial_and_parallel
+    for outcome in (serial, parallel):
+        assert len(outcome.points) == 3
+        for point in outcome.points:
+            assert point.obs is not None
+            assert point.obs["metrics"]["counters"]["engine.days"] == 180
+            assert point.obs["events"]
+
+
+def test_serial_and_parallel_merge_to_identical_metrics(serial_and_parallel):
+    serial, parallel = serial_and_parallel
+    assert strip_timings(serial.merged_metrics()) == strip_timings(
+        parallel.merged_metrics()
+    )
+
+
+def test_serial_and_parallel_traces_identical_and_seed_ordered(serial_and_parallel):
+    serial, parallel = serial_and_parallel
+    trace = serial.merged_trace()
+    assert trace == parallel.merged_trace()
+    # seed-ordered: point tags are non-decreasing in grid order and
+    # sim-time-ordered within each point
+    points = [event["point"] for event in trace]
+    assert points == sorted(points)
+    assert set(points) == {0, 1, 2}
+    for index in set(points):
+        times = [e["t"] for e in trace if e["point"] == index]
+        assert times == sorted(times)
+
+
+def test_cache_hits_carry_no_payload(tmp_path):
+    sweep = _sweep()
+    first = run_sweep(sweep, jobs=1, cache_dir=tmp_path, collect_obs=True)
+    assert all(p.obs is not None for p in first.points)
+    resumed = run_sweep(sweep, jobs=1, cache_dir=tmp_path, collect_obs=True)
+    assert all(p.cached for p in resumed.points)
+    assert all(p.obs is None for p in resumed.points)
+    assert resumed.merged_metrics() is None
+    assert resumed.merged_trace() == []

@@ -1,0 +1,41 @@
+"""Golden-trace regression test.
+
+The event trace for a fixed-seed faulty lifetime run is snapshotted under
+``tests/obs/data/golden_trace.jsonl`` and compared byte-for-byte.  Any
+drift in event ordering, field names, or simulated timestamps is a
+behavior change and must be reviewed; after an intentional change,
+regenerate with ``PYTHONPATH=src:tests/obs python -m golden``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from golden import GOLDEN_PATH, run_golden_scenario
+from repro.obs import event_line, read_trace_jsonl
+
+
+def test_trace_matches_golden_byte_for_byte():
+    events = run_golden_scenario()
+    expected = GOLDEN_PATH.read_text().splitlines()
+    assert [event_line(e) for e in events] == expected
+
+
+def test_golden_covers_every_epoch_event_kind():
+    kinds = Counter(e["kind"] for e in read_trace_jsonl(GOLDEN_PATH))
+    assert set(kinds) == {
+        "block_retired",
+        "block_resuscitated",
+        "scrub_refresh",
+        "torn_program",
+        "transient_read",
+        "cloud_outage_day",
+    }
+    assert sum(kinds.values()) == 426
+
+
+def test_golden_timestamps_are_sim_time_and_monotone():
+    events = read_trace_jsonl(GOLDEN_PATH)
+    times = [e["t"] for e in events]
+    assert all(0.0 <= t <= 1.0 for t in times)  # one simulated year
+    assert times == sorted(times)

@@ -2,36 +2,17 @@
 
 The fault-tolerance tests spawn worker pools, kill them, and wait on
 backoff timers; a regression in the coordinator's scheduling loop would
-show up as a hang, not a failure.  Every test in this directory runs
-under a wall-clock clamp so a hang fails loudly (and fast enough for
-CI) instead of stalling the suite.
+show up as a hang, not a failure.  Opt the whole directory into the
+shared wall-clock clamp from ``tests/conftest.py`` so a hang fails
+loudly (and fast enough for CI) instead of stalling the suite.
 """
 
 from __future__ import annotations
 
-import signal
-
 import pytest
-
-#: generous bound: the slowest legitimate test here finishes in well
-#: under a minute even on a loaded single-core box
-WALL_CLOCK_LIMIT_S = 120
 
 
 @pytest.fixture(autouse=True)
-def wall_clock_clamp(request):
-    """Fail any runner test that runs longer than the clamp."""
-
-    def _abort(signum, frame):
-        raise TimeoutError(
-            f"{request.node.nodeid} exceeded the {WALL_CLOCK_LIMIT_S}s "
-            "wall-clock clamp (runner scheduling loop hung?)"
-        )
-
-    previous = signal.signal(signal.SIGALRM, _abort)
-    signal.alarm(WALL_CLOCK_LIMIT_S)
-    try:
-        yield
-    finally:
-        signal.alarm(0)
-        signal.signal(signal.SIGALRM, previous)
+def _clamped(wall_clock_clamp):
+    """Apply the shared SIGALRM wall-clock clamp to every test here."""
+    yield

@@ -77,6 +77,7 @@ class TestDaemonCadence:
 
 
 class TestPressure:
+    @pytest.mark.slow
     def test_fill_beyond_capacity_is_absorbed(self, device):
         """Creating far more than fits must not crash: skips + daemon."""
         ops = [op(day, OpKind.CREATE, f"/big{day}_{i}", size=4000)

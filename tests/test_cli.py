@@ -78,3 +78,53 @@ class TestCli:
     def test_faults_requires_subcommand(self):
         with pytest.raises(SystemExit):
             main(["faults"])
+
+
+class TestObsCli:
+    @pytest.fixture(scope="class")
+    def run_dir(self, tmp_path_factory):
+        """One observed lifetime run shared by the obs CLI tests."""
+        run = tmp_path_factory.mktemp("obsrun")
+        assert main([
+            "lifetime", "--years", "1", "--mix", "light", "--jobs", "2",
+            "--trace", str(run / "trace.jsonl"),
+            "--metrics-json", str(run / "metrics.json"),
+        ]) == 0
+        return run
+
+    def test_lifetime_writes_both_artifacts(self, run_dir):
+        import json
+
+        payload = json.loads((run_dir / "metrics.json").read_text())
+        assert payload["schema"] == "repro.obs.metrics/v1"
+        assert payload["metrics"]["counters"]["engine.days"] == 4 * 365
+        assert (run_dir / "trace.jsonl").exists()
+
+    def test_obs_report_renders_run_directory(self, run_dir, capsys):
+        assert main(["obs", "report", str(run_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "phase spans" in out
+        assert "engine.run" in out
+        assert "counters" in out
+
+    def test_obs_report_single_metrics_file(self, run_dir, capsys):
+        assert main(["obs", "report", str(run_dir / "metrics.json")]) == 0
+        assert "engine.run" in capsys.readouterr().out
+
+    def test_obs_report_empty_directory_fails(self, tmp_path, capsys):
+        assert main(["obs", "report", str(tmp_path)]) == 1
+
+    def test_obs_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["obs"])
+
+    def test_lifetime_profile_writes_stats(self, tmp_path, capsys):
+        import pstats
+
+        stats_path = tmp_path / "profile.pstats"
+        assert main([
+            "lifetime", "--years", "1", "--mix", "light",
+            "--profile", str(stats_path),
+        ]) == 0
+        assert "wrote cProfile stats" in capsys.readouterr().out
+        assert pstats.Stats(str(stats_path)).total_calls > 0

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.host.files import FileKind, MEDIA_KINDS
@@ -11,8 +10,8 @@ from repro.workloads.content import COMPRESSIBILITY_CLASS, generate_content
 
 
 @pytest.fixture
-def gen_rng():
-    return np.random.default_rng(77)
+def gen_rng(make_rng):
+    return make_rng(77)
 
 
 class TestContentProfiles:
