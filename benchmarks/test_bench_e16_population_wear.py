@@ -10,6 +10,13 @@ drawn from a realistic distribution with a small adversarial tail --
 each running a TLC phone for its 2.5-year service life, and reports the
 wear distribution: median, p90, p99, and the fraction of the fleet that
 would wear out before disposal (expected: ~none outside the tail).
+
+Execution is batched: the population is cut into fixed-size chunks and
+each chunk runs as ONE vectorized pass through the batched fleet engine
+(one cached sweep point per chunk).  Mix assignment and per-user
+workload seeds follow the exact convention of the original per-user
+scalar sweep, so the wear values -- and therefore the pinned golden
+percentiles below -- are unchanged from the scalar population.
 """
 
 from __future__ import annotations
@@ -19,31 +26,42 @@ import numpy as np
 from repro.analysis.claims import ClaimCheck, Comparison
 from repro.analysis.reporting import format_table
 from repro.runner import Sweep, run_sweep
-from repro.runner.points import population_point
+from repro.runner.points import (
+    DEFAULT_MIX_WEIGHTS,
+    population_batch_grid,
+    population_batch_point,
+)
 
 from .common import report, run_once, runner_jobs
 
 N_USERS = 200
 SERVICE_YEARS = 2.5
+#: devices simulated per vectorized batch (= per cached sweep point)
+BATCH_CHUNK = 50
 #: population intensity mix: mostly light/typical, thin heavy tail
-MIX_WEIGHTS = {"light": 0.35, "typical": 0.45, "heavy": 0.18, "adversarial": 0.02}
+MIX_WEIGHTS = DEFAULT_MIX_WEIGHTS
+
+#: golden percentiles from the per-user scalar sweep (seed 606); the
+#: batched engine must reproduce them exactly (TLC runs are bit-identical)
+GOLDEN_QUANTILES = {
+    "median": 0.03219373924433146,
+    "p90": 0.07275184014373057,
+    "p99": 0.5815825041472942,
+}
 
 
 def compute():
     # Mix assignment draws sequentially from one rng stream, so it is
-    # precomputed serially here; only the per-user lifetime runs fan out.
-    rng = np.random.default_rng(606)
-    mixes = list(MIX_WEIGHTS)
-    weights = np.array([MIX_WEIGHTS[m] for m in mixes])
+    # precomputed serially inside population_batch_grid; only the
+    # per-chunk batched lifetime runs fan out.
     days = int(SERVICE_YEARS * 365)
-    grid = tuple(
-        {"mix": mixes[rng.choice(len(mixes), p=weights / weights.sum())],
-         "capacity_gb": 64.0, "days": days, "workload_seed": 1000 + user}
-        for user in range(N_USERS)
+    grid = population_batch_grid(
+        N_USERS, days, 64.0, seed=606, mix_weights=MIX_WEIGHTS, chunk=BATCH_CHUNK
     )
-    sweep = Sweep(name="e16-population-wear", fn=population_point,
+    sweep = Sweep(name="e16-population-wear-batch", fn=population_batch_point,
                   grid=grid, base_seed=606)
-    return np.array(run_sweep(sweep, jobs=runner_jobs()).values())
+    chunks = run_sweep(sweep, jobs=runner_jobs()).values()
+    return np.concatenate([np.asarray(chunk) for chunk in chunks])
 
 
 def test_bench_e16_population_wear(benchmark):
@@ -76,5 +94,12 @@ def test_bench_e16_population_wear(benchmark):
                    "(max wear far above median)", 5.0,
                    quantiles["max"] / max(quantiles["median"], 1e-9),
                    Comparison.AT_LEAST),
+    ]
+    # golden regression: batching must not move the distribution
+    checks += [
+        ClaimCheck(f"e16.golden-{name}", f"batched population reproduces the "
+                   f"scalar sweep's {name} wear exactly", golden,
+                   quantiles[name], rel_tol=1e-12)
+        for name, golden in GOLDEN_QUANTILES.items()
     ]
     report("E16 (§2.3.1-§2.3.2): population wear distribution", body, checks)

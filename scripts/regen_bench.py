@@ -1,0 +1,85 @@
+"""Regenerate the checked-in ``BENCH_runner.json`` perf baseline.
+
+Runs the recorded sweeps in one process and writes a single
+``repro.runner.bench/v2`` payload:
+
+* ``cli-lifetime`` -- the 4-build lifetime comparison behind
+  ``repro lifetime`` (the original baseline entry);
+* ``cli-population-scalar`` -- a 200-device population through the
+  per-device scalar engine, one sweep point per device;
+* ``cli-population-batch`` -- the same 200 devices through the batched
+  fleet engine, one vectorized 50-device pass per sweep point.
+
+The scalar/batch pair records the batching speedup as part of the perf
+trajectory: compare the two sweeps' ``total_wall_s``.
+
+Usage::
+
+    PYTHONPATH=src python scripts/regen_bench.py [BENCH_runner.json]
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro.runner import Sweep, run_sweep, write_bench_json
+from repro.runner.points import (
+    DEFAULT_MIX_WEIGHTS,
+    lifetime_point,
+    population_batch_grid,
+    population_batch_point,
+)
+from repro.sim.baselines import ALL_BUILDERS
+
+POPULATION_USERS = 200
+POPULATION_YEARS = 2.5
+POPULATION_CHUNK = 50
+
+
+def main(path: str) -> int:
+    lifetime_sweep = Sweep(
+        name="cli-lifetime",
+        fn=lifetime_point,
+        grid=tuple(
+            {"build": name, "capacity_gb": 64.0, "mix": "typical",
+             "days": 3 * 365, "workload_seed": 7}
+            for name in ALL_BUILDERS
+        ),
+        base_seed=7,
+    )
+    days = int(POPULATION_YEARS * 365)
+    batch_grid = population_batch_grid(
+        POPULATION_USERS, days, 64.0, seed=606,
+        mix_weights=DEFAULT_MIX_WEIGHTS, chunk=POPULATION_CHUNK,
+    )
+    scalar_grid = tuple(
+        {"build": "tlc_baseline", "capacity_gb": 64.0, "mix": mix,
+         "days": days, "workload_seed": seed}
+        for chunk in batch_grid
+        for mix, seed in zip(chunk["mixes"], chunk["workload_seeds"])
+    )
+    scalar_sweep = Sweep(name="cli-population-scalar", fn=lifetime_point,
+                         grid=scalar_grid, base_seed=606)
+    batch_sweep = Sweep(name="cli-population-batch", fn=population_batch_point,
+                        grid=batch_grid, base_seed=606)
+
+    results = []
+    for sweep in (lifetime_sweep, scalar_sweep, batch_sweep):
+        outcome = run_sweep(sweep, jobs=1)
+        results.append(outcome)
+        print(f"{sweep.name}: {len(outcome.points)} points, "
+              f"{outcome.total_wall_s:.2f} s")
+    scalar_s, batch_s = results[1].total_wall_s, results[2].total_wall_s
+    print(f"population batching speedup: {scalar_s / batch_s:.1f}x "
+          f"({POPULATION_USERS} devices, {days} days)")
+    write_bench_json(path, results, notes="scripts/regen_bench.py")
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    target = sys.argv[1] if len(sys.argv) > 1 else str(
+        Path(__file__).resolve().parent.parent / "BENCH_runner.json"
+    )
+    sys.exit(main(target))

@@ -16,6 +16,10 @@ Commands
     Carbon-credit surcharge on flash prices (E4).
 ``lifetime``
     Run the lifetime engine: SOS vs baselines for a mix/years (E11).
+``population``
+    Simulate a device population through the batched fleet engine and
+    report the wear distribution (E16); optionally race the per-device
+    scalar engine for a speedup check.
 ``classify``
     Train the classifiers on a fresh synthetic corpus and report their
     operating points (E9).
@@ -207,6 +211,84 @@ def _cmd_lifetime(args: argparse.Namespace) -> int:
         for err in outcome.errors:
             print(f"  [{err.kind}] {err.params.get('build', err.index)}: "
                   f"{err.message} ({err.attempts} attempt(s))")
+        return 1
+    return 0
+
+
+def _cmd_population(args: argparse.Namespace) -> int:
+    """``repro population``: batched fleet run over a user population.
+
+    The population is cut into ``--chunk``-device batches; each batch is
+    one vectorized pass through :func:`repro.sim.batch.run_lifetime_batch`
+    and one cached sweep point.  ``--compare-scalar`` additionally runs
+    every device through the per-device scalar engine and verifies the
+    batched wear values match it exactly.
+    """
+    import numpy as np
+
+    from repro.runner import Sweep, run_sweep, write_bench_json
+    from repro.runner.points import (
+        DEFAULT_MIX_WEIGHTS,
+        lifetime_point,
+        population_batch_grid,
+        population_batch_point,
+    )
+
+    days = int(args.years * 365)
+    grid = population_batch_grid(
+        args.users, days, args.capacity_gb, seed=args.seed,
+        mix_weights=DEFAULT_MIX_WEIGHTS, chunk=args.chunk, build=args.build,
+    )
+    sweep = Sweep(name="cli-population-batch", fn=population_batch_point,
+                  grid=grid, base_seed=args.seed)
+    outcome = run_sweep(sweep, jobs=args.jobs, cache_dir=args.cache_dir)
+    wear = np.concatenate([np.asarray(p.value) for p in outcome.points])
+    results = [outcome]
+
+    rows = [
+        ["devices", f"{len(wear)} ({len(grid)} batch(es) of <= {args.chunk})"],
+        ["median wear", f"{np.median(wear) * 100:.1f}%"],
+        ["p90 wear", f"{np.quantile(wear, 0.90) * 100:.1f}%"],
+        ["p99 wear", f"{np.quantile(wear, 0.99) * 100:.1f}%"],
+        ["max wear", f"{wear.max() * 100:.1f}%"],
+        ["worn out before disposal", f"{np.mean(wear >= 1.0) * 100:.1f}%"],
+        ["batched wall time", f"{outcome.total_wall_s:.2f} s"],
+    ]
+
+    if args.compare_scalar:
+        scalar_grid = tuple(
+            {"build": args.build, "capacity_gb": args.capacity_gb, "mix": mix,
+             "days": days, "workload_seed": seed}
+            for chunk in grid
+            for mix, seed in zip(chunk["mixes"], chunk["workload_seeds"])
+        )
+        scalar_sweep = Sweep(name="cli-population-scalar", fn=lifetime_point,
+                             grid=scalar_grid, base_seed=args.seed)
+        scalar_outcome = run_sweep(scalar_sweep, jobs=args.jobs,
+                                   cache_dir=args.cache_dir)
+        scalar_wear = np.array(
+            [p.value.final.sys_wear_fraction for p in scalar_outcome.points]
+        )
+        results.append(scalar_outcome)
+        worst = float(np.max(np.abs(scalar_wear - wear))) if len(wear) else 0.0
+        rows += [
+            ["scalar wall time", f"{scalar_outcome.total_wall_s:.2f} s"],
+            ["batch speedup",
+             f"{scalar_outcome.total_wall_s / max(outcome.total_wall_s, 1e-9):.1f}x"],
+            ["max |scalar - batch| wear", f"{worst:.2e}"],
+        ]
+
+    print(format_table(
+        ["metric", "value"], rows,
+        title=f"{args.users} x {args.capacity_gb:.0f} GB '{args.build}' "
+              f"devices, {args.years}y service life"))
+    if args.bench_json:
+        write_bench_json(args.bench_json, results, notes="repro.cli population")
+        print(f"\nwrote per-point timings to {args.bench_json}")
+    # fully-alive TLC fleets are bit-identical; resuscitating builds may
+    # differ by float-reduction order, bounded well under 1e-9
+    if args.compare_scalar and worst > 1e-9:
+        print("\nWARNING: batched wear diverged from the scalar engine")
         return 1
     return 0
 
@@ -413,6 +495,29 @@ def main(argv: list[str] | None = None) -> int:
                         "(coordinator + serial points; workers are separate "
                         "processes)")
     p.set_defaults(func=_cmd_lifetime)
+
+    p = sub.add_parser(
+        "population",
+        help="batched fleet engine: wear distribution over a population (E16)",
+    )
+    p.add_argument("--users", type=int, default=200)
+    p.add_argument("--years", type=float, default=2.5)
+    p.add_argument("--capacity-gb", type=float, default=64.0)
+    p.add_argument("--build", default="tlc_baseline",
+                   choices=("tlc_baseline", "qlc_baseline", "plc_naive", "sos"))
+    p.add_argument("--seed", type=int, default=606)
+    p.add_argument("--chunk", type=int, default=50,
+                   help="devices per vectorized batch (= per cached point)")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for the batch sweep (1 = serial)")
+    p.add_argument("--cache-dir", default=None,
+                   help="sweep result cache directory (default: no cache)")
+    p.add_argument("--compare-scalar", action="store_true",
+                   help="also run the per-device scalar engine and verify "
+                        "the batched wear values match it")
+    p.add_argument("--bench-json", default=None, metavar="PATH",
+                   help="write per-point wall times (BENCH_runner.json format)")
+    p.set_defaults(func=_cmd_population)
 
     p = sub.add_parser("faults", help="fault-injection utilities")
     faults_sub = p.add_subparsers(dest="faults_command", required=True)

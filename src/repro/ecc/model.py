@@ -120,14 +120,20 @@ def page_failure_prob_many(
 
 
 def residual_ber_many(spec: CodewordSpec, rber: np.ndarray) -> np.ndarray:
-    """Vectorized :func:`residual_ber` over an array of RBER values."""
+    """Vectorized :func:`residual_ber` over an array of RBER values.
+
+    Accepts any input shape (the batched fleet engine passes
+    ``(n_devices, n_groups)``); the result matches the input shape.
+    """
     rber = np.asarray(rber, dtype=float)
     if spec.t == 0:
         return rber.astype(float, copy=True)
-    p_fail = np.where(rber > 0.0, stats.binom.sf(spec.t, spec.n, rber), 0.0)
-    mean_errors = spec.n * rber
+    flat = rber.ravel()
+    p_fail = np.where(flat > 0.0, stats.binom.sf(spec.t, spec.n, flat), 0.0)
+    mean_errors = spec.n * flat
     j = np.arange(spec.t + 1, dtype=float)
-    below = (j[:, None] * stats.binom.pmf(j[:, None], spec.n, rber[None, :])).sum(axis=0)
+    below = (j[:, None] * stats.binom.pmf(j[:, None], spec.n, flat[None, :])).sum(axis=0)
     # mean_given_fail * p_fail == mean_errors - below; guard the p_fail == 0
     # branch of the scalar form and clamp the cancellation residue
-    return np.where(p_fail > 0.0, np.maximum(0.0, mean_errors - below) / spec.n, 0.0)
+    out = np.where(p_fail > 0.0, np.maximum(0.0, mean_errors - below) / spec.n, 0.0)
+    return out.reshape(rber.shape)

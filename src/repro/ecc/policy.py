@@ -17,6 +17,7 @@ small-scale experiments, so both fidelities apply identical protection.
 from __future__ import annotations
 
 import enum
+import functools
 from dataclasses import dataclass
 
 import numpy as np
@@ -40,6 +41,19 @@ class ProtectionLevel(enum.Enum):
     NONE = "none"
     WEAK = "weak"
     STRONG = "strong"
+
+
+@functools.lru_cache(maxsize=None)
+def _bch_codec(m: int, t: int) -> BCHCode:
+    """Shared bit-exact BCH instance per ``(m, t)``.
+
+    Construction runs the generator-polynomial build over GF(2^m) --
+    milliseconds of work that ``make_codec`` callers would otherwise
+    repeat per partition per run.  BCHCode is immutable after
+    ``__init__`` (encode/decode are pure), so one instance is safe to
+    share across every policy and thread.
+    """
+    return BCHCode(m=m, t=t)
 
 
 @dataclass(frozen=True, slots=True)
@@ -67,7 +81,7 @@ class ProtectionPolicy:
             return None
         if self.level is ProtectionLevel.WEAK:
             return HammingSecDed(r=6)  # n=64, k=57, t=1
-        return BCHCode(m=10, t=8)  # n=1023, k=943, t=8
+        return _bch_codec(m=10, t=8)  # n=1023, k=943, t=8
 
     def page_failure_prob(self, rber: float, page_bits: int) -> float:
         """P(page uncorrectable) for a page of ``page_bits`` at ``rber``."""

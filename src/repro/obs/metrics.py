@@ -133,12 +133,17 @@ class MetricsRegistry:
             instrument = self._histograms[name] = Histogram(bounds)
         return instrument
 
-    def span_record(self, name: str, wall_s: float) -> None:
-        """Charge one completed span invocation."""
+    def span_record(self, name: str, wall_s: float, calls: int = 1) -> None:
+        """Charge one completed span invocation.
+
+        ``calls`` > 1 attributes the block's wall time to that many
+        logical invocations (one batched array pass standing in for N
+        per-device calls), keeping call counts workload-deterministic.
+        """
         stat = self._spans.get(name)
         if stat is None:
             stat = self._spans[name] = _SpanStat()
-        stat.calls += 1
+        stat.calls += calls
         stat.wall_s += wall_s
 
     # -- snapshots -----------------------------------------------------------

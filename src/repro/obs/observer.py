@@ -62,7 +62,7 @@ class NullObserver:
 
     enabled = False
 
-    def span(self, name: str) -> _NullSpan:
+    def span(self, name: str, calls: int = 1) -> _NullSpan:
         return _NULL_SPAN
 
     def count(self, name: str, amount: int | float = 1) -> None:
@@ -84,18 +84,21 @@ NULL_OBSERVER = NullObserver()
 class _Span:
     """Times one ``with obs.span(name):`` block into the registry."""
 
-    __slots__ = ("_registry", "_name", "_start")
+    __slots__ = ("_registry", "_name", "_calls", "_start")
 
-    def __init__(self, registry: MetricsRegistry, name: str) -> None:
+    def __init__(self, registry: MetricsRegistry, name: str, calls: int = 1) -> None:
         self._registry = registry
         self._name = name
+        self._calls = calls
 
     def __enter__(self) -> "_Span":
         self._start = time.perf_counter()
         return self
 
     def __exit__(self, *exc: object) -> bool:
-        self._registry.span_record(self._name, time.perf_counter() - self._start)
+        self._registry.span_record(
+            self._name, time.perf_counter() - self._start, calls=self._calls
+        )
         return False
 
 
@@ -118,8 +121,12 @@ class Observer:
         self.trace = trace
         self.events: list[dict] = []
 
-    def span(self, name: str) -> _Span:
-        return _Span(self.registry, name)
+    def span(self, name: str, calls: int = 1) -> _Span:
+        """Time a block; ``calls`` is the number of logical invocations
+        the block stands for (the batched fleet engine times one array
+        pass covering N devices, so span *call counts* stay comparable
+        with N per-device runs)."""
+        return _Span(self.registry, name, calls)
 
     def count(self, name: str, amount: int | float = 1) -> None:
         self.registry.counter(name).inc(amount)

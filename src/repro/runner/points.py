@@ -17,16 +17,32 @@ from __future__ import annotations
 
 import dataclasses
 
+import numpy as np
+
 from repro.workloads.mobile import MobileWorkload, WorkloadConfig
 
 __all__ = [
+    "DEFAULT_MIX_WEIGHTS",
     "lifetime_point",
     "split_point",
     "threshold_point",
     "sensitivity_point",
+    "sensitivity_batch_point",
     "population_point",
+    "population_batch_point",
+    "population_batch_grid",
     "fault_ablation_point",
 ]
+
+#: population intensity mix: mostly light/typical, thin heavy tail.
+#: Shared by the E16/E14 population benches and the CLI ``population``
+#: command so every "realistic fleet" in the repo means the same fleet.
+DEFAULT_MIX_WEIGHTS = {
+    "light": 0.35,
+    "typical": 0.45,
+    "heavy": 0.18,
+    "adversarial": 0.02,
+}
 
 
 def _summaries(mix: str, days: int, seed: int):
@@ -218,3 +234,140 @@ def population_point(params: dict, seed: int) -> float:
     summaries = _summaries(params["mix"], params["days"], params["workload_seed"])
     result = run_lifetime(build_tlc_baseline(params["capacity_gb"]), summaries)
     return result.final.sys_wear_fraction
+
+
+def population_batch_point(params: dict, seed: int) -> list[float]:
+    """One *chunk* of a device population in a single vectorized pass.
+
+    The batched replacement for per-user :func:`population_point` sweeps:
+    one sweep point simulates ``len(params["mixes"])`` devices through
+    :func:`repro.sim.batch.run_lifetime_batch` and returns their
+    end-of-life SYS wear fractions in user order.  ``run_sweep`` treats
+    the whole batch as one cached point.
+
+    params: ``mixes`` and ``workload_seeds`` (parallel per-device lists),
+    ``capacity_gb``, ``days``, optional ``build`` (ALL_BUILDERS key,
+    default ``tlc_baseline``) and ``faults`` (plain-data FaultConfig
+    mapping; per-device plans are seeded by each device's workload seed).
+    """
+    from repro.sim.baselines import ALL_BUILDERS
+    from repro.sim.batch import SummaryBatch, run_lifetime_batch
+
+    days = params["days"]
+    builder = ALL_BUILDERS[params.get("build", "tlc_baseline")]
+    seeds = list(params["workload_seeds"])
+    volumes = [
+        MobileWorkload(
+            WorkloadConfig(mix=mix, days=days, seed=ws)
+        ).daily_volume_arrays()
+        for mix, ws in zip(params["mixes"], seeds)
+    ]
+    builds = [builder(params["capacity_gb"]) for _ in volumes]
+    plans = None
+    if params.get("faults"):
+        plans = [
+            _fault_plan(build, params["faults"], days, ws)
+            for build, ws in zip(builds, seeds)
+        ]
+    results = run_lifetime_batch(
+        builds, SummaryBatch.from_volume_arrays(volumes), fault_plans=plans
+    )
+    return [result.final.sys_wear_fraction for result in results]
+
+
+def population_batch_grid(
+    n_users: int,
+    days: int,
+    capacity_gb: float,
+    seed: int,
+    mix_weights: dict[str, float],
+    chunk: int = 50,
+    build: str = "tlc_baseline",
+    workload_seed_base: int = 1000,
+) -> tuple[dict, ...]:
+    """Chunked :func:`population_batch_point` grid for a user population.
+
+    Mix assignment draws sequentially from one rng stream seeded by
+    ``seed`` and user ``u`` gets workload seed ``workload_seed_base + u``
+    -- the same convention as the per-user scalar sweeps, so a batched
+    population reproduces the scalar population's wear values exactly
+    regardless of ``chunk``.
+    """
+    if chunk <= 0:
+        raise ValueError("chunk must be positive")
+    rng = np.random.default_rng(seed)
+    mixes = list(mix_weights)
+    weights = np.array([mix_weights[m] for m in mixes])
+    assigned = [
+        mixes[rng.choice(len(mixes), p=weights / weights.sum())]
+        for _ in range(n_users)
+    ]
+    return tuple(
+        {
+            "mixes": assigned[start:start + chunk],
+            "workload_seeds": list(
+                range(workload_seed_base + start,
+                      workload_seed_base + min(start + chunk, n_users))
+            ),
+            "capacity_gb": capacity_gb,
+            "days": days,
+            "build": build,
+        }
+        for start in range(0, n_users, chunk)
+    )
+
+
+def sensitivity_batch_point(params: dict, seed: int) -> list[dict]:
+    """One PLC-PEC row of the A6 grid: every WAF column in one batch.
+
+    The endurance-table override is global state, so only devices sharing
+    a ``plc_pec`` can batch together; WAF varies per device (the one
+    spec field :func:`repro.sim.batch.run_lifetime_batch` allows to
+    differ).  Returns one :func:`sensitivity_point`-shaped dict per WAF,
+    in ``params["wafs"]`` order.
+    """
+    from repro.flash.cell import CellTechnology
+    from repro.flash.reliability import ENDURANCE_TABLE
+    from repro.sim.baselines import build_sos, build_tlc_baseline
+    from repro.sim.batch import SummaryBatch, run_lifetime_batch
+
+    capacity = params["capacity_gb"]
+    wafs = list(params["wafs"])
+    volumes = MobileWorkload(
+        WorkloadConfig(
+            mix=params["mix"], days=params["days"], seed=params["workload_seed"]
+        )
+    ).daily_volume_arrays()
+    original = ENDURANCE_TABLE[CellTechnology.PLC]
+    ENDURANCE_TABLE[CellTechnology.PLC] = dataclasses.replace(
+        original, rated_pec=params["plc_pec"]
+    )
+    try:
+        builds = []
+        for waf in wafs:
+            build = build_sos(capacity)
+            for part in build.device.partitions.values():
+                part.spec = dataclasses.replace(part.spec, waf=waf)
+            builds.append(build)
+        results = run_lifetime_batch(
+            builds, SummaryBatch.from_volume_arrays([volumes] * len(wafs))
+        )
+        tlc = build_tlc_baseline(capacity)
+        out = []
+        for waf, build, result in zip(wafs, builds, results):
+            capacity_fraction = result.final.capacity_gb / capacity
+            out.append(
+                {
+                    "plc_pec": params["plc_pec"],
+                    "waf": waf,
+                    "usable": result.final.spare_quality >= 0.85
+                    and capacity_fraction >= 0.75,
+                    "capacity_fraction": capacity_fraction,
+                    "sys_wear": result.final.sys_wear_fraction,
+                    "quality": result.final.spare_quality,
+                    "carbon_ok": build.intensity_kg_per_gb < tlc.intensity_kg_per_gb,
+                }
+            )
+        return out
+    finally:
+        ENDURANCE_TABLE[CellTechnology.PLC] = original

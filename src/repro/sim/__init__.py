@@ -14,6 +14,12 @@ from .baselines import (
     build_sos,
     build_tlc_baseline,
 )
+from .batch import (
+    BatchLifetimeDevice,
+    BatchPartition,
+    SummaryBatch,
+    run_lifetime_batch,
+)
 from .engine import DaySample, LifetimeResult, SimConfig, run_lifetime
 from .lifetime import BlockGroup, LifetimeDevice, Partition, PartitionSpec
 from .replay import ReplayStats, replay
@@ -25,6 +31,10 @@ __all__ = [
     "build_qlc_baseline",
     "build_sos",
     "build_tlc_baseline",
+    "BatchLifetimeDevice",
+    "BatchPartition",
+    "SummaryBatch",
+    "run_lifetime_batch",
     "DaySample",
     "LifetimeResult",
     "SimConfig",

@@ -179,72 +179,70 @@ def run_lifetime(
     spare = device.partitions.get("spare")
     sys_part = device.partitions.get("sys") or device.partitions.get("main")
     obs = get_observer()
-    engine_span = obs.span("engine.run")
-    engine_span.__enter__()
-    for position, summary in enumerate(summaries):
-        writes = _route_writes(build, summary, config)
-        obs.count("engine.days")
-        obs.observe(
-            "engine.day_write_gb",
-            sum(new + churn for new, churn in writes.values()),
-        )
-        scrub_allowed = True
-        if fault_plan is not None:
-            assert result.faults is not None
-            if fault_plan.in_cloud_outage(position):
-                result.faults.cloud_outage_days += 1
-                scrub_allowed = False
-                result.faults.scrubs_deferred += sum(
-                    1 for p in device.partitions.values() if p.spec.scrub_enabled
-                )
-        device.step_day(writes, scrub_allowed=scrub_allowed)
-        if fault_plan is not None:
-            if not scrub_allowed:
-                obs.event("cloud_outage_day", t=device.now_years, day=summary.day)
-            _apply_day_faults(device, fault_plan, result.faults, position)
-        # deletions keep the working set stationary: the day's delete
-        # volume is apportioned across pressured partitions by live-data
-        # share, so multi-partition builds delete the same total volume
-        # as single-partition ones
-        pressured = []
-        for partition in device.partitions.values():
-            utilization = (
-                partition.live_data_gb() / partition.capacity_gb()
-                if partition.capacity_gb() > 0
-                else 1.0
+    with obs.span("engine.run"):
+        for position, summary in enumerate(summaries):
+            writes = _route_writes(build, summary, config)
+            obs.count("engine.days")
+            obs.observe(
+                "engine.day_write_gb",
+                sum(new + churn for new, churn in writes.values()),
             )
-            if utilization > 0.85:
-                pressured.append(partition)
-        live_total = sum(p.live_data_gb() for p in pressured)
-        if live_total > 0:
-            for partition in pressured:
-                partition.host_delete(
-                    summary.delete_gb * partition.live_data_gb() / live_total
+            scrub_allowed = True
+            if fault_plan is not None:
+                assert result.faults is not None
+                if fault_plan.in_cloud_outage(position):
+                    result.faults.cloud_outage_days += 1
+                    scrub_allowed = False
+                    result.faults.scrubs_deferred += sum(
+                        1 for p in device.partitions.values() if p.spec.scrub_enabled
+                    )
+            device.step_day(writes, scrub_allowed=scrub_allowed)
+            if fault_plan is not None:
+                if not scrub_allowed:
+                    obs.event("cloud_outage_day", t=device.now_years, day=summary.day)
+                _apply_day_faults(device, fault_plan, result.faults, position)
+            # deletions keep the working set stationary: the day's delete
+            # volume is apportioned across pressured partitions by live-data
+            # share, so multi-partition builds delete the same total volume
+            # as single-partition ones
+            pressured = []
+            for partition in device.partitions.values():
+                utilization = (
+                    partition.live_data_gb() / partition.capacity_gb()
+                    if partition.capacity_gb() > 0
+                    else 1.0
                 )
-        # sample the last summary by position: trace days may be sliced
-        # or 1-indexed, so the day value alone cannot identify the end
-        if summary.day % config.sample_every_days == 0 or position == len(summaries) - 1:
-            assert sys_part is not None
-            result.samples.append(
-                DaySample(
-                    day=summary.day,
-                    years=device.now_years,
-                    capacity_gb=device.capacity_gb(),
-                    sys_wear_fraction=sys_part.wear_used_fraction(),
-                    spare_wear_fraction=(
-                        spare.wear_used_fraction() if spare else sys_part.wear_used_fraction()
-                    ),
-                    spare_quality=(
-                        spare.mean_quality(device.now_years)
-                        if spare
-                        else sys_part.mean_quality(device.now_years)
-                    ),
-                    sys_uncorrectable=sys_part.expected_uncorrectable(device.now_years),
-                    retired_groups=sum(p.retired_count for p in device.partitions.values()),
-                    resuscitated_groups=sum(
-                        p.resuscitated_count for p in device.partitions.values()
-                    ),
+                if utilization > 0.85:
+                    pressured.append(partition)
+            live_total = sum(p.live_data_gb() for p in pressured)
+            if live_total > 0:
+                for partition in pressured:
+                    partition.host_delete(
+                        summary.delete_gb * partition.live_data_gb() / live_total
+                    )
+            # sample the last summary by position: trace days may be sliced
+            # or 1-indexed, so the day value alone cannot identify the end
+            if summary.day % config.sample_every_days == 0 or position == len(summaries) - 1:
+                assert sys_part is not None
+                result.samples.append(
+                    DaySample(
+                        day=summary.day,
+                        years=device.now_years,
+                        capacity_gb=device.capacity_gb(),
+                        sys_wear_fraction=sys_part.wear_used_fraction(),
+                        spare_wear_fraction=(
+                            spare.wear_used_fraction() if spare else sys_part.wear_used_fraction()
+                        ),
+                        spare_quality=(
+                            spare.mean_quality(device.now_years)
+                            if spare
+                            else sys_part.mean_quality(device.now_years)
+                        ),
+                        sys_uncorrectable=sys_part.expected_uncorrectable(device.now_years),
+                        retired_groups=sum(p.retired_count for p in device.partitions.values()),
+                        resuscitated_groups=sum(
+                            p.resuscitated_count for p in device.partitions.values()
+                        ),
+                    )
                 )
-            )
-    engine_span.__exit__(None, None, None)
     return result

@@ -43,7 +43,28 @@ from repro.flash.error_model import cached_error_model
 from repro.flash.reliability import endurance_pec
 from repro.obs import get_observer
 
-__all__ = ["PartitionSpec", "BlockGroup", "Partition", "LifetimeDevice"]
+__all__ = [
+    "GROUP_STATE_FIELDS",
+    "PartitionSpec",
+    "BlockGroup",
+    "Partition",
+    "LifetimeDevice",
+]
+
+#: Per-group SoA fields shared by the scalar :class:`Partition` and the
+#: batched fleet engine (:mod:`repro.sim.batch`), which stacks the same
+#: arrays with a leading device axis.  ``mode_bits`` stands in for the
+#: per-group :class:`CellMode`: the technology is fixed by the spec, only
+#: the operating bits change under resuscitation.
+GROUP_STATE_FIELDS = (
+    "capacity_gb",
+    "pec",
+    "write_time",
+    "live_gb",
+    "retired",
+    "refreshes",
+    "mode_bits",
+)
 
 #: Extra write volume caused by static wear leveling migrations.
 WL_WRITE_OVERHEAD = 0.10
@@ -238,6 +259,51 @@ class Partition:
     def wear_used_fraction(self) -> float:
         """Mean PEC over rated endurance of the operating mode."""
         return self.mean_pec() / endurance_pec(self.spec.mode)
+
+    # -- SoA state exchange -----------------------------------------------------
+
+    def export_group_state(self) -> dict[str, np.ndarray]:
+        """Copy the per-group SoA state (:data:`GROUP_STATE_FIELDS`).
+
+        The batched fleet engine stacks these arrays across devices; the
+        pair with :meth:`import_group_state` round-trips a partition
+        through the batch representation exactly.
+        """
+        return {
+            "capacity_gb": self._capacity.copy(),
+            "pec": self._pec.copy(),
+            "write_time": self._write_time.copy(),
+            "live_gb": self._live.copy(),
+            "retired": self._retired.copy(),
+            "refreshes": self._refreshes.copy(),
+            "mode_bits": np.array(
+                [m.operating_bits for m in self._modes], dtype=np.int64
+            ),
+        }
+
+    def import_group_state(self, state: dict[str, np.ndarray]) -> None:
+        """Inverse of :meth:`export_group_state`."""
+        n = self.spec.n_groups
+        for name in GROUP_STATE_FIELDS:
+            if np.shape(state[name]) != (n,):
+                raise ValueError(
+                    f"state field {name!r} has shape {np.shape(state[name])}, "
+                    f"expected ({n},)"
+                )
+        self._capacity[:] = state["capacity_gb"]
+        self._pec[:] = state["pec"]
+        self._write_time[:] = state["write_time"]
+        self._live[:] = state["live_gb"]
+        self._retired[:] = state["retired"]
+        self._refreshes[:] = state["refreshes"]
+        technology = self.spec.mode.technology
+        self._modes = [
+            CellMode(technology, int(bits)) for bits in state["mode_bits"]
+        ]
+        first = self._modes[0]
+        self._uniform_mode = (
+            first if all(m == first for m in self._modes) else None
+        )
 
     # -- writes --------------------------------------------------------------------
 

@@ -94,6 +94,49 @@ class MobileWorkload:
             )
         return out
 
+    def daily_volume_arrays(self) -> dict[str, np.ndarray]:
+        """Vectorized :meth:`daily_summaries`: one array per volume field.
+
+        Returns ``{"day", "new_media_gb", "new_other_gb", "overwrite_gb",
+        "read_gb", "delete_gb"}``, each of shape ``(days,)``, bit-identical
+        to the scalar generator's per-day values.  Identity holds because
+        ``Generator.lognormal(size=k)`` consumes the bit stream exactly
+        like ``k`` scalar draws, the scalar loop draws per (day, app) in
+        (write, read) order -- the C-order ravel of a ``(days, apps, 2)``
+        block -- and the per-app accumulation below preserves the scalar
+        loop's addition order elementwise.
+
+        Consumes the same RNG state as :meth:`daily_summaries`; use a
+        fresh workload instance per call, as the batched lifetime path
+        does (one instance per simulated device).
+        """
+        days = self.config.days
+        apps = list(self._mix.items())
+        jitter = self._rng.lognormal(0.0, self.config.daily_jitter_sigma,
+                                     size=(days, len(apps), 2))
+        media = np.zeros(days)
+        other = np.zeros(days)
+        overwrite = np.zeros(days)
+        read = np.zeros(days)
+        for j, (app_name, factor) in enumerate(apps):
+            profile = APP_PROFILES[app_name]
+            vol_mb = profile.write_mb_per_day * factor * jitter[:, j, 0]
+            ow = vol_mb * profile.overwrite_fraction
+            fresh = vol_mb - ow
+            media += fresh * profile.media_fraction
+            other += fresh * (1.0 - profile.media_fraction)
+            overwrite += ow
+            read += profile.read_mb_per_day * factor * jitter[:, j, 1]
+        delete = (media + other) * self.config.delete_fraction
+        return {
+            "day": np.arange(days, dtype=np.int64),
+            "new_media_gb": media / 1024.0,
+            "new_other_gb": other / 1024.0,
+            "overwrite_gb": overwrite / 1024.0,
+            "read_gb": read / 1024.0,
+            "delete_gb": delete / 1024.0,
+        }
+
     def _day_volume_mb(self, profile: AppProfile, factor: float) -> float:
         jitter = self._rng.lognormal(0.0, self.config.daily_jitter_sigma)
         return profile.write_mb_per_day * factor * jitter

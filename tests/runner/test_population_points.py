@@ -1,0 +1,103 @@
+"""Batched sweep points reproduce their per-device scalar counterparts.
+
+The E16/E14 benches and the CLI ``population`` command moved from
+one-sweep-point-per-device to one-point-per-batched-chunk; these tests
+pin that the move is purely an execution-strategy change: wear values,
+percentiles, and the A6 sensitivity grid are unchanged, and chunk size
+never leaks into results.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.runner.points import (
+    DEFAULT_MIX_WEIGHTS,
+    population_batch_grid,
+    population_batch_point,
+    population_point,
+    sensitivity_batch_point,
+    sensitivity_point,
+)
+
+N_USERS = 12
+DAYS = 150
+
+
+def _flatten(grid):
+    return [
+        (mix, seed)
+        for chunk in grid
+        for mix, seed in zip(chunk["mixes"], chunk["workload_seeds"])
+    ]
+
+
+def test_population_batch_matches_scalar_percentiles():
+    grid = population_batch_grid(
+        N_USERS, DAYS, 64.0, seed=606, mix_weights=DEFAULT_MIX_WEIGHTS, chunk=5
+    )
+    batched = np.concatenate(
+        [np.asarray(population_batch_point(chunk, 0)) for chunk in grid]
+    )
+    scalar = np.array([
+        population_point(
+            {"mix": mix, "capacity_gb": 64.0, "days": DAYS, "workload_seed": seed}, 0
+        )
+        for mix, seed in _flatten(grid)
+    ])
+    # TLC populations are bit-identical, so the percentile regression is
+    # an exact-equality claim, not a tolerance claim
+    assert np.array_equal(batched, scalar)
+    for q in (0.5, 0.9, 0.99):
+        assert np.quantile(batched, q) == np.quantile(scalar, q)
+
+
+def test_population_batch_grid_chunk_invariant():
+    wear = {}
+    for chunk in (1, 4, N_USERS):
+        grid = population_batch_grid(
+            N_USERS, DAYS, 64.0, seed=606,
+            mix_weights=DEFAULT_MIX_WEIGHTS, chunk=chunk,
+        )
+        assert sum(len(g["mixes"]) for g in grid) == N_USERS
+        wear[chunk] = np.concatenate(
+            [np.asarray(population_batch_point(g, 0)) for g in grid]
+        )
+    assert np.array_equal(wear[1], wear[4])
+    assert np.array_equal(wear[4], wear[N_USERS])
+
+
+def test_population_batch_grid_validates_chunk():
+    with pytest.raises(ValueError):
+        population_batch_grid(
+            4, 30, 64.0, seed=1, mix_weights=DEFAULT_MIX_WEIGHTS, chunk=0
+        )
+
+
+def test_population_batch_point_supports_faults():
+    grid = population_batch_grid(
+        4, 90, 64.0, seed=17, mix_weights=DEFAULT_MIX_WEIGHTS, chunk=4
+    )
+    faults = {"block_infant_mortality": 0.05, "transient_read_rate": 0.2,
+              "power_loss_rate": 0.05, "cloud_outage_rate": 0.02}
+    plain = population_batch_point(grid[0], 0)
+    faulted = population_batch_point({**grid[0], "faults": faults}, 0)
+    assert len(faulted) == len(plain) == 4
+    assert faulted != plain  # the plan visibly perturbed the fleet
+
+
+def test_sensitivity_batch_row_matches_scalar_grid():
+    base = {"capacity_gb": 64.0, "mix": "typical", "days": DAYS,
+            "workload_seed": 111}
+    wafs = [1.5, 3.5]
+    for plc_pec in (300, 700):
+        row = sensitivity_batch_point({**base, "plc_pec": plc_pec, "wafs": wafs}, 0)
+        assert [p["waf"] for p in row] == wafs
+        for point in row:
+            scalar = sensitivity_point(
+                {**base, "plc_pec": plc_pec, "waf": point["waf"]}, 0
+            )
+            assert point.keys() == scalar.keys()
+            for key, value in scalar.items():
+                assert point[key] == pytest.approx(value, rel=1e-9), (plc_pec, key)

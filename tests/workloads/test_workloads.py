@@ -62,6 +62,31 @@ class TestGenerator:
         assert nominal * 0.8 <= mean <= nominal * 1.5
 
 
+class TestVolumeArrays:
+    """The batched generator path must not perturb a single bit."""
+
+    @pytest.mark.parametrize("mix", ["light", "typical", "heavy", "adversarial"])
+    def test_bit_identical_to_daily_summaries(self, mix):
+        config = WorkloadConfig(mix=mix, days=200, seed=42)
+        summaries = MobileWorkload(config).daily_summaries()
+        arrays = MobileWorkload(config).daily_volume_arrays()
+        assert list(arrays["day"]) == [s.day for s in summaries]
+        for field in ("new_media_gb", "new_other_gb", "overwrite_gb",
+                      "read_gb", "delete_gb"):
+            batched = arrays[field]
+            scalar = [getattr(s, field) for s in summaries]
+            assert list(batched) == scalar, field
+
+    def test_consumes_same_rng_stream(self):
+        """Drawing arrays leaves the generator's rng exactly where the
+        scalar path would, so mixed callers stay reproducible."""
+        a = MobileWorkload(WorkloadConfig(days=50, seed=9))
+        b = MobileWorkload(WorkloadConfig(days=50, seed=9))
+        a.daily_summaries()
+        b.daily_volume_arrays()
+        assert a._rng.bit_generator.state == b._rng.bit_generator.state
+
+
 class TestOps:
     def test_ops_cover_all_kinds_of_operations(self):
         wl = MobileWorkload(WorkloadConfig(days=300, seed=5))
