@@ -6,11 +6,11 @@ reuse ~never happens), over half of annual flash bits feed devices whose
 capacity will be re-manufactured **over three times** in a decade --
 and quantifies the embodied carbon of that churn.
 
-The analytic fleet model is paired with a batched population run: one
-vectorized pass of the fleet engine simulates a sample of phones to
-their disposal age and measures how much endurance the discarded flash
-still holds, closing the loop between churn (this experiment) and the
-wear gap (E16).
+The analytic fleet model is paired with a sharded population run
+through the fleet-of-fleets layer: the sample of phones is simulated to
+its disposal age and reduced to a wear digest, measuring how much
+endurance the discarded flash still holds -- closing the loop between
+churn (this experiment) and the wear gap (E16).
 """
 
 from __future__ import annotations
@@ -20,32 +20,25 @@ import numpy as np
 from repro.analysis.claims import ClaimCheck, Comparison
 from repro.analysis.reporting import format_table
 from repro.carbon.fleet import FleetConfig, simulate_fleet
-from repro.runner import Sweep, run_sweep
-from repro.runner.points import (
-    DEFAULT_MIX_WEIGHTS,
-    population_batch_grid,
-    population_batch_point,
-)
+from repro.fleet import FleetPlan, run_fleet
 
 from .common import report, runner_jobs
 
-#: sample of phones simulated (one vectorized batch) to disposal age
+#: sample of phones simulated (one shard) to disposal age
 DISPOSAL_USERS = 60
 DISPOSAL_YEARS = 2.5
 
 
 def compute():
     fleet = simulate_fleet(FleetConfig())
-    grid = population_batch_grid(
-        DISPOSAL_USERS, int(DISPOSAL_YEARS * 365), 64.0, seed=1414,
-        mix_weights=DEFAULT_MIX_WEIGHTS, chunk=DISPOSAL_USERS,
+    plan = FleetPlan(
+        n_devices=DISPOSAL_USERS, days=int(DISPOSAL_YEARS * 365),
+        capacity_gb=64.0, seed=1414, shard_size=DISPOSAL_USERS,
+        chunk=DISPOSAL_USERS,
     )
-    sweep = Sweep(name="e14-disposal-wear-batch", fn=population_batch_point,
-                  grid=grid, base_seed=1414)
-    wear = np.concatenate(
-        [np.asarray(chunk) for chunk in run_sweep(sweep, jobs=runner_jobs()).values()]
-    )
-    return fleet, wear
+    disposal = run_fleet(plan, jobs=runner_jobs(),
+                         name="e14-disposal-wear-batch")
+    return fleet, np.asarray(disposal.wear_values())
 
 
 def test_bench_e14_fleet_replacement(benchmark):

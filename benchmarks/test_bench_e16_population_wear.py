@@ -11,38 +11,39 @@ each running a TLC phone for its 2.5-year service life, and reports the
 wear distribution: median, p90, p99, and the fraction of the fleet that
 would wear out before disposal (expected: ~none outside the tail).
 
-Execution is batched: the population is cut into fixed-size chunks and
-each chunk runs as ONE vectorized pass through the batched fleet engine
-(one cached sweep point per chunk).  Mix assignment and per-user
-workload seeds follow the exact convention of the original per-user
-scalar sweep, so the wear values -- and therefore the pinned golden
-percentiles below -- are unchanged from the scalar population.
+Execution goes through the fleet-of-fleets layer: the population is cut
+into shards, each shard is one fault-tolerant cached sweep point that
+steps its devices through the batched fleet engine and reduces to a
+mergeable wear digest.  Per-device identity (mix, workload seed) is a
+function of the *global* device index alone, so the wear values -- and
+therefore the pinned golden percentiles below -- are invariant to the
+shard size and chunk size, and unchanged from the original per-user
+scalar sweep (a ``slow``-marked regression pins a deliberately
+misaligned sharding against the same goldens).
 """
 
 from __future__ import annotations
 
 import numpy as np
+import pytest
 
 from repro.analysis.claims import ClaimCheck, Comparison
 from repro.analysis.reporting import format_table
-from repro.runner import Sweep, run_sweep
-from repro.runner.points import (
-    DEFAULT_MIX_WEIGHTS,
-    population_batch_grid,
-    population_batch_point,
-)
+from repro.fleet import FleetPlan, run_fleet
+from repro.runner.points import DEFAULT_MIX_WEIGHTS
 
 from .common import report, run_once, runner_jobs
 
 N_USERS = 200
 SERVICE_YEARS = 2.5
-#: devices simulated per vectorized batch (= per cached sweep point)
+#: devices simulated per vectorized batch pass (and per shard here)
 BATCH_CHUNK = 50
 #: population intensity mix: mostly light/typical, thin heavy tail
 MIX_WEIGHTS = DEFAULT_MIX_WEIGHTS
 
 #: golden percentiles from the per-user scalar sweep (seed 606); the
-#: batched engine must reproduce them exactly (TLC runs are bit-identical)
+#: fleet layer must reproduce them exactly (TLC runs are bit-identical)
+#: for ANY shard/chunk size
 GOLDEN_QUANTILES = {
     "median": 0.03219373924433146,
     "p90": 0.07275184014373057,
@@ -50,18 +51,31 @@ GOLDEN_QUANTILES = {
 }
 
 
-def compute():
-    # Mix assignment draws sequentially from one rng stream, so it is
-    # precomputed serially inside population_batch_grid; only the
-    # per-chunk batched lifetime runs fan out.
-    days = int(SERVICE_YEARS * 365)
-    grid = population_batch_grid(
-        N_USERS, days, 64.0, seed=606, mix_weights=MIX_WEIGHTS, chunk=BATCH_CHUNK
+def _fleet_wear(shard_size: int, chunk: int) -> np.ndarray:
+    plan = FleetPlan(
+        n_devices=N_USERS, days=int(SERVICE_YEARS * 365), capacity_gb=64.0,
+        seed=606, mix_weights=MIX_WEIGHTS, shard_size=shard_size, chunk=chunk,
     )
-    sweep = Sweep(name="e16-population-wear-batch", fn=population_batch_point,
-                  grid=grid, base_seed=606)
-    chunks = run_sweep(sweep, jobs=runner_jobs()).values()
-    return np.concatenate([np.asarray(chunk) for chunk in chunks])
+    fleet = run_fleet(plan, jobs=runner_jobs(), name="e16-population-wear-batch")
+    return np.asarray(fleet.wear_values())
+
+
+def compute():
+    return _fleet_wear(shard_size=BATCH_CHUNK, chunk=BATCH_CHUNK)
+
+
+@pytest.mark.slow
+def test_e16_shard_size_invariance():
+    """Misaligned shard/chunk sizes reproduce the goldens bit-identically.
+
+    17 divides neither 50 nor 200, so every shard boundary of this run
+    disagrees with the golden run's -- the regression that caught
+    chunk-dependent per-device identity derivation.
+    """
+    wear = _fleet_wear(shard_size=17, chunk=13)
+    assert float(np.median(wear)) == GOLDEN_QUANTILES["median"]
+    assert float(np.quantile(wear, 0.90)) == GOLDEN_QUANTILES["p90"]
+    assert float(np.quantile(wear, 0.99)) == GOLDEN_QUANTILES["p99"]
 
 
 def test_bench_e16_population_wear(benchmark):

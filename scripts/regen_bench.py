@@ -7,11 +7,18 @@ Runs the recorded sweeps in one process and writes a single
   ``repro lifetime`` (the original baseline entry);
 * ``cli-population-scalar`` -- a 200-device population through the
   per-device scalar engine, one sweep point per device;
-* ``cli-population-batch`` -- the same 200 devices through the batched
-  fleet engine, one vectorized 50-device pass per sweep point.
+* ``cli-population-batch`` -- the same 200 devices through the fleet
+  layer (sharded, batched, streaming-reduced), as ``repro population``
+  runs it;
+* ``fleet-scaling-{1k,10k,100k,1m}`` -- the fleet-of-fleets scaling
+  curve: 1k to 1M devices at 90 days each, sharded per the recipe in
+  EXPERIMENTS.md.  Memory stays shard-bounded throughout (the 1M run is
+  reduced to a mergeable wear histogram, never materialized), so the
+  curve should stay ~linear in device count.
 
-The scalar/batch pair records the batching speedup as part of the perf
-trajectory: compare the two sweeps' ``total_wall_s``.
+The scalar/batch pair records the batching speedup, the scaling rows
+the sharding throughput, as part of the perf trajectory: compare
+``total_wall_s`` across sweeps.
 
 Usage::
 
@@ -23,18 +30,29 @@ from __future__ import annotations
 import sys
 from pathlib import Path
 
+from repro.fleet import FleetPlan, run_fleet
 from repro.runner import Sweep, run_sweep, write_bench_json
 from repro.runner.points import (
     DEFAULT_MIX_WEIGHTS,
+    assign_mixes,
     lifetime_point,
-    population_batch_grid,
-    population_batch_point,
 )
 from repro.sim.baselines import ALL_BUILDERS
 
 POPULATION_USERS = 200
 POPULATION_YEARS = 2.5
 POPULATION_CHUNK = 50
+
+#: the 1k -> 1M scaling curve: (label, devices, shard_size, chunk).
+#: Shard sizes keep each sweep at <= 20 cache/restart units; chunk is
+#: the vectorization width (peak working set ~ chunk x partitions).
+FLEET_DAYS = 90
+FLEET_SCALING = (
+    ("fleet-scaling-1k", 1_000, 250, 250),
+    ("fleet-scaling-10k", 10_000, 2_500, 500),
+    ("fleet-scaling-100k", 100_000, 5_000, 1_000),
+    ("fleet-scaling-1m", 1_000_000, 50_000, 1_000),
+)
 
 
 def main(path: str) -> int:
@@ -49,30 +67,53 @@ def main(path: str) -> int:
         base_seed=7,
     )
     days = int(POPULATION_YEARS * 365)
-    batch_grid = population_batch_grid(
-        POPULATION_USERS, days, 64.0, seed=606,
-        mix_weights=DEFAULT_MIX_WEIGHTS, chunk=POPULATION_CHUNK,
+    population_plan = FleetPlan(
+        n_devices=POPULATION_USERS, days=days, capacity_gb=64.0, seed=606,
+        mix_weights=DEFAULT_MIX_WEIGHTS,
+        shard_size=POPULATION_CHUNK, chunk=POPULATION_CHUNK,
     )
     scalar_grid = tuple(
         {"build": "tlc_baseline", "capacity_gb": 64.0, "mix": mix,
-         "days": days, "workload_seed": seed}
-        for chunk in batch_grid
-        for mix, seed in zip(chunk["mixes"], chunk["workload_seeds"])
+         "days": days,
+         "workload_seed": population_plan.workload_seed_base + u}
+        for u, mix in enumerate(
+            assign_mixes(606, DEFAULT_MIX_WEIGHTS, 0, POPULATION_USERS)
+        )
     )
     scalar_sweep = Sweep(name="cli-population-scalar", fn=lifetime_point,
                          grid=scalar_grid, base_seed=606)
-    batch_sweep = Sweep(name="cli-population-batch", fn=population_batch_point,
-                        grid=batch_grid, base_seed=606)
 
     results = []
-    for sweep in (lifetime_sweep, scalar_sweep, batch_sweep):
-        outcome = run_sweep(sweep, jobs=1)
-        results.append(outcome)
-        print(f"{sweep.name}: {len(outcome.points)} points, "
-              f"{outcome.total_wall_s:.2f} s")
+    outcome = run_sweep(lifetime_sweep, jobs=1)
+    results.append(outcome)
+    print(f"{lifetime_sweep.name}: {len(outcome.points)} points, "
+          f"{outcome.total_wall_s:.2f} s")
+    outcome = run_sweep(scalar_sweep, jobs=1)
+    results.append(outcome)
+    print(f"{scalar_sweep.name}: {len(outcome.points)} points, "
+          f"{outcome.total_wall_s:.2f} s")
+
+    fleet = run_fleet(population_plan, jobs=1, name="cli-population-batch")
+    results.append(fleet.sweep)
+    print(f"cli-population-batch: {fleet.sweep.total_wall_s:.2f} s")
     scalar_s, batch_s = results[1].total_wall_s, results[2].total_wall_s
     print(f"population batching speedup: {scalar_s / batch_s:.1f}x "
           f"({POPULATION_USERS} devices, {days} days)")
+
+    for label, devices, shard_size, chunk in FLEET_SCALING:
+        plan = FleetPlan(n_devices=devices, days=FLEET_DAYS,
+                         capacity_gb=64.0, seed=606,
+                         mix_weights=DEFAULT_MIX_WEIGHTS,
+                         shard_size=shard_size, chunk=chunk)
+        fleet = run_fleet(plan, jobs=1, name=label)
+        results.append(fleet.sweep)
+        wall = fleet.sweep.total_wall_s
+        print(f"{label}: {devices} devices x {FLEET_DAYS} days in "
+              f"{wall:.1f} s ({devices / wall:,.0f} devices/s, "
+              f"{plan.n_shards} shards of {shard_size}, "
+              f"{'exact' if plan.exact else 'histogram'} reduction, "
+              f"p99 wear {fleet.wear.quantile(0.99):.4f})")
+
     write_bench_json(path, results, notes="scripts/regen_bench.py")
     print(f"wrote {path}")
     return 0

@@ -17,9 +17,11 @@ Commands
 ``lifetime``
     Run the lifetime engine: SOS vs baselines for a mix/years (E11).
 ``population``
-    Simulate a device population through the batched fleet engine and
-    report the wear distribution (E16); optionally race the per-device
-    scalar engine for a speedup check.
+    Simulate a device population through the sharded fleet-of-fleets
+    layer (batch engine x sweep coordinator) and report the wear
+    distribution (E16); scales to millions of devices with
+    shard-bounded memory, and optionally races the per-device scalar
+    engine for an exactness + speedup check.
 ``classify``
     Train the classifiers on a fresh synthetic corpus and report their
     operating points (E9).
@@ -216,51 +218,80 @@ def _cmd_lifetime(args: argparse.Namespace) -> int:
 
 
 def _cmd_population(args: argparse.Namespace) -> int:
-    """``repro population``: batched fleet run over a user population.
+    """``repro population``: sharded fleet run over a device population.
 
-    The population is cut into ``--chunk``-device batches; each batch is
-    one vectorized pass through :func:`repro.sim.batch.run_lifetime_batch`
-    and one cached sweep point.  ``--compare-scalar`` additionally runs
-    every device through the per-device scalar engine and verifies the
-    batched wear values match it exactly.
+    The population is cut into ``--shard-size``-device shards; each
+    shard runs as one fault-tolerant, cached sweep point that steps its
+    devices through the batched fleet engine in ``--chunk``-device
+    vectorized passes and reduces to a mergeable wear digest, so peak
+    memory follows the shard size even at ``--devices 1000000``.
+    ``--compare-scalar`` additionally runs every device through the
+    per-device scalar engine and verifies the sharded wear values match
+    it exactly (exact-mode fleets only).
     """
+    import resource
+
     import numpy as np
 
+    from repro.fleet import WEAR_BIN_WIDTH, FleetPlan, run_fleet
     from repro.runner import Sweep, run_sweep, write_bench_json
     from repro.runner.points import (
         DEFAULT_MIX_WEIGHTS,
+        assign_mixes,
         lifetime_point,
-        population_batch_grid,
-        population_batch_point,
     )
 
     days = int(args.years * 365)
-    grid = population_batch_grid(
-        args.users, days, args.capacity_gb, seed=args.seed,
-        mix_weights=DEFAULT_MIX_WEIGHTS, chunk=args.chunk, build=args.build,
+    plan = FleetPlan(
+        n_devices=args.devices,
+        days=days,
+        capacity_gb=args.capacity_gb,
+        seed=args.seed,
+        shard_size=args.shard_size or args.chunk,
+        chunk=args.chunk,
+        build=args.build,
+        exact_cap=args.exact_cap,
     )
-    sweep = Sweep(name="cli-population-batch", fn=population_batch_point,
-                  grid=grid, base_seed=args.seed)
-    outcome = run_sweep(sweep, jobs=args.jobs, cache_dir=args.cache_dir)
-    wear = np.concatenate([np.asarray(p.value) for p in outcome.points])
-    results = [outcome]
+    if args.compare_scalar and not plan.exact:
+        print(f"--compare-scalar needs per-device values: raise --exact-cap "
+              f"to at least {plan.n_devices} (currently {plan.exact_cap})")
+        return 2
+    fleet = run_fleet(
+        plan,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        retries=args.retries,
+        timeout_s=args.timeout,
+        keep_going=args.keep_going,
+        name="cli-population-batch",
+    )
+    stats = fleet.summary()
+    results = [fleet.sweep]
+    # ru_maxrss is KiB on linux
+    peak_rss_mb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
 
+    kind = "" if stats["exact"] else f" (est. +-{WEAR_BIN_WIDTH:.3f})"
     rows = [
-        ["devices", f"{len(wear)} ({len(grid)} batch(es) of <= {args.chunk})"],
-        ["median wear", f"{np.median(wear) * 100:.1f}%"],
-        ["p90 wear", f"{np.quantile(wear, 0.90) * 100:.1f}%"],
-        ["p99 wear", f"{np.quantile(wear, 0.99) * 100:.1f}%"],
-        ["max wear", f"{wear.max() * 100:.1f}%"],
-        ["worn out before disposal", f"{np.mean(wear >= 1.0) * 100:.1f}%"],
-        ["batched wall time", f"{outcome.total_wall_s:.2f} s"],
+        ["devices", f"{stats['devices']} ({stats['shards']} shard(s) of <= "
+                    f"{plan.shard_size}, chunk {plan.chunk})"],
+        ["median wear", f"{stats['median'] * 100:.1f}%{kind}"],
+        ["p90 wear", f"{stats['p90'] * 100:.1f}%{kind}"],
+        ["p99 wear", f"{stats['p99'] * 100:.1f}%{kind}"],
+        ["max wear", f"{stats['max'] * 100:.1f}%"],
+        ["worn out before disposal", f"{stats['worn_out_fraction'] * 100:.1f}%"],
+        ["quantile mode", "exact" if stats["exact"] else "histogram estimate"],
+        ["fleet wall time", f"{stats['wall_s']:.2f} s"],
+        ["coordinator peak RSS", f"{peak_rss_mb:.0f} MB"],
     ]
 
+    worst = 0.0
     if args.compare_scalar:
+        wear = np.asarray(fleet.wear_values())
+        mixes = assign_mixes(args.seed, DEFAULT_MIX_WEIGHTS, 0, args.devices)
         scalar_grid = tuple(
             {"build": args.build, "capacity_gb": args.capacity_gb, "mix": mix,
-             "days": days, "workload_seed": seed}
-            for chunk in grid
-            for mix, seed in zip(chunk["mixes"], chunk["workload_seeds"])
+             "days": days, "workload_seed": plan.workload_seed_base + u}
+            for u, mix in enumerate(mixes)
         )
         scalar_sweep = Sweep(name="cli-population-scalar", fn=lifetime_point,
                              grid=scalar_grid, base_seed=args.seed)
@@ -274,17 +305,23 @@ def _cmd_population(args: argparse.Namespace) -> int:
         rows += [
             ["scalar wall time", f"{scalar_outcome.total_wall_s:.2f} s"],
             ["batch speedup",
-             f"{scalar_outcome.total_wall_s / max(outcome.total_wall_s, 1e-9):.1f}x"],
+             f"{scalar_outcome.total_wall_s / max(stats['wall_s'], 1e-9):.1f}x"],
             ["max |scalar - batch| wear", f"{worst:.2e}"],
         ]
 
     print(format_table(
         ["metric", "value"], rows,
-        title=f"{args.users} x {args.capacity_gb:.0f} GB '{args.build}' "
+        title=f"{args.devices} x {args.capacity_gb:.0f} GB '{args.build}' "
               f"devices, {args.years}y service life"))
     if args.bench_json:
         write_bench_json(args.bench_json, results, notes="repro.cli population")
         print(f"\nwrote per-point timings to {args.bench_json}")
+    if fleet.sweep.errors:
+        print(f"\n{len(fleet.sweep.errors)} shard(s) failed:")
+        for err in fleet.sweep.errors:
+            print(f"  [{err.kind}] shard @{err.params.get('start', err.index)}: "
+                  f"{err.message} ({err.attempts} attempt(s))")
+        return 1
     # fully-alive TLC fleets are bit-identical; resuscitating builds may
     # differ by float-reduction order, bounded well under 1e-9
     if args.compare_scalar and worst > 1e-9:
@@ -498,23 +535,41 @@ def main(argv: list[str] | None = None) -> int:
 
     p = sub.add_parser(
         "population",
-        help="batched fleet engine: wear distribution over a population (E16)",
+        help="sharded fleet engine: wear distribution over a population (E16)",
     )
-    p.add_argument("--users", type=int, default=200)
+    p.add_argument("--devices", "--users", type=int, default=200,
+                   dest="devices", help="population size (devices)")
     p.add_argument("--years", type=float, default=2.5)
     p.add_argument("--capacity-gb", type=float, default=64.0)
     p.add_argument("--build", default="tlc_baseline",
                    choices=("tlc_baseline", "qlc_baseline", "plc_naive", "sos"))
     p.add_argument("--seed", type=int, default=606)
+    p.add_argument("--shard-size", type=int, default=0,
+                   help="devices per sweep point (cache/retry/timeout unit; "
+                        "0 = same as --chunk)")
     p.add_argument("--chunk", type=int, default=50,
-                   help="devices per vectorized batch (= per cached point)")
+                   help="devices per vectorized batch-engine pass inside a "
+                        "shard (bounds worker memory; results are chunk "
+                        "invariant)")
+    p.add_argument("--exact-cap", type=int, default=100_000,
+                   help="fleets up to this size keep per-device wear values "
+                        "(bit-exact quantiles); larger fleets use histogram "
+                        "estimates")
     p.add_argument("--jobs", type=int, default=1,
-                   help="worker processes for the batch sweep (1 = serial)")
+                   help="worker processes for the shard sweep (1 = serial)")
     p.add_argument("--cache-dir", default=None,
-                   help="sweep result cache directory (default: no cache)")
+                   help="shard result cache directory (default: no cache); "
+                        "an interrupted fleet resumes from completed shards")
+    p.add_argument("--retries", type=int, default=0,
+                   help="re-attempts per failed shard (exponential backoff)")
+    p.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                   help="per-shard wall-clock limit (parallel runs only)")
+    p.add_argument("--keep-going", action="store_true",
+                   help="report failed shards as structured errors instead "
+                        "of aborting the fleet")
     p.add_argument("--compare-scalar", action="store_true",
                    help="also run the per-device scalar engine and verify "
-                        "the batched wear values match it")
+                        "the sharded wear values match it (exact mode only)")
     p.add_argument("--bench-json", default=None, metavar="PATH",
                    help="write per-point wall times (BENCH_runner.json format)")
     p.set_defaults(func=_cmd_population)

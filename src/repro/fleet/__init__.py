@@ -1,0 +1,40 @@
+"""Fleet-of-fleets sharding: whole device populations, bounded memory.
+
+The batch engine (:mod:`repro.sim.batch`) made one *chunk* of devices
+cheap; the sweep runner (:mod:`repro.runner.sweep`) made a grid of
+points fault tolerant.  This package composes them: a
+:class:`FleetPlan` cuts an N-device population into batch shards, each
+shard runs as one cached/retried/timeout-bounded sweep point
+(:func:`fleet_shard_point`), and shard results reduce through
+streaming, associatively mergeable digests (:class:`WearDigest`,
+:class:`repro.obs.SnapshotAccumulator`) so peak memory follows the
+shard size while the fleet scales to millions of devices.
+
+Invariants pinned by ``tests/fleet``:
+
+* **shard invariance** -- the same plan re-sharded (any
+  ``shard_size``/``chunk``) simulates every device bit-identically;
+* **exactness is planned, not emergent** -- fleets at or below
+  ``exact_cap`` devices report bit-exact quantiles and a device-ordered
+  wear vector; larger fleets get histogram estimates within one bin
+  width, decided up front so completion order can never change the
+  answer's nature;
+* **streaming reduction** -- shard values are dropped as soon as they
+  are cached and folded, so the coordinator never holds the fleet.
+"""
+
+from .plan import DEFAULT_EXACT_CAP, FleetPlan
+from .points import fleet_shard_point
+from .reduce import WEAR_BIN_WIDTH, WEAR_N_BINS, WearDigest
+from .run import FleetResult, run_fleet
+
+__all__ = [
+    "DEFAULT_EXACT_CAP",
+    "FleetPlan",
+    "FleetResult",
+    "WEAR_BIN_WIDTH",
+    "WEAR_N_BINS",
+    "WearDigest",
+    "fleet_shard_point",
+    "run_fleet",
+]

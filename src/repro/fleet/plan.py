@@ -1,0 +1,168 @@
+"""Fleet plans: how an N-device population is cut into batch shards.
+
+A :class:`FleetPlan` is the declarative description of a fleet run --
+population identity (seed, mix weights, workload seed base), device
+configuration (build, capacity, service days), and the execution
+geometry (shard size, vectorization chunk).  Its :meth:`shard_grid`
+turns the plan into a sweep grid of *shard points* for
+:func:`repro.fleet.points.fleet_shard_point`.
+
+The load-bearing property is **shard invariance**: every parameter a
+shard needs is a function of the plan and the shard's *global* device
+interval ``[start, start + count)``, never of the shard count or of any
+other shard.  Device ``u`` gets workload seed
+``workload_seed_base + u`` and the intensity mix
+:func:`repro.runner.points.assign_mixes` derives for global index
+``u``, so re-sharding the same plan (or resuming a crashed run with a
+different ``shard_size``) reproduces each device bit-identically.
+
+``mix_weights`` is carried as an *ordered* tuple of ``(name, weight)``
+pairs, and shard params encode it as a list of pairs rather than a
+mapping: the order fixes which CDF interval each mix owns, and the
+cache's ``stable_key`` sorts mapping keys -- two orderings that assign
+devices differently must not collide on one cache entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.runner.points import DEFAULT_MIX_WEIGHTS
+
+__all__ = ["DEFAULT_EXACT_CAP", "FleetPlan"]
+
+#: Fleets at or below this many devices keep raw per-device wear values
+#: (bit-exact quantiles); larger fleets reduce to histogram estimates.
+DEFAULT_EXACT_CAP = 100_000
+
+
+def _canonical_weights(mix_weights) -> tuple[tuple[str, float], ...]:
+    pairs = (
+        list(mix_weights.items())
+        if isinstance(mix_weights, Mapping)
+        else [(str(name), float(weight)) for name, weight in mix_weights]
+    )
+    if not pairs:
+        raise ValueError("mix_weights must name at least one mix")
+    return tuple((str(name), float(weight)) for name, weight in pairs)
+
+
+@dataclass(frozen=True, slots=True)
+class FleetPlan:
+    """Declarative description of one fleet-of-fleets run.
+
+    Attributes
+    ----------
+    n_devices:
+        Population size.
+    days:
+        Service days each device is simulated for.
+    capacity_gb:
+        Per-device flash capacity.
+    seed:
+        Population identity seed: drives per-device mix assignment and
+        the sweep's per-shard seeds.
+    mix_weights:
+        Ordered ``(mix name, weight)`` pairs (a mapping is accepted and
+        canonicalized in iteration order).  Order is significant -- see
+        the module docstring.
+    shard_size:
+        Devices per sweep point.  Each shard is one unit of caching,
+        retry, timeout, and fault attribution in ``run_sweep``; peak
+        coordinator memory is proportional to ``shard_size``, never to
+        ``n_devices``.
+    chunk:
+        Devices per vectorized batch-engine pass *inside* a shard
+        (bounds worker-side peak memory; results are chunk invariant).
+    build:
+        ``ALL_BUILDERS`` key for the device build.
+    workload_seed_base:
+        Device ``u`` runs workload seed ``workload_seed_base + u``.
+    faults:
+        Optional plain-data fault config mapping applied to every
+        device (each device's plan is seeded by its workload seed).
+    exact_cap:
+        Fleets with ``n_devices <= exact_cap`` carry raw per-device
+        wear values through the reduction (bit-exact quantiles and a
+        device-ordered wear vector); larger fleets use histogram
+        estimates so shard values stay O(bins).
+    """
+
+    n_devices: int
+    days: int
+    capacity_gb: float = 64.0
+    seed: int = 606
+    mix_weights: tuple[tuple[str, float], ...] = field(
+        default_factory=lambda: _canonical_weights(DEFAULT_MIX_WEIGHTS)
+    )
+    shard_size: int = 1000
+    chunk: int = 50
+    build: str = "tlc_baseline"
+    workload_seed_base: int = 1000
+    faults: tuple[tuple[str, float], ...] | None = None
+    exact_cap: int = DEFAULT_EXACT_CAP
+
+    def __post_init__(self) -> None:
+        if self.n_devices <= 0:
+            raise ValueError("n_devices must be positive")
+        if self.days <= 0:
+            raise ValueError("days must be positive")
+        if self.capacity_gb <= 0:
+            raise ValueError("capacity_gb must be positive")
+        if self.shard_size <= 0:
+            raise ValueError("shard_size must be positive")
+        if self.chunk <= 0:
+            raise ValueError("chunk must be positive")
+        if self.exact_cap < 0:
+            raise ValueError("exact_cap must be non-negative")
+        object.__setattr__(
+            self, "mix_weights", _canonical_weights(self.mix_weights)
+        )
+        if self.faults is not None:
+            items = (
+                sorted(self.faults.items())
+                if isinstance(self.faults, Mapping)
+                else sorted((str(k), float(v)) for k, v in self.faults)
+            )
+            object.__setattr__(
+                self, "faults", tuple((str(k), float(v)) for k, v in items)
+            )
+
+    @property
+    def n_shards(self) -> int:
+        return -(-self.n_devices // self.shard_size)
+
+    @property
+    def exact(self) -> bool:
+        """Whether this fleet reduces exactly (decided here, up front,
+        so it never depends on shard completion order)."""
+        return self.n_devices <= self.exact_cap
+
+    def shard_grid(self) -> tuple[dict, ...]:
+        """One plain-data params dict per shard, for ``run_sweep``.
+
+        Each dict depends only on the plan and the shard's global
+        device interval, so a shard's cache key -- and its simulated
+        devices -- survive re-sharding of everything around it.
+        """
+        exact = self.exact
+        weights = [[name, weight] for name, weight in self.mix_weights]
+        grid = []
+        for start in range(0, self.n_devices, self.shard_size):
+            params: dict = {
+                "start": start,
+                "count": min(self.shard_size, self.n_devices - start),
+                "pop_seed": self.seed,
+                "mix_weights": weights,
+                "capacity_gb": self.capacity_gb,
+                "days": self.days,
+                "build": self.build,
+                "workload_seed_base": self.workload_seed_base,
+                "chunk": self.chunk,
+                "exact": exact,
+            }
+            if self.faults:
+                params["faults"] = dict(self.faults)
+            grid.append(params)
+        return tuple(grid)

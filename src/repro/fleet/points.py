@@ -1,0 +1,59 @@
+"""The shard point function: one fleet shard per sweep point.
+
+Lives at module scope so worker processes can unpickle it by reference
+(the same contract as :mod:`repro.runner.points`).  A shard point is
+the composition this package exists for: it derives its slice of the
+population *locally* (mix assignment and workload seeds from global
+device indices), steps the slice through the batched fleet engine in
+``chunk``-device passes, and reduces the per-device wear values to a
+:class:`~repro.fleet.reduce.WearDigest` -- so the value flowing back to
+the coordinator (and into the result cache) is O(digest), not
+O(devices).
+"""
+
+from __future__ import annotations
+
+from repro.obs import get_observer
+
+from .reduce import WearDigest
+
+__all__ = ["fleet_shard_point"]
+
+
+def fleet_shard_point(params: dict, seed: int) -> dict:
+    """Simulate devices ``start .. start+count-1`` and digest their wear.
+
+    params (see :meth:`repro.fleet.plan.FleetPlan.shard_grid`):
+    ``start``, ``count``, ``pop_seed``, ``mix_weights`` (ordered
+    ``[name, weight]`` pairs), ``capacity_gb``, ``days``, ``build``,
+    ``workload_seed_base``, ``chunk``, ``exact``, optional ``faults``.
+
+    Returns ``{"devices", "start", "wear"}`` with ``wear`` a serialized
+    :class:`WearDigest`; exact shards keep per-device values in device
+    order, so the fleet layer can reassemble the population's wear
+    vector bit-identically.
+    """
+    from repro.runner.points import assign_mixes, population_batch_point
+
+    start = int(params["start"])
+    count = int(params["count"])
+    chunk = int(params["chunk"])
+    if count <= 0 or chunk <= 0:
+        raise ValueError("shard count and chunk must be positive")
+    base = int(params["workload_seed_base"])
+    digest = WearDigest(keep_exact=bool(params.get("exact", False)))
+    for offset in range(0, count, chunk):
+        sub = min(chunk, count - offset)
+        lo = start + offset
+        batch_params = {
+            "mixes": assign_mixes(params["pop_seed"], params["mix_weights"], lo, sub),
+            "workload_seeds": list(range(base + lo, base + lo + sub)),
+            "capacity_gb": params["capacity_gb"],
+            "days": params["days"],
+            "build": params.get("build", "tlc_baseline"),
+        }
+        if params.get("faults"):
+            batch_params["faults"] = params["faults"]
+        digest.add_many(population_batch_point(batch_params, seed))
+    get_observer().count("fleet.shard_devices", count)
+    return {"devices": count, "start": start, "wear": digest.to_dict()}

@@ -1,0 +1,216 @@
+"""Streaming, associatively mergeable reducers for fleet observables.
+
+A fleet-of-fleets run (:mod:`repro.fleet.run`) never holds every
+device's result at once: each shard reduces its devices to a compact
+digest, and the coordinator folds shard digests together as they
+complete.  That only works if the digest's merge is **associative and
+commutative** -- any shard partition, any completion order, same
+answer -- which is the design constraint behind :class:`WearDigest`:
+
+* the histogram lanes (integer bin counts, count, min, max) merge
+  exactly under any grouping, so distribution *estimates* are
+  shard-partition invariant by construction;
+* small fleets additionally carry the raw per-device values (the
+  *exact fallback*), making quantiles bit-identical to a flat
+  ``np.quantile`` over the whole population -- the property the E16
+  golden percentiles pin.  Whether a fleet is exact is decided once,
+  up front, from the fleet size (see ``FleetPlan``), never from how
+  merging happens to proceed.
+
+Digests serialize to plain JSON-able dicts (sparse bin encoding), so a
+shard's digest is its sweep-point value and rides the result cache
+unchanged.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "WEAR_BIN_WIDTH",
+    "WEAR_N_BINS",
+    "WearDigest",
+]
+
+#: Width of one wear histogram bin (fraction of rated endurance).
+WEAR_BIN_WIDTH = 0.005
+
+#: Regular bins covering wear 0 .. 2.0; one overflow bin rides at the end.
+WEAR_N_BINS = 400
+
+_DIGEST_SCHEMA = "repro.fleet.wear_digest/v1"
+
+
+class WearDigest:
+    """Mergeable summary of a wear-fraction distribution.
+
+    ``counts[i]`` holds devices with wear in ``[i*W, (i+1)*W)`` for bin
+    width ``W``; the final slot collects everything at or above the
+    histogram ceiling.  ``keep_exact=True`` additionally retains every
+    observed value in insertion order (the exact fallback); merging two
+    exact digests concatenates their values, and merging with a
+    non-exact digest drops exactness -- both rules are associative, so
+    exactness of a fleet merge depends only on which shards carried
+    values, not on merge order.
+    """
+
+    __slots__ = ("counts", "count", "total", "min", "max", "exact")
+
+    def __init__(self, keep_exact: bool = False) -> None:
+        self.counts = [0] * (WEAR_N_BINS + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.exact: list[float] | None = [] if keep_exact else None
+
+    # -- accumulation -----------------------------------------------------------
+
+    def add(self, value: float) -> None:
+        """Fold one device's wear fraction in."""
+        value = float(value)
+        if not math.isfinite(value) or value < 0.0:
+            raise ValueError(f"wear fractions must be finite and >= 0, got {value!r}")
+        index = min(int(value / WEAR_BIN_WIDTH), WEAR_N_BINS)
+        self.counts[index] += 1
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if self.exact is not None:
+            self.exact.append(value)
+
+    def add_many(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.add(value)
+
+    # -- merging ----------------------------------------------------------------
+
+    def merge_in(self, other: "WearDigest") -> None:
+        """Fold another digest into this one (associative, commutative
+        up to exact-value order; quantiles sort, so order never shows)."""
+        self.counts = [a + b for a, b in zip(self.counts, other.counts)]
+        self.count += other.count
+        self.total += other.total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+        if self.exact is not None and other.exact is not None:
+            self.exact.extend(other.exact)
+        else:
+            self.exact = None
+
+    def merged_with(self, other: "WearDigest") -> "WearDigest":
+        """Functional merge: a new digest, both inputs untouched."""
+        out = self.copy()
+        out.merge_in(other)
+        return out
+
+    def copy(self) -> "WearDigest":
+        out = WearDigest()
+        out.counts = list(self.counts)
+        out.count = self.count
+        out.total = self.total
+        out.min = self.min
+        out.max = self.max
+        out.exact = None if self.exact is None else list(self.exact)
+        return out
+
+    # -- queries ----------------------------------------------------------------
+
+    @property
+    def is_exact(self) -> bool:
+        """Whether quantiles come from raw values (vs histogram bins)."""
+        return self.exact is not None
+
+    def mean(self) -> float:
+        if self.count == 0:
+            raise ValueError("empty digest has no mean")
+        return self.total / self.count
+
+    def quantile(self, q: float) -> float:
+        """The ``q``-quantile of the observed wear values.
+
+        Exact digests defer to ``np.quantile`` over the raw values
+        (bit-identical to a flat population array); histogram digests
+        interpolate linearly inside the covering bin, so the estimate
+        is within one bin width (:data:`WEAR_BIN_WIDTH`) of exact for
+        any in-range value.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if self.count == 0:
+            raise ValueError("empty digest has no quantiles")
+        if self.exact is not None:
+            return float(np.quantile(np.asarray(self.exact), q))
+        target = q * self.count
+        cumulative = 0
+        for index, bin_count in enumerate(self.counts):
+            if bin_count == 0:
+                continue
+            if cumulative + bin_count >= target:
+                if index >= WEAR_N_BINS:
+                    return self.max  # overflow bin: no upper edge to lerp to
+                fraction = (
+                    (target - cumulative) / bin_count if bin_count else 0.0
+                )
+                value = (index + min(max(fraction, 0.0), 1.0)) * WEAR_BIN_WIDTH
+                return min(max(value, self.min), self.max)
+            cumulative += bin_count
+        return self.max
+
+    def quantiles(self, qs: Sequence[float]) -> list[float]:
+        return [self.quantile(q) for q in qs]
+
+    def worn_out_fraction(self, threshold: float = 1.0) -> float:
+        """Fraction of devices with wear >= ``threshold``.
+
+        Exact for exact digests; histogram digests count whole bins at
+        or above the threshold (exact whenever ``threshold`` lands on a
+        bin edge, as the default 1.0 does).
+        """
+        if self.count == 0:
+            raise ValueError("empty digest has no worn-out fraction")
+        if self.exact is not None:
+            return sum(1 for v in self.exact if v >= threshold) / self.count
+        first = min(int(math.ceil(threshold / WEAR_BIN_WIDTH)), WEAR_N_BINS)
+        return sum(self.counts[first:]) / self.count
+
+    # -- serialization ----------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Plain JSON-able form (sparse bins); inverse of :meth:`from_dict`."""
+        return {
+            "schema": _DIGEST_SCHEMA,
+            "bin_width": WEAR_BIN_WIDTH,
+            "bins": [[i, c] for i, c in enumerate(self.counts) if c],
+            "count": self.count,
+            "total": self.total,
+            "min": None if self.count == 0 else self.min,
+            "max": None if self.count == 0 else self.max,
+            "exact": self.exact,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "WearDigest":
+        if data.get("schema") != _DIGEST_SCHEMA:
+            raise ValueError(f"not a wear digest: schema={data.get('schema')!r}")
+        if data.get("bin_width") != WEAR_BIN_WIDTH:
+            raise ValueError(
+                f"wear digest bin width {data.get('bin_width')!r} does not "
+                f"match this build's {WEAR_BIN_WIDTH}"
+            )
+        out = cls()
+        for index, bin_count in data["bins"]:
+            out.counts[index] = int(bin_count)
+        out.count = int(data["count"])
+        out.total = float(data["total"])
+        out.min = math.inf if data["min"] is None else float(data["min"])
+        out.max = -math.inf if data["max"] is None else float(data["max"])
+        exact = data.get("exact")
+        out.exact = None if exact is None else [float(v) for v in exact]
+        return out

@@ -1,0 +1,159 @@
+"""Fleet-of-fleets execution: shards fanned across the sweep runner.
+
+:func:`run_fleet` composes the two engines this repo already has into
+one scale-out path:
+
+* the **batch engine** (:mod:`repro.sim.batch`) simulates each shard's
+  devices as vectorized array passes;
+* the **sweep coordinator** (:mod:`repro.runner.sweep`) fans shards
+  over worker processes and supplies per-shard crash-resume caching,
+  retries, timeouts, and structured failure records -- a shard is one
+  sweep point, so every fault-tolerance guarantee the runner makes for
+  points holds per shard.
+
+Reduction is streaming: shards resolve through the runner's
+``on_point`` hook with ``keep_values=False``, each shard's digest is
+folded into the fleet's :class:`~repro.fleet.reduce.WearDigest` (and
+obs snapshots into a :class:`~repro.obs.SnapshotAccumulator`)
+immediately, and the shard value is dropped.  Coordinator memory is
+therefore bounded by one shard plus the running digests -- a
+million-device fleet reduces in the same footprint as a thousand-device
+one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.obs import SnapshotAccumulator, get_observer
+from repro.runner.sweep import PointResult, Sweep, SweepResult, run_sweep
+
+from .plan import FleetPlan
+from .points import fleet_shard_point
+from .reduce import WearDigest
+
+__all__ = ["FleetResult", "run_fleet"]
+
+#: bump when fleet_shard_point's meaning changes (part of cache keys)
+_FLEET_VERSION_TAG = "fleet-shard/v1"
+
+
+@dataclass(slots=True)
+class FleetResult:
+    """Reduced outcome of one fleet run.
+
+    ``wear`` aggregates every completed shard; under ``keep_going``
+    some shards may have failed (see ``sweep.errors``), in which case
+    ``wear.count < plan.n_devices`` and the exact wear vector is
+    unavailable even for exact-mode fleets.
+    """
+
+    plan: FleetPlan
+    wear: WearDigest
+    sweep: SweepResult
+    #: merged worker-side metrics snapshot (``collect_obs`` runs only)
+    obs_metrics: dict | None = None
+
+    @property
+    def devices(self) -> int:
+        """Devices actually simulated (== plan.n_devices when ok)."""
+        return self.wear.count
+
+    @property
+    def ok(self) -> bool:
+        return self.sweep.ok
+
+    def wear_values(self) -> list[float] | None:
+        """Per-device wear in global device order, exact fleets only."""
+        return None if self.wear.exact is None else list(self.wear.exact)
+
+    def summary(self) -> dict:
+        """Plain-data headline statistics for reports and benches."""
+        return {
+            "devices": self.devices,
+            "shards": len(self.plan.shard_grid()),
+            "shard_size": self.plan.shard_size,
+            "chunk": self.plan.chunk,
+            "exact": self.wear.is_exact,
+            "median": self.wear.quantile(0.5),
+            "p90": self.wear.quantile(0.90),
+            "p99": self.wear.quantile(0.99),
+            "max": self.wear.max,
+            "mean": self.wear.mean(),
+            "worn_out_fraction": self.wear.worn_out_fraction(),
+            "wall_s": self.sweep.total_wall_s,
+        }
+
+
+def run_fleet(
+    plan: FleetPlan,
+    jobs: int = 1,
+    cache_dir: str | Path | None = None,
+    retries: int = 0,
+    retry_backoff_s: float = 0.05,
+    timeout_s: float | None = None,
+    keep_going: bool = False,
+    collect_obs: bool = False,
+    name: str = "fleet",
+) -> FleetResult:
+    """Run a fleet plan: shard, fan out, reduce streamingly.
+
+    Parameters mirror :func:`repro.runner.sweep.run_sweep` (each shard
+    is one sweep point); ``name`` namespaces the cache so different
+    callers' fleets never share entries.  Exact-mode fleets
+    (``plan.exact``) additionally reassemble the per-device wear vector
+    in global device order once every shard has completed.
+    """
+    grid = plan.shard_grid()
+    sweep = Sweep(
+        name=name,
+        fn=fleet_shard_point,
+        grid=grid,
+        base_seed=plan.seed,
+        version_tag=_FLEET_VERSION_TAG,
+    )
+    obs = get_observer()
+    # fleet digest: exactness was decided by the plan; shard exact values
+    # concatenate in completion order here and are re-assembled in device
+    # order below (quantiles sort, so the merge itself never cares)
+    wear = WearDigest(keep_exact=plan.exact)
+    exact_parts: dict[int, list[float]] = {}
+    obs_acc = SnapshotAccumulator() if collect_obs else None
+
+    def reduce_shard(point: PointResult) -> None:
+        digest = WearDigest.from_dict(point.value["wear"])
+        if digest.exact is not None:
+            exact_parts[point.index] = digest.exact
+        wear.merge_in(digest)
+        obs.count("fleet.shards_done")
+        obs.count("fleet.devices_done", digest.count)
+        if obs_acc is not None and point.obs is not None:
+            obs_acc.add(point.obs["metrics"])
+            point.obs = None  # folded; keep coordinator memory shard-bounded
+
+    result = run_sweep(
+        sweep,
+        jobs=jobs,
+        cache_dir=cache_dir,
+        retries=retries,
+        retry_backoff_s=retry_backoff_s,
+        timeout_s=timeout_s,
+        keep_going=keep_going,
+        collect_obs=collect_obs,
+        on_point=reduce_shard,
+        keep_values=False,
+    )
+    if plan.exact:
+        if len(exact_parts) == len(grid):
+            wear.exact = [
+                value for index in sorted(exact_parts) for value in exact_parts[index]
+            ]
+        else:
+            # incomplete fleets (keep_going with failed shards) cannot
+            # claim a device-ordered exact vector
+            wear.exact = None
+    obs_metrics = (
+        obs_acc.snapshot() if obs_acc is not None and obs_acc.count else None
+    )
+    return FleetResult(plan=plan, wear=wear, sweep=result, obs_metrics=obs_metrics)

@@ -17,6 +17,7 @@ from .metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    SnapshotAccumulator,
     default_histogram_bounds,
     empty_snapshot,
     merge_snapshots,
@@ -42,6 +43,7 @@ __all__ = [
     "NULL_OBSERVER",
     "NullObserver",
     "Observer",
+    "SnapshotAccumulator",
     "default_histogram_bounds",
     "empty_snapshot",
     "event_line",

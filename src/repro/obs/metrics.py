@@ -27,6 +27,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "SnapshotAccumulator",
     "default_histogram_bounds",
     "empty_snapshot",
     "merge_snapshots",
@@ -186,40 +187,86 @@ def merge_snapshots(*snapshots: dict) -> dict:
     """
     merged = empty_snapshot()
     for snapshot in snapshots:
-        for name, value in snapshot.get("counters", {}).items():
-            merged["counters"][name] = merged["counters"].get(name, 0) + value
-        for name, value in snapshot.get("gauges", {}).items():
-            seen = merged["gauges"].get(name)
-            merged["gauges"][name] = value if seen is None else max(seen, value)
-        for name, hist in snapshot.get("histograms", {}).items():
-            seen = merged["histograms"].get(name)
-            if seen is None:
-                merged["histograms"][name] = {
-                    "bounds": list(hist["bounds"]),
-                    "counts": list(hist["counts"]),
-                    "count": hist["count"],
-                    "total": hist["total"],
-                }
-                continue
-            if seen["bounds"] != list(hist["bounds"]):
-                raise ValueError(f"histogram '{name}' merged with mismatched bounds")
-            seen["counts"] = [a + b for a, b in zip(seen["counts"], hist["counts"])]
-            seen["count"] += hist["count"]
-            seen["total"] += hist["total"]
-        for name, span in snapshot.get("spans", {}).items():
-            seen = merged["spans"].get(name)
-            if seen is None:
-                merged["spans"][name] = {"calls": span["calls"], "wall_s": span["wall_s"]}
-            else:
-                seen["calls"] += span["calls"]
-                seen["wall_s"] += span["wall_s"]
+        _merge_into(merged, snapshot)
     # keep key order deterministic regardless of merge order
+    return _sorted_snapshot(merged)
+
+
+def _merge_into(merged: dict, snapshot: dict) -> None:
+    """Fold one snapshot into a mutable merge accumulator."""
+    for name, value in snapshot.get("counters", {}).items():
+        merged["counters"][name] = merged["counters"].get(name, 0) + value
+    for name, value in snapshot.get("gauges", {}).items():
+        seen = merged["gauges"].get(name)
+        merged["gauges"][name] = value if seen is None else max(seen, value)
+    for name, hist in snapshot.get("histograms", {}).items():
+        seen = merged["histograms"].get(name)
+        if seen is None:
+            merged["histograms"][name] = {
+                "bounds": list(hist["bounds"]),
+                "counts": list(hist["counts"]),
+                "count": hist["count"],
+                "total": hist["total"],
+            }
+            continue
+        if seen["bounds"] != list(hist["bounds"]):
+            raise ValueError(f"histogram '{name}' merged with mismatched bounds")
+        seen["counts"] = [a + b for a, b in zip(seen["counts"], hist["counts"])]
+        seen["count"] += hist["count"]
+        seen["total"] += hist["total"]
+    for name, span in snapshot.get("spans", {}).items():
+        seen = merged["spans"].get(name)
+        if seen is None:
+            merged["spans"][name] = {"calls": span["calls"], "wall_s": span["wall_s"]}
+        else:
+            seen["calls"] += span["calls"]
+            seen["wall_s"] += span["wall_s"]
+
+
+def _sorted_snapshot(merged: dict) -> dict:
+    """Deterministic key order plus fresh inner containers, so a caller
+    holding the result never aliases the accumulator's mutable state."""
     return {
         "counters": dict(sorted(merged["counters"].items())),
         "gauges": dict(sorted(merged["gauges"].items())),
-        "histograms": dict(sorted(merged["histograms"].items())),
-        "spans": dict(sorted(merged["spans"].items())),
+        "histograms": {
+            k: {**v, "bounds": list(v["bounds"]), "counts": list(v["counts"])}
+            for k, v in sorted(merged["histograms"].items())
+        },
+        "spans": {k: dict(v) for k, v in sorted(merged["spans"].items())},
     }
+
+
+class SnapshotAccumulator:
+    """Streaming, memory-bounded :func:`merge_snapshots`.
+
+    Fleet-scale rollups cannot afford to hold one snapshot per shard and
+    merge at the end; this accumulator folds each snapshot in as it
+    arrives (``add``) and holds only the running merge.  Because the
+    underlying merge is associative and commutative, feeding snapshots
+    in *any* order -- shard completion order included -- produces the
+    same result as a single :func:`merge_snapshots` call over the whole
+    set, which keeps parallel fleet rollups deterministic.
+    """
+
+    def __init__(self) -> None:
+        self._merged = empty_snapshot()
+        self._count = 0
+
+    def add(self, snapshot: dict) -> None:
+        """Fold one snapshot into the running merge."""
+        _merge_into(self._merged, snapshot)
+        self._count += 1
+
+    @property
+    def count(self) -> int:
+        """Snapshots folded in so far."""
+        return self._count
+
+    def snapshot(self) -> dict:
+        """Current merged snapshot (deterministic key order), or a fresh
+        empty snapshot when nothing has been added."""
+        return _sorted_snapshot(self._merged)
 
 
 def strip_timings(snapshot: dict) -> dict:

@@ -14,14 +14,19 @@ and pickles whose class layout has since changed (renamed module,
 removed attribute, incompatible ``__init__``) all deserialize into some
 exception -- every one of them answers "no cached value" rather than
 propagating.  Leftover ``*.tmp`` files from a writer that died before
-its rename are swept out on cache construction once they are old enough
-that no live writer can still own them.
+its rename are swept out by :meth:`ResultCache.remove_stale_tmp` once
+they are old enough that no live writer can still own them; the sweep
+runner calls it exactly once per run, from the coordinator.  Opening a
+cache does **not** scan the directory -- a worker-side open is O(1) no
+matter how many points are cached, which is what keeps million-shard
+fleets from rescanning the store once per shard.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import math
 import os
 import pickle
 import tempfile
@@ -55,8 +60,22 @@ def _jsonable(obj: Any) -> Any:
     Tuples become lists, dict keys must be strings, and anything that is
     not a plain scalar/collection is rejected -- a cache key must never
     depend on ``repr`` of an arbitrary object.
+
+    Floats must be canonical: ``json.dumps`` emits ``NaN``/``Infinity``
+    (not RFC JSON, and ``NaN != NaN`` would split keys for params that
+    compare unequal to themselves) and preserves the sign of ``-0.0``
+    (two params that compare equal would hash to different keys).  So
+    non-finite floats are rejected with a clear error and negative zero
+    canonicalizes to ``0.0``.
     """
-    if obj is None or isinstance(obj, (bool, int, float, str)):
+    if isinstance(obj, float):
+        if not math.isfinite(obj):
+            raise ValueError(
+                f"cache-key floats must be finite, got {obj!r} "
+                "(NaN/inf would split or collide cache keys)"
+            )
+        return 0.0 if obj == 0.0 else obj
+    if obj is None or isinstance(obj, (bool, int, str)):
         return obj
     if isinstance(obj, (list, tuple)):
         return [_jsonable(item) for item in obj]
@@ -72,7 +91,9 @@ def _jsonable(obj: Any) -> Any:
 
 def stable_key(obj: Any) -> str:
     """SHA-256 hex digest of the canonical JSON encoding of ``obj``."""
-    canonical = json.dumps(_jsonable(obj), sort_keys=True, separators=(",", ":"))
+    canonical = json.dumps(
+        _jsonable(obj), sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
@@ -85,15 +106,25 @@ class CacheEntry:
 
 
 class ResultCache:
-    """Pickle-per-key store under one directory."""
+    """Pickle-per-key store under one directory.
+
+    Construction is deliberately rescan-free: it creates the directory
+    and nothing else.  Stale-``*.tmp`` cleanup is a separate, explicit
+    operation (:meth:`remove_stale_tmp`) because globbing the store is
+    O(cached points) -- at million-point scale one sweep per *run* is
+    fine, one sweep per *open* is quadratic.  Pass ``scan_stale_tmp=True``
+    to opt a construction into the sweep (what the sweep coordinator
+    does, once per :func:`~repro.runner.sweep.run_sweep` call).
+    """
 
     #: age (seconds) past which an orphaned ``*.tmp`` file is fair game
     STALE_TMP_AGE_S = 3600.0
 
-    def __init__(self, root: str | Path) -> None:
+    def __init__(self, root: str | Path, *, scan_stale_tmp: bool = False) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
-        self.remove_stale_tmp()
+        if scan_stale_tmp:
+            self.remove_stale_tmp()
 
     def _path(self, key: str) -> Path:
         return self.root / f"{key}.pkl"

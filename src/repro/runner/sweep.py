@@ -24,7 +24,13 @@ concerns the ad-hoc benchmark loops used to interleave:
   of aborting the sweep;
 * **timing** -- every point records its compute wall time, and the
   sweep aggregates into a record that :mod:`repro.runner.metrics` can
-  emit as a ``BENCH_runner.json`` perf baseline.
+  emit as a ``BENCH_runner.json`` perf baseline;
+* **streaming reduction** -- an ``on_point`` hook observes every
+  completed point (cache hits included) in the coordinator as it
+  resolves, and ``keep_values=False`` drops point values once the hook
+  and the cache have seen them, so a reducing caller's memory is bounded
+  by one point, not the whole grid (the fleet-of-fleets layer in
+  :mod:`repro.fleet` is the canonical consumer).
 
 ``fn`` must be importable at module scope (workers unpickle it by
 reference) and ``params`` must be plain JSON-able data (the cache key
@@ -263,6 +269,26 @@ def _execute_point(
     return value, time.perf_counter() - start, payload
 
 
+def _finish_point(
+    point: PointResult,
+    on_point: Callable[[PointResult], None] | None,
+    keep_values: bool,
+) -> PointResult:
+    """Stream one resolved point through the reduction hook.
+
+    The hook runs in the coordinator process, in completion order for
+    computed points (cache hits are delivered first, in grid order).
+    With ``keep_values=False`` the value is released right after the
+    hook -- by then it is already persisted to the cache -- so a
+    reducing sweep holds at most one point's value at a time.
+    """
+    if on_point is not None:
+        on_point(point)
+    if not keep_values:
+        point.value = None
+    return point
+
+
 @dataclass(slots=True)
 class _PointState:
     """Coordinator-side bookkeeping for one pending point."""
@@ -303,6 +329,8 @@ class _Coordinator:
         timeout_s: float | None,
         keep_going: bool,
         collect_obs: bool = False,
+        on_point: Callable[[PointResult], None] | None = None,
+        keep_values: bool = True,
     ) -> None:
         self.sweep = sweep
         self.seeds = seeds
@@ -314,6 +342,8 @@ class _Coordinator:
         self.timeout_s = timeout_s
         self.keep_going = keep_going
         self.collect_obs = collect_obs
+        self.on_point = on_point
+        self.keep_values = keep_values
         self.results: dict[int, PointResult] = {}
         self.errors: dict[int, PointError] = {}
         self.pool_rebuilds = 0
@@ -406,10 +436,13 @@ class _Coordinator:
         # persist first: a crash after this line loses nothing
         if self.cache is not None:
             self.cache.store(self.keys[index], value, wall_s)
-        self.results[index] = PointResult(
-            index=index, params=self.sweep.grid[index], seed=self.seeds[index],
-            value=value, wall_s=wall_s, cached=False,
-            attempts=state.attempts + 1, obs=obs_payload,
+        self.results[index] = _finish_point(
+            PointResult(
+                index=index, params=self.sweep.grid[index],
+                seed=self.seeds[index], value=value, wall_s=wall_s,
+                cached=False, attempts=state.attempts + 1, obs=obs_payload,
+            ),
+            self.on_point, self.keep_values,
         )
 
     def _record_failure(
@@ -515,6 +548,8 @@ def _run_serial(
     results: dict[int, PointResult],
     errors: dict[int, PointError],
     collect_obs: bool = False,
+    on_point: Callable[[PointResult], None] | None = None,
+    keep_values: bool = True,
 ) -> None:
     """In-process execution (``jobs=1``): retries and ``keep_going``
     apply; per-point timeouts and crash survival need worker processes,
@@ -542,10 +577,13 @@ def _run_serial(
             else:
                 if cache is not None:
                     cache.store(keys[index], value, wall_s)
-                results[index] = PointResult(
-                    index=index, params=sweep.grid[index], seed=seeds[index],
-                    value=value, wall_s=wall_s, cached=False,
-                    attempts=attempts, obs=obs_payload,
+                results[index] = _finish_point(
+                    PointResult(
+                        index=index, params=sweep.grid[index], seed=seeds[index],
+                        value=value, wall_s=wall_s, cached=False,
+                        attempts=attempts, obs=obs_payload,
+                    ),
+                    on_point, keep_values,
                 )
                 break
 
@@ -559,6 +597,8 @@ def run_sweep(
     timeout_s: float | None = None,
     keep_going: bool = False,
     collect_obs: bool = False,
+    on_point: Callable[[PointResult], None] | None = None,
+    keep_values: bool = True,
 ) -> SweepResult:
     """Run every point of ``sweep`` and return results in grid order.
 
@@ -588,6 +628,18 @@ def run_sweep(
         (an observer is installed around ``fn`` in whichever process
         runs it) onto :attr:`PointResult.obs`.  Cache hits carry no
         payload -- only freshly computed points are observed.
+    on_point:
+        Streaming reduction hook, called in the coordinator process for
+        every resolved point: cache hits first (grid order), then
+        computed points as they complete (completion order -- pair it
+        with an associative, commutative reducer for deterministic
+        results).  An exception from the hook aborts the sweep.
+    keep_values:
+        When False, each point's ``value`` is dropped right after the
+        cache store and the ``on_point`` hook have seen it, bounding the
+        sweep's memory by one point instead of the whole grid.  The
+        returned :class:`SweepResult` then carries ``value=None`` points
+        (timings, params, and obs payloads are kept).
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
@@ -602,7 +654,13 @@ def run_sweep(
     # keys are computed even with caching off, so every grid is
     # validated as cache-keyable before any compute starts
     keys = [sweep.point_key(i, seeds[i]) for i in range(n)]
-    cache = ResultCache(cache_dir) if cache_dir is not None else None
+    # the coordinator sweeps orphaned *.tmp files exactly once per run;
+    # every other cache open (workers, reducers) is rescan-free
+    cache = (
+        ResultCache(cache_dir, scan_stale_tmp=True)
+        if cache_dir is not None
+        else None
+    )
 
     results: dict[int, PointResult] = {}
     errors: dict[int, PointError] = {}
@@ -610,9 +668,12 @@ def run_sweep(
     for i in range(n):
         entry = cache.load(keys[i]) if cache is not None else None
         if entry is not None:
-            results[i] = PointResult(
-                index=i, params=sweep.grid[i], seed=seeds[i],
-                value=entry.value, wall_s=entry.wall_s, cached=True,
+            results[i] = _finish_point(
+                PointResult(
+                    index=i, params=sweep.grid[i], seed=seeds[i],
+                    value=entry.value, wall_s=entry.wall_s, cached=True,
+                ),
+                on_point, keep_values,
             )
         else:
             pending.append(i)
@@ -624,12 +685,12 @@ def run_sweep(
         if jobs == 1 or not pending:
             _run_serial(sweep, seeds, keys, cache, pending, retries,
                         retry_backoff_s, keep_going, results, errors,
-                        collect_obs)
+                        collect_obs, on_point, keep_values)
         else:
             coordinator = _Coordinator(
                 sweep, seeds, keys, cache, min(jobs, len(pending)),
                 retries, retry_backoff_s, timeout_s, keep_going,
-                collect_obs,
+                collect_obs, on_point, keep_values,
             )
             coordinator.run(pending)
             results.update(coordinator.results)

@@ -156,12 +156,16 @@ class BatchPartition:
         self.n_devices = n_devices
         g = spec.n_groups
         per_group = spec.capacity_gb / g
+        # float state stays float64 (the scalar-equivalence contract is
+        # bit-level); the integer lanes are tightened -- refresh counts
+        # fit int32 and mode indexes fit int8 -- so a shard's per-lane
+        # footprint is dominated by the five float64 arrays
         self._capacity = np.full((n_devices, g), per_group, dtype=float)
         self._pec = np.zeros((n_devices, g), dtype=float)
         self._write_time = np.zeros((n_devices, g), dtype=float)
         self._live = np.zeros((n_devices, g), dtype=float)
         self._retired = np.zeros((n_devices, g), dtype=bool)
-        self._refreshes = np.zeros((n_devices, g), dtype=np.int64)
+        self._refreshes = np.zeros((n_devices, g), dtype=np.int32)
         ladder = [spec.mode]
         for bits in spec.resuscitation_bits:
             if bits >= spec.mode.operating_bits:
@@ -173,7 +177,7 @@ class BatchPartition:
         self._ladder_bits = np.array(
             [m.operating_bits for m in ladder], dtype=np.int64
         )
-        self._mode_idx = np.zeros((n_devices, g), dtype=np.int64)
+        self._mode_idx = np.zeros((n_devices, g), dtype=np.int8)
         #: False while every group still runs spec.mode (fast RBER path)
         self._heterogeneous = False
         self._cold_cursor = np.zeros(n_devices, dtype=np.int64)
@@ -212,15 +216,11 @@ class BatchPartition:
         self._write_time = np.stack([s["write_time"] for s in states])
         self._live = np.stack([s["live_gb"] for s in states])
         self._retired = np.stack([s["retired"] for s in states])
-        self._refreshes = np.stack([s["refreshes"] for s in states])
+        self._refreshes = np.stack(
+            [s["refreshes"] for s in states]
+        ).astype(np.int32)
         mode_bits = np.stack([s["mode_bits"] for s in states])
-        lut = np.full(int(self._ladder_bits.max()) + 1, -1, dtype=np.int64)
-        lut[self._ladder_bits] = np.arange(len(self._mode_ladder))
-        if mode_bits.max() >= lut.size or (lut[mode_bits] < 0).any():
-            raise ValueError(
-                "partition group mode outside the spec's resuscitation ladder"
-            )
-        self._mode_idx = lut[mode_bits]
+        self._mode_idx = self._mode_idx_from_bits(mode_bits)
         self._heterogeneous = bool((self._mode_idx != 0).any())
         self._cold_cursor = np.array(
             [p._cold_cursor for p in partitions], dtype=np.int64
@@ -235,6 +235,86 @@ class BatchPartition:
             [p.resuscitated_count for p in partitions], dtype=np.int64
         )
         return self
+
+    def _mode_idx_from_bits(self, mode_bits: np.ndarray) -> np.ndarray:
+        """Map per-group operating bits onto mode-ladder indexes."""
+        lut = np.full(int(self._ladder_bits.max()) + 1, -1, dtype=np.int8)
+        lut[self._ladder_bits] = np.arange(
+            len(self._mode_ladder), dtype=np.int8
+        )
+        if mode_bits.max() >= lut.size or (lut[mode_bits] < 0).any():
+            raise ValueError(
+                "partition group mode outside the spec's resuscitation ladder"
+            )
+        return lut[mode_bits]
+
+    # -- shard-local state export -------------------------------------------------
+
+    def export_state(self) -> dict[str, np.ndarray]:
+        """Whole-shard state as one dict of stacked arrays.
+
+        The vectorized analogue of per-device
+        :meth:`~repro.sim.lifetime.Partition.export_group_state`: every
+        array keeps its leading device axis, so a shard checkpoints (and
+        a fleet coordinator persists) N devices in one O(arrays) copy
+        instead of N python-level exports.  Round-trips exactly through
+        :meth:`import_state`.
+        """
+        return {
+            "capacity_gb": self._capacity.copy(),
+            "pec": self._pec.copy(),
+            "write_time": self._write_time.copy(),
+            "live_gb": self._live.copy(),
+            "retired": self._retired.copy(),
+            "refreshes": self._refreshes.copy(),
+            "mode_bits": self._ladder_bits[self._mode_idx],
+            "cold_cursor": self._cold_cursor.copy(),
+            "refresh_writes_gb": self.refresh_writes_gb.copy(),
+            "retired_count": self.retired_count.copy(),
+            "resuscitated_count": self.resuscitated_count.copy(),
+            "waf": self._waf.copy(),
+        }
+
+    def import_state(self, state: dict[str, np.ndarray]) -> None:
+        """Inverse of :meth:`export_state` (shapes must match the shard)."""
+        shape = (self.n_devices, self.spec.n_groups)
+        for name in ("capacity_gb", "pec", "write_time", "live_gb",
+                     "retired", "refreshes", "mode_bits"):
+            if np.shape(state[name]) != shape:
+                raise ValueError(
+                    f"state field {name!r} has shape {np.shape(state[name])}, "
+                    f"expected {shape}"
+                )
+        for name in ("cold_cursor", "refresh_writes_gb", "retired_count",
+                     "resuscitated_count", "waf"):
+            if np.shape(state[name]) != (self.n_devices,):
+                raise ValueError(
+                    f"state field {name!r} has shape {np.shape(state[name])}, "
+                    f"expected ({self.n_devices},)"
+                )
+        self._capacity = np.asarray(state["capacity_gb"], dtype=float).copy()
+        self._pec = np.asarray(state["pec"], dtype=float).copy()
+        self._write_time = np.asarray(state["write_time"], dtype=float).copy()
+        self._live = np.asarray(state["live_gb"], dtype=float).copy()
+        self._retired = np.asarray(state["retired"], dtype=bool).copy()
+        self._refreshes = np.asarray(state["refreshes"], dtype=np.int32).copy()
+        self._mode_idx = self._mode_idx_from_bits(
+            np.asarray(state["mode_bits"], dtype=np.int64)
+        )
+        self._heterogeneous = bool((self._mode_idx != 0).any())
+        self._cold_cursor = np.asarray(
+            state["cold_cursor"], dtype=np.int64
+        ).copy()
+        self.refresh_writes_gb = np.asarray(
+            state["refresh_writes_gb"], dtype=float
+        ).copy()
+        self.retired_count = np.asarray(
+            state["retired_count"], dtype=np.int64
+        ).copy()
+        self.resuscitated_count = np.asarray(
+            state["resuscitated_count"], dtype=np.int64
+        ).copy()
+        self._waf = np.asarray(state["waf"], dtype=float).copy()
 
     def scatter_to(self, partitions: Sequence[Partition]) -> None:
         """Write per-device slices back into scalar partitions."""
@@ -504,7 +584,7 @@ class BatchPartition:
             self._live = np.where(
                 ok, np.minimum(self._live, self._capacity), self._live
             )
-            self._mode_idx = np.where(ok, cand_idx, self._mode_idx)
+            self._mode_idx = np.where(ok, np.int8(cand_idx), self._mode_idx)
             self._write_time = np.where(ok, now, self._write_time)
             self.resuscitated_count += ok.sum(axis=1)
             self._heterogeneous = True
@@ -564,6 +644,25 @@ class BatchLifetimeDevice:
         for p in self.partitions.values():
             total = total + p.capacity_gb()
         return total
+
+    def export_state(self) -> dict:
+        """Whole-fleet-shard checkpoint: clock plus every partition's arrays."""
+        return {
+            "now_years": self.now_years,
+            "partitions": {
+                name: p.export_state() for name, p in self.partitions.items()
+            },
+        }
+
+    def import_state(self, state: dict) -> None:
+        """Inverse of :meth:`export_state`; partition names must match."""
+        if set(state["partitions"]) != set(self.partitions):
+            raise ValueError(
+                "state partitions do not match this batch's partitions"
+            )
+        for name, partition in self.partitions.items():
+            partition.import_state(state["partitions"][name])
+        self.now_years = float(state["now_years"])
 
     def step_day(
         self,

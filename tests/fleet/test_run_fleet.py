@@ -1,0 +1,185 @@
+"""run_fleet: sharding composes the batch engine with the sweep runner.
+
+The load-bearing claims, each pinned here on a small fast fleet:
+
+* shard/chunk geometry never changes any device's result (bit-identical
+  wear vectors across shardings, equal to one flat batch);
+* crash-resume rides the sweep cache per shard;
+* reduction is streaming (shard values dropped after folding);
+* serial and parallel fleets agree exactly, obs rollups included.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fleet import FleetPlan, fleet_shard_point, run_fleet
+from repro.obs import strip_timings
+
+N_DEVICES = 30
+DAYS = 90
+
+
+def _plan(**overrides) -> FleetPlan:
+    defaults = dict(
+        n_devices=N_DEVICES, days=DAYS, capacity_gb=64.0, seed=606,
+        shard_size=10, chunk=10,
+    )
+    defaults.update(overrides)
+    return FleetPlan(**defaults)
+
+
+@pytest.fixture(scope="module")
+def golden_wear():
+    """The whole population as ONE shard and ONE chunk: no boundaries."""
+    fleet = run_fleet(_plan(shard_size=N_DEVICES, chunk=N_DEVICES))
+    return np.asarray(fleet.wear_values())
+
+
+class TestShardInvariance:
+    @pytest.mark.parametrize(
+        ("shard_size", "chunk"),
+        [(10, 10), (7, 7), (17, 5), (N_DEVICES, 4), (1, 1)],
+        ids=["aligned", "ragged", "mixed", "one-shard", "device-per-shard"],
+    )
+    def test_bit_identical_across_geometries(self, golden_wear, shard_size, chunk):
+        fleet = run_fleet(_plan(shard_size=shard_size, chunk=chunk))
+        assert np.array_equal(np.asarray(fleet.wear_values()), golden_wear)
+
+    def test_histogram_lanes_invariant_too(self, golden_wear):
+        a = run_fleet(_plan(shard_size=7, chunk=3, exact_cap=0))
+        b = run_fleet(_plan(shard_size=13, chunk=13, exact_cap=0))
+        assert a.wear.counts == b.wear.counts
+        assert a.wear.count == b.wear.count == N_DEVICES
+        assert a.wear.min == b.wear.min and a.wear.max == b.wear.max
+        assert a.wear.min == golden_wear.min()
+
+    def test_quantiles_match_flat_population(self, golden_wear):
+        fleet = run_fleet(_plan())
+        for q in (0.5, 0.9, 0.99):
+            assert fleet.wear.quantile(q) == float(np.quantile(golden_wear, q))
+
+
+class TestCrashResume:
+    def test_second_run_is_all_cache_hits_and_identical(self, tmp_path, golden_wear):
+        plan = _plan(shard_size=7, chunk=7)
+        first = run_fleet(plan, cache_dir=tmp_path)
+        second = run_fleet(plan, cache_dir=tmp_path)
+        assert first.sweep.computed_count == plan.n_shards
+        assert second.sweep.cached_count == plan.n_shards
+        assert second.sweep.computed_count == 0
+        assert np.array_equal(np.asarray(second.wear_values()), golden_wear)
+
+    def test_partial_cache_resumes_missing_shards_only(self, tmp_path, golden_wear):
+        plan = _plan(shard_size=10, chunk=10)
+        # warm exactly one shard by running a single-shard slice of the
+        # same geometry through the same sweep name
+        from repro.runner import Sweep, run_sweep
+
+        grid = plan.shard_grid()
+        warm = Sweep(name="fleet", fn=fleet_shard_point, grid=grid,
+                     base_seed=plan.seed, version_tag="fleet-shard/v1")
+        # run the full sweep once to warm, then delete one entry
+        run_sweep(warm, cache_dir=tmp_path)
+        removed = 0
+        for entry in list(tmp_path.glob("*.pkl"))[:1]:
+            entry.unlink()
+            removed += 1
+        assert removed == 1
+        resumed = run_fleet(plan, cache_dir=tmp_path)
+        assert resumed.sweep.cached_count == plan.n_shards - 1
+        assert resumed.sweep.computed_count == 1
+        assert np.array_equal(np.asarray(resumed.wear_values()), golden_wear)
+
+
+class TestStreamingReduction:
+    def test_shard_values_are_dropped(self):
+        fleet = run_fleet(_plan())
+        assert all(p.value is None for p in fleet.sweep.points)
+
+    def test_devices_accounted(self):
+        fleet = run_fleet(_plan(shard_size=7))
+        assert fleet.devices == N_DEVICES
+        assert fleet.ok
+        assert fleet.summary()["shards"] == fleet.plan.n_shards == 5
+
+
+class TestParallelParity:
+    def test_serial_equals_parallel(self, golden_wear):
+        plan = _plan(shard_size=7, chunk=4)
+        serial = run_fleet(plan, jobs=1)
+        parallel = run_fleet(plan, jobs=2)
+        assert np.array_equal(
+            np.asarray(serial.wear_values()), np.asarray(parallel.wear_values())
+        )
+        assert serial.wear.counts == parallel.wear.counts
+        assert np.array_equal(np.asarray(serial.wear_values()), golden_wear)
+
+    def test_obs_rollup_deterministic(self):
+        plan = _plan(shard_size=10)
+        serial = run_fleet(plan, jobs=1, collect_obs=True)
+        parallel = run_fleet(plan, jobs=2, collect_obs=True)
+        assert serial.obs_metrics is not None
+        assert strip_timings(serial.obs_metrics) == strip_timings(parallel.obs_metrics)
+        # the engine really ran under the observer in every worker
+        assert serial.obs_metrics["counters"]["engine.days"] == N_DEVICES * DAYS
+
+
+class TestExactnessPolicy:
+    def test_large_fleet_reduces_to_histogram(self):
+        fleet = run_fleet(_plan(exact_cap=N_DEVICES - 1))
+        assert not fleet.wear.is_exact
+        assert fleet.wear_values() is None
+        assert fleet.wear.count == N_DEVICES
+
+    def test_exactness_decided_by_plan_not_completion(self):
+        assert _plan().exact
+        assert not _plan(exact_cap=0).exact
+
+
+class TestShardPoint:
+    def test_exact_shard_preserves_device_order(self, golden_wear):
+        params = _plan(shard_size=N_DEVICES, chunk=9).shard_grid()[0]
+        out = fleet_shard_point(params, 0)
+        from repro.fleet import WearDigest
+
+        digest = WearDigest.from_dict(out["wear"])
+        assert out["devices"] == N_DEVICES
+        assert np.array_equal(np.asarray(digest.exact), golden_wear)
+
+    def test_faults_ride_the_shard(self):
+        plan = _plan(
+            shard_size=N_DEVICES, chunk=N_DEVICES,
+            faults={"block_infant_mortality": 0.05, "transient_read_rate": 0.2,
+                    "power_loss_rate": 0.05, "cloud_outage_rate": 0.02},
+        )
+        faulted = run_fleet(plan)
+        clean = run_fleet(_plan(shard_size=N_DEVICES, chunk=N_DEVICES))
+        assert faulted.wear_values() != clean.wear_values()
+
+
+class TestPlanValidation:
+    def test_grid_covers_population_exactly(self):
+        grid = _plan(shard_size=7).shard_grid()
+        assert [p["start"] for p in grid] == [0, 7, 14, 21, 28]
+        assert sum(p["count"] for p in grid) == N_DEVICES
+        assert grid[-1]["count"] == 2
+
+    def test_mix_weights_order_preserved(self):
+        plan = _plan(mix_weights=[("b", 0.5), ("a", 0.5)])
+        assert plan.mix_weights == (("b", 0.5), ("a", 0.5))
+        assert plan.shard_grid()[0]["mix_weights"] == [["b", 0.5], ["a", 0.5]]
+
+    def test_rejects_bad_geometry(self):
+        for bad in (
+            dict(n_devices=0), dict(days=0), dict(shard_size=0),
+            dict(chunk=0), dict(capacity_gb=0.0), dict(exact_cap=-1),
+        ):
+            with pytest.raises(ValueError):
+                _plan(**bad)
+
+    def test_faults_canonicalized(self):
+        plan = _plan(faults={"b": 1.0, "a": 2.0})
+        assert plan.faults == (("a", 2.0), ("b", 1.0))
+        assert plan.shard_grid()[0]["faults"] == {"a": 2.0, "b": 1.0}

@@ -1,0 +1,136 @@
+"""Coordinator backoff under load: retries must not stall the sweep.
+
+A retrying point sits in exponential backoff between attempts.  The
+coordinator's scheduling loop must treat that waiting as *idle
+capacity*: other ready points keep getting submitted and their
+completions keep streaming while the flaky point waits out its delays.
+The regression these tests guard against is a coordinator that blocks
+on the backoff timer (sleeping the loop instead of requeueing), which
+would serialize the whole sweep behind its slowest retrier.
+
+Timings use generous bounds sized for a loaded single-core CI box; the
+directory's autouse wall-clock clamp turns a genuine stall into a fast
+failure rather than a hang.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.runner import Sweep, run_sweep
+from repro.runner.faultfns import flaky_point, sleepy_point
+
+
+def test_backoff_does_not_stall_other_completions(tmp_path):
+    """Healthy points all complete while the flaky point is still
+    backing off, and their completions stream through ``on_point``
+    well before the flaky point's final success."""
+    n_sleepy = 4
+    backoff_s = 0.8  # first retry delay; total flaky delay >= 0.8 + 1.6
+    grid = (
+        # index 0: fails twice, succeeds on the third attempt
+        {"index": 0, "fail_times": 2, "scratch": str(tmp_path)},
+    ) + tuple(
+        {"index": i, "fail_times": 0, "scratch": str(tmp_path)}
+        for i in range(1, 1 + n_sleepy)
+    )
+    completed: list[tuple[int, float]] = []
+    start = time.monotonic()
+
+    def on_point(point):
+        completed.append((point.index, time.monotonic() - start))
+
+    result = run_sweep(
+        Sweep(name="backoff-stream", fn=flaky_point, grid=grid, base_seed=3),
+        jobs=2,
+        retries=3,
+        retry_backoff_s=backoff_s,
+        keep_going=True,
+        on_point=on_point,
+    )
+
+    assert result.ok
+    by_index = dict(completed)
+    assert set(by_index) == {0, 1, 2, 3, 4}
+    flaky_done = by_index[0]
+    healthy_done = max(t for i, t in completed if i != 0)
+    # the flaky point waited out >= 0.8s + 1.6s of backoff; the healthy
+    # points are instant.  If the coordinator kept scheduling during the
+    # backoff, every healthy completion lands well before the flaky one.
+    assert flaky_done >= backoff_s  # sanity: backoff really happened
+    assert healthy_done < flaky_done, (
+        f"healthy points finished at {healthy_done:.2f}s, after the "
+        f"flaky point's {flaky_done:.2f}s -- the backoff stalled them"
+    )
+    # completion order: all healthy indices streamed before the retrier
+    assert [i for i, _ in completed][-1] == 0
+
+
+def test_backoff_wall_time_not_serialized(tmp_path):
+    """Two independent retriers back off concurrently, not in sequence.
+
+    Each point fails once then succeeds, with a 0.5s first-retry delay.
+    A coordinator that sleeps through backoffs one point at a time would
+    need >= 1.0s of pure delay; concurrent backoff needs ~0.5s.  The
+    bound of 3.0s total is generous for CI noise while still catching
+    full serialization of larger grids (4 x 0.5s = 2.0s of delay plus
+    attempt overhead would exceed it).
+    """
+    n_flaky = 4
+    backoff_s = 0.5
+    grid = tuple(
+        {"index": i, "fail_times": 1, "scratch": str(tmp_path)}
+        for i in range(n_flaky)
+    )
+    start = time.monotonic()
+    result = run_sweep(
+        Sweep(name="backoff-concurrent", fn=flaky_point, grid=grid, base_seed=5),
+        jobs=n_flaky,
+        retries=2,
+        retry_backoff_s=backoff_s,
+    )
+    elapsed = time.monotonic() - start
+    assert result.ok
+    assert all(p.attempts == 2 for p in result.points)
+    assert elapsed < 3.0, (
+        f"4 concurrent 0.5s backoffs took {elapsed:.2f}s -- "
+        "the coordinator is serializing retry delays"
+    )
+
+
+def test_sleepy_points_keep_streaming_past_a_retrier(tmp_path):
+    """Completion streaming continues during a backoff window: slow but
+    healthy points submitted *after* the flaky point's failure still
+    start, run, and stream while the retrier waits."""
+    sleep_s = 0.15
+    grid = (
+        {"index": 0, "fail_times": 2, "scratch": str(tmp_path)},
+    ) + tuple(
+        {"index": i, "sleep_s": sleep_s} for i in range(1, 7)
+    )
+
+    completed: list[int] = []
+    result = run_sweep(
+        Sweep(
+            name="backoff-sleepy",
+            fn=_flaky_or_sleepy,
+            grid=grid,
+            base_seed=11,
+        ),
+        jobs=2,
+        retries=3,
+        retry_backoff_s=0.6,
+        on_point=lambda p: completed.append(p.index),
+    )
+    assert result.ok
+    # every sleepy point (6 x 0.15s across 2 workers ~ 0.45s of work)
+    # resolved before the flaky point cleared its >= 0.6 + 1.2s backoff
+    assert completed[-1] == 0
+    assert set(completed[:-1]) == set(range(1, 7))
+
+
+def _flaky_or_sleepy(params: dict, seed: int) -> dict:
+    """Module-level composite so worker processes can unpickle it."""
+    if "sleep_s" in params:
+        return sleepy_point(params, seed)
+    return flaky_point(params, seed)

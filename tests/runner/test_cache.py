@@ -35,6 +35,27 @@ class TestStableKey:
         with pytest.raises(TypeError, match="must be str"):
             stable_key({1: "x"})
 
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    def test_rejects_non_finite_floats(self, bad):
+        # NaN != NaN would make a key that can never hit, and JSON's
+        # NaN/Infinity spellings aren't canonical across encoders
+        with pytest.raises(ValueError, match="finite"):
+            stable_key({"x": bad})
+
+    def test_rejects_non_finite_floats_nested(self):
+        with pytest.raises(ValueError, match="finite"):
+            stable_key({"grid": [{"waf": [1.0, float("nan")]}]})
+
+    def test_negative_zero_canonicalized(self):
+        # -0.0 == 0.0 in every comparison, so the keys must collide too
+        # (json would render them differently: "-0.0" vs "0.0")
+        assert stable_key({"x": -0.0}) == stable_key({"x": 0.0})
+        assert stable_key({"x": [-0.0, 1.0]}) == stable_key({"x": [0.0, 1.0]})
+
+    def test_ordinary_floats_still_distinct(self):
+        assert stable_key({"x": 0.1}) != stable_key({"x": 0.2})
+        assert stable_key({"x": -1.5}) != stable_key({"x": 1.5})
+
 
 class TestResultCache:
     def test_roundtrip(self, tmp_path):
@@ -98,16 +119,31 @@ class TestCrashConsistency:
         (tmp_path / f"{key}.pkl").write_bytes(raw)
         assert cache.load(key) is None
 
-    def test_stale_tmp_files_swept_on_construction(self, tmp_path):
+    def test_stale_tmp_files_swept_when_requested(self, tmp_path):
         stale = tmp_path / "deadbeef.tmp"
         stale.write_bytes(b"half a write")
         two_hours_ago = time.time() - 7200
         os.utime(stale, (two_hours_ago, two_hours_ago))
         fresh = tmp_path / "cafef00d.tmp"
         fresh.write_bytes(b"a write in progress")
-        ResultCache(tmp_path)
+        ResultCache(tmp_path, scan_stale_tmp=True)
         assert not stale.exists()  # orphan from a killed writer: gone
         assert fresh.exists()  # young enough to belong to a live writer
+
+    def test_default_open_is_rescan_free(self, tmp_path):
+        """Plain opens (workers, reducers) must not pay an O(entries)
+        directory scan -- the sweep coordinator sweeps orphans exactly
+        once per run instead."""
+        stale = tmp_path / "deadbeef.tmp"
+        stale.write_bytes(b"half a write")
+        two_hours_ago = time.time() - 7200
+        os.utime(stale, (two_hours_ago, two_hours_ago))
+        cache = ResultCache(tmp_path)
+        assert stale.exists()  # untouched: no scan happened
+        # the cache still works normally without the sweep
+        key = stable_key({"p": 1})
+        cache.store(key, "value", wall_s=0.1)
+        assert cache.load(key).value == "value"
 
     def test_tmp_cleanup_ignores_real_entries(self, tmp_path):
         cache = ResultCache(tmp_path)

@@ -14,6 +14,7 @@ import pytest
 
 from repro.runner.points import (
     DEFAULT_MIX_WEIGHTS,
+    assign_mixes,
     population_batch_grid,
     population_batch_point,
     population_point,
@@ -23,6 +24,56 @@ from repro.runner.points import (
 
 N_USERS = 12
 DAYS = 150
+
+
+def _sequential_mixes(seed: int, mix_weights: dict, n: int) -> list[str]:
+    """The original convention: one rng.choice draw per device, in order."""
+    rng = np.random.default_rng(seed)
+    names = list(mix_weights)
+    weights = np.array(list(mix_weights.values()))
+    weights = weights / weights.sum()
+    return [names[rng.choice(len(names), p=weights)] for _ in range(n)]
+
+
+class TestAssignMixes:
+    def test_matches_sequential_choice_loop_bit_identically(self):
+        for seed in (0, 606, 1414, 2**40 + 17):
+            expected = _sequential_mixes(seed, DEFAULT_MIX_WEIGHTS, 300)
+            assert assign_mixes(seed, DEFAULT_MIX_WEIGHTS, 0, 300) == expected
+
+    def test_slice_property(self):
+        """A shard's assignment is the global assignment's slice -- the
+        invariant that makes sharding chunk-size invariant."""
+        full = assign_mixes(606, DEFAULT_MIX_WEIGHTS, 0, 1000)
+        for start, count in ((0, 1), (437, 200), (999, 1), (250, 750)):
+            assert assign_mixes(606, DEFAULT_MIX_WEIGHTS, start, count) == \
+                full[start:start + count]
+
+    def test_accepts_ordered_pairs(self):
+        pairs = list(DEFAULT_MIX_WEIGHTS.items())
+        assert assign_mixes(7, pairs, 0, 50) == \
+            assign_mixes(7, DEFAULT_MIX_WEIGHTS, 0, 50)
+
+    def test_weight_order_matters(self):
+        """Reordered weights assign differently -- why sharded grids carry
+        weights as an ordered list of pairs, never a key-sorted mapping."""
+        pairs = list(DEFAULT_MIX_WEIGHTS.items())
+        reordered = list(reversed(pairs))
+        assert assign_mixes(606, pairs, 0, 200) != \
+            assign_mixes(606, reordered, 0, 200)
+
+    def test_empty_count(self):
+        assert assign_mixes(1, DEFAULT_MIX_WEIGHTS, 5, 0) == []
+
+    def test_validates_inputs(self):
+        with pytest.raises(ValueError):
+            assign_mixes(1, {}, 0, 5)
+        with pytest.raises(ValueError):
+            assign_mixes(1, {"a": -1.0, "b": 2.0}, 0, 5)
+        with pytest.raises(ValueError):
+            assign_mixes(1, {"a": 0.0}, 0, 5)
+        with pytest.raises(ValueError):
+            assign_mixes(1, DEFAULT_MIX_WEIGHTS, -1, 5)
 
 
 def _flatten(grid):
@@ -55,7 +106,7 @@ def test_population_batch_matches_scalar_percentiles():
 
 def test_population_batch_grid_chunk_invariant():
     wear = {}
-    for chunk in (1, 4, N_USERS):
+    for chunk in (1, 4, 7, N_USERS):  # 7: a ragged final chunk
         grid = population_batch_grid(
             N_USERS, DAYS, 64.0, seed=606,
             mix_weights=DEFAULT_MIX_WEIGHTS, chunk=chunk,
@@ -65,7 +116,8 @@ def test_population_batch_grid_chunk_invariant():
             [np.asarray(population_batch_point(g, 0)) for g in grid]
         )
     assert np.array_equal(wear[1], wear[4])
-    assert np.array_equal(wear[4], wear[N_USERS])
+    assert np.array_equal(wear[4], wear[7])
+    assert np.array_equal(wear[7], wear[N_USERS])
 
 
 def test_population_batch_grid_validates_chunk():

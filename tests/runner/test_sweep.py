@@ -142,3 +142,88 @@ class TestValidation:
     def test_bad_jobs_rejected(self):
         with pytest.raises(ValueError, match="jobs"):
             run_sweep(_lifetime_sweep(), jobs=0)
+
+
+class TestStreamingReduction:
+    """on_point / keep_values: the hooks the fleet reducer stands on."""
+
+    def _grid(self, tmp_path, n=5):
+        return tuple({"index": i, "sleep_s": 0.0} for i in range(n))
+
+    def test_hook_sees_every_point(self, tmp_path):
+        from repro.runner.faultfns import sleepy_point
+
+        seen = []
+        outcome = run_sweep(
+            Sweep(name="hooked", fn=sleepy_point,
+                  grid=self._grid(tmp_path), base_seed=1),
+            on_point=lambda p: seen.append((p.index, p.value["index"])),
+        )
+        assert outcome.ok
+        assert sorted(seen) == [(i, i) for i in range(5)]
+
+    def test_hook_sees_every_point_parallel(self, tmp_path):
+        from repro.runner.faultfns import sleepy_point
+
+        seen = []
+        outcome = run_sweep(
+            Sweep(name="hooked-par", fn=sleepy_point,
+                  grid=self._grid(tmp_path), base_seed=1),
+            jobs=2,
+            on_point=lambda p: seen.append(p.index),
+        )
+        assert outcome.ok
+        assert sorted(seen) == list(range(5))
+
+    def test_keep_values_false_drops_values_after_hook(self, tmp_path):
+        from repro.runner.faultfns import sleepy_point
+
+        values = []
+        outcome = run_sweep(
+            Sweep(name="dropped", fn=sleepy_point,
+                  grid=self._grid(tmp_path), base_seed=1),
+            on_point=lambda p: values.append(p.value),
+            keep_values=False,
+        )
+        # the hook saw real values; the returned result carries none
+        assert all(v is not None for v in values) and len(values) == 5
+        assert all(p.value is None for p in outcome.points)
+        # timings and params survive the drop
+        assert all(p.wall_s >= 0.0 and p.params for p in outcome.points)
+
+    def test_cache_hits_stream_first_in_grid_order(self, tmp_path):
+        from repro.runner.faultfns import sleepy_point
+
+        sweep = Sweep(name="hits-first", fn=sleepy_point,
+                      grid=self._grid(tmp_path), base_seed=1)
+        run_sweep(sweep, cache_dir=tmp_path)
+        seen = []
+        outcome = run_sweep(sweep, cache_dir=tmp_path,
+                            on_point=lambda p: seen.append((p.index, p.cached)))
+        assert outcome.cached_count == 5
+        assert seen == [(i, True) for i in range(5)]
+
+    def test_hook_exception_aborts(self, tmp_path):
+        from repro.runner.faultfns import sleepy_point
+
+        def hook(point):
+            raise RuntimeError("reducer broke")
+
+        with pytest.raises(RuntimeError, match="reducer broke"):
+            run_sweep(
+                Sweep(name="aborting", fn=sleepy_point,
+                      grid=self._grid(tmp_path), base_seed=1),
+                on_point=hook,
+            )
+
+    def test_values_still_cached_when_dropped(self, tmp_path):
+        from repro.runner.faultfns import sleepy_point
+
+        sweep = Sweep(name="cache-kept", fn=sleepy_point,
+                      grid=self._grid(tmp_path), base_seed=1)
+        run_sweep(sweep, cache_dir=tmp_path, keep_values=False)
+        # a second run with values kept is served from cache, proving the
+        # drop happened after persistence
+        again = run_sweep(sweep, cache_dir=tmp_path)
+        assert again.cached_count == 5
+        assert [p.value["index"] for p in again.points] == list(range(5))
