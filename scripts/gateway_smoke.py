@@ -1,0 +1,138 @@
+"""End-to-end smoke for the ``repro serve`` gateway, CI-shaped.
+
+Drives the real CLI as subprocesses -- nothing is mocked, nothing is
+imported around the argument parser -- through the full service story:
+
+1. start a gateway on an ephemeral port (``--port 0`` + ``--port-file``
+   handshake);
+2. ``repro submit population --wait`` a small fleet and require exit 0
+   with a complete summary;
+3. ``repro jobs`` / ``repro jobs --health`` render and report healthy;
+4. resubmit the identical spec and require the dedup fast path (the
+   job id is reused, exit 0, no recompute);
+5. SIGTERM the gateway and require a clean drain (exit 0).
+
+Any deviation exits nonzero with the gateway's captured output, so a
+CI step can gate on it directly.
+
+Usage::
+
+    PYTHONPATH=src python scripts/gateway_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+
+
+def _env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    return env
+
+
+def _cli(*args: str, timeout: float = 120.0) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli", *args],
+        env=_env(), capture_output=True, text=True, timeout=timeout,
+    )
+
+
+def _fail(step: str, detail: str, gateway_output: str = "") -> None:
+    print(f"FAIL [{step}] {detail}")
+    if gateway_output:
+        print("--- gateway output ---")
+        print(gateway_output)
+    raise SystemExit(1)
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="gateway-smoke-") as tmp:
+        tmp_path = Path(tmp)
+        port_file = tmp_path / "port"
+        gateway = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "serve",
+                "--state-dir", str(tmp_path / "state"),
+                "--port", "0",
+                "--port-file", str(port_file),
+                "--max-running", "1",
+                "--job-workers", "2",
+            ],
+            env=_env(), stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT, text=True,
+        )
+        try:
+            deadline = time.monotonic() + 30.0
+            while not port_file.exists():
+                if gateway.poll() is not None:
+                    _fail("start", "gateway exited during startup",
+                          gateway.stdout.read())
+                if time.monotonic() > deadline:
+                    _fail("start", "port file never appeared")
+                time.sleep(0.05)
+            port = port_file.read_text().strip()
+            target = f"127.0.0.1:{port}"
+            print(f"PASS [start] gateway up on {target}")
+
+            submit = _cli(
+                "submit", "population", "--gateway", target,
+                "--devices", "40", "--years", "0.1", "--wait",
+            )
+            if submit.returncode != 0:
+                _fail("submit", f"exit {submit.returncode}:\n{submit.stdout}")
+            view = json.loads(submit.stdout.partition("\n")[2])
+            if not view["result"]["complete"]:
+                _fail("submit", f"summary not complete:\n{submit.stdout}")
+            job_id = view["job_id"]
+            print(f"PASS [submit] job {job_id} done, "
+                  f"{view['result']['devices']} devices")
+
+            jobs = _cli("jobs", "--gateway", target)
+            if jobs.returncode != 0 or job_id not in jobs.stdout:
+                _fail("jobs", f"exit {jobs.returncode}:\n{jobs.stdout}")
+            health = _cli("jobs", "--gateway", target, "--health")
+            report = json.loads(health.stdout)
+            if health.returncode != 0 or report["healthy"] is not True:
+                _fail("health", f"exit {health.returncode}:\n{health.stdout}")
+            print(f"PASS [status] {report['counters']['serve.jobs_done']} "
+                  "job(s) done, gateway healthy")
+
+            again = _cli(
+                "submit", "population", "--gateway", target,
+                "--devices", "40", "--years", "0.1", "--wait",
+            )
+            if again.returncode != 0 or "deduplicated" not in again.stdout:
+                _fail("dedup", f"exit {again.returncode}:\n{again.stdout}")
+            if json.loads(again.stdout.partition("\n")[2])["job_id"] != job_id:
+                _fail("dedup", "identical spec produced a second job")
+            print("PASS [dedup] identical spec re-attached to the same job")
+
+            gateway.send_signal(signal.SIGTERM)
+            try:
+                code = gateway.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                _fail("drain", "gateway did not drain within 30s")
+            output = gateway.stdout.read()
+            if code != 0 or "draining" not in output:
+                _fail("drain", f"exit {code}", output)
+            print("PASS [drain] SIGTERM drained cleanly (exit 0)")
+        finally:
+            if gateway.poll() is None:
+                gateway.kill()
+                gateway.wait(timeout=10)
+    print("gateway smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

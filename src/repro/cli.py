@@ -25,6 +25,14 @@ Commands
 ``classify``
     Train the classifiers on a fresh synthetic corpus and report their
     operating points (E9).
+``serve``
+    Run the simulation-as-a-service gateway: admission control, quotas,
+    backpressure, health-monitored job execution (see ``repro.serve``).
+``submit``
+    Submit a population/sweep job to a running gateway; optionally wait
+    for its terminal state.
+``jobs``
+    List, inspect, cancel gateway jobs, or poll gateway health.
 ``faults selftest``
     Deterministic fault-plan replay and crash-containment smoke test.
 ``obs report``
@@ -115,6 +123,18 @@ def _cmd_credits(args: argparse.Namespace) -> None:
         rows, title=f"Carbon credits at ${args.price:.0f}/tonne"))
     headline = price_increase_fraction(price, args.ssd_price)
     print(f"\nbaseline-intensity surcharge: {headline * 100:.1f}% of the drive price")
+
+
+def _run_exit_code(completed: int, failed: int) -> int:
+    """Exit code of a ``--keep-going`` run: 0 ok, 1 partial, 2 all failed.
+
+    Scripts and CI gate on this: a run that silently dropped points must
+    not exit 0, and a run that produced *nothing* is distinguishable
+    from one that merely degraded.
+    """
+    if failed == 0:
+        return 0
+    return 1 if completed > 0 else 2
 
 
 def _cmd_lifetime(args: argparse.Namespace) -> int:
@@ -213,8 +233,7 @@ def _cmd_lifetime(args: argparse.Namespace) -> int:
         for err in outcome.errors:
             print(f"  [{err.kind}] {err.params.get('build', err.index)}: "
                   f"{err.message} ({err.attempts} attempt(s))")
-        return 1
-    return 0
+    return _run_exit_code(len(outcome.points), len(outcome.errors))
 
 
 def _cmd_population(args: argparse.Namespace) -> int:
@@ -317,11 +336,15 @@ def _cmd_population(args: argparse.Namespace) -> int:
         write_bench_json(args.bench_json, results, notes="repro.cli population")
         print(f"\nwrote per-point timings to {args.bench_json}")
     if fleet.sweep.errors:
-        print(f"\n{len(fleet.sweep.errors)} shard(s) failed:")
+        print(f"\n{len(fleet.sweep.errors)} shard(s) failed "
+              f"({stats['missing_devices']} of {stats['requested_devices']} "
+              "device(s) missing from the distribution):")
         for err in fleet.sweep.errors:
             print(f"  [{err.kind}] shard @{err.params.get('start', err.index)}: "
                   f"{err.message} ({err.attempts} attempt(s))")
-        return 1
+        return _run_exit_code(
+            len(fleet.sweep.points), len(fleet.sweep.errors)
+        )
     # fully-alive TLC fleets are bit-identical; resuscitating builds may
     # differ by float-reduction order, bounded well under 1e-9
     if args.compare_scalar and worst > 1e-9:
@@ -446,6 +469,177 @@ def _cmd_obs_report(args: argparse.Namespace) -> int:
     snapshot, events = load_run_artifacts(args.run)
     print(format_obs_report(snapshot, events, top=args.top))
     return 0 if snapshot is not None or events is not None else 1
+
+
+def _parse_gateway(value: str) -> tuple[str, int]:
+    host, _, port = value.rpartition(":")
+    if not host or not port.isdigit():
+        raise argparse.ArgumentTypeError(
+            f"--gateway must be host:port, got {value!r}"
+        )
+    return host, int(port)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """``repro serve``: run the gateway until SIGINT/SIGTERM, then drain."""
+    import asyncio
+    import signal as _signal
+    from pathlib import Path
+
+    from repro.serve import (
+        ClientQuota,
+        Gateway,
+        GatewayConfig,
+        HealthThresholds,
+    )
+
+    config = GatewayConfig(
+        state_dir=args.state_dir,
+        host=args.host,
+        port=args.port,
+        max_running=args.max_running,
+        max_queue=args.max_queue,
+        job_workers=args.job_workers,
+        retries=args.retries,
+        timeout_s=args.timeout,
+        rate_per_s=args.rate,
+        burst=args.burst,
+        quota=ClientQuota(
+            max_concurrent=args.max_concurrent,
+            max_units_per_window=args.max_units_per_window,
+            window_s=args.window,
+        ),
+        thresholds=HealthThresholds(
+            max_error_rate=args.max_error_rate,
+        ),
+    )
+
+    async def _serve() -> int:
+        gateway = Gateway(config)
+        host, port = await gateway.start()
+        if args.port_file:
+            # written atomically so a watcher never reads a half-written
+            # port; the smoke script and restart tests key off this file
+            tmp = Path(args.port_file).with_suffix(".tmp")
+            tmp.write_text(f"{port}\n")
+            tmp.replace(args.port_file)
+        print(f"gateway listening on {host}:{port} "
+              f"(state: {args.state_dir}, "
+              f"{len(gateway.recovered)} job(s) recovered)", flush=True)
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (_signal.SIGINT, _signal.SIGTERM):
+            loop.add_signal_handler(signum, stop.set)
+        server_task = asyncio.create_task(gateway.serve_forever())
+        await stop.wait()
+        print("draining: no new connections, finishing in-flight jobs",
+              flush=True)
+        server_task.cancel()
+        await gateway.stop()
+        return 0
+
+    return asyncio.run(_serve())
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    """``repro submit``: one job to a running gateway; optional wait.
+
+    Exit codes (script-friendly, same ladder as ``lifetime``): 0 job
+    accepted (or, with ``--wait``, done and complete), 1 done but
+    partial, 2 failed/cancelled, 3 rejected by admission control.
+    """
+    import asyncio
+    import json as _json
+
+    from repro.serve import GatewayClient, GatewayError
+
+    host, port = args.gateway
+    if args.kind == "population":
+        params = {
+            "devices": args.devices,
+            "days": int(args.years * 365),
+            "capacity_gb": args.capacity_gb,
+            "seed": args.seed,
+            "build": args.build,
+            "chunk": args.chunk,
+        }
+        if args.shard_size:
+            params["shard_size"] = args.shard_size
+    else:
+        with open(args.grid_json, encoding="utf-8") as handle:
+            grid = _json.load(handle)
+        params = {"fn": args.fn, "grid": grid, "base_seed": args.seed}
+
+    async def _submit() -> int:
+        client = GatewayClient(host, port, timeout_s=args.poll_timeout)
+        status, body, headers = await client.submit(
+            args.client, args.kind, params
+        )
+        if status not in (200, 202):
+            retry = headers.get("retry-after", "?")
+            print(f"rejected ({status}): {body.get('error', body)} "
+                  f"[retry-after: {retry}s]")
+            return 3
+        job_id = body["job_id"]
+        dedup = " (deduplicated)" if body.get("deduplicated") else ""
+        print(f"job {job_id} {body['state']}{dedup}")
+        if not args.wait:
+            return 0
+        view = await client.wait(job_id, timeout_s=args.wait_timeout)
+        print(_json.dumps(view, indent=2, sort_keys=True))
+        if view["state"] == "done":
+            result = view.get("result") or {}
+            return 0 if result.get("complete", True) else 1
+        return 2
+
+    try:
+        return asyncio.run(_submit())
+    except GatewayError as exc:
+        print(f"error: {exc}")
+        return 3
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    """``repro jobs``: list/inspect/cancel jobs or poll gateway health."""
+    import asyncio
+    import json as _json
+
+    from repro.serve import GatewayClient, GatewayError
+
+    host, port = args.gateway
+
+    async def _jobs() -> int:
+        client = GatewayClient(host, port)
+        if args.health:
+            status, body, _ = await client.health()
+            print(_json.dumps(body, indent=2, sort_keys=True))
+            return 0 if status == 200 else 1
+        if args.cancel:
+            status, body, _ = await client.cancel(args.cancel)
+            print(_json.dumps(body, indent=2, sort_keys=True))
+            return 0 if status == 202 else 1
+        if args.id:
+            status, body, _ = await client.job(args.id)
+            print(_json.dumps(body, indent=2, sort_keys=True))
+            return 0 if status == 200 else 1
+        _, body, _ = await client.jobs()
+        rows = [
+            [j["job_id"], j["client"], j["kind"], j["state"],
+             f"{j['progress'].get('shards_done', 0)}"
+             f"/{j['progress'].get('shards_total', '?')}"
+             if j["progress"] else "-"]
+            for j in body["jobs"]
+        ]
+        print(format_table(
+            ["job", "client", "kind", "state", "progress"], rows,
+            title=f"{len(rows)} job(s) at {host}:{port}"))
+        return 0
+
+    try:
+        return asyncio.run(_jobs())
+    except GatewayError as exc:
+        print(f"error: {exc}")
+        return 3
 
 
 def _cmd_experiments(args: argparse.Namespace) -> None:
@@ -592,6 +786,82 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--top", type=int, default=10,
                    help="counters to show (largest first)")
     p.set_defaults(func=_cmd_obs_report)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the simulation-as-a-service gateway (repro.serve)",
+    )
+    p.add_argument("--state-dir", required=True,
+                   help="journal + result-cache directory; a restarted "
+                        "gateway resumes interrupted jobs from here")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=9178,
+                   help="listen port (0 = ephemeral; see --port-file)")
+    p.add_argument("--port-file", default=None, metavar="PATH",
+                   help="write the bound port here once listening "
+                        "(for scripts that start the gateway on port 0)")
+    p.add_argument("--max-running", type=int, default=2,
+                   help="jobs executing concurrently")
+    p.add_argument("--max-queue", type=int, default=16,
+                   help="admitted jobs the queue holds before answering "
+                        "429 backpressure")
+    p.add_argument("--job-workers", type=int, default=2,
+                   help="worker processes per job's sweep")
+    p.add_argument("--retries", type=int, default=2,
+                   help="per-point retry budget inside each job")
+    p.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                   help="per-point timeout inside each job")
+    p.add_argument("--rate", type=float, default=10.0,
+                   help="sustained submissions/second per client")
+    p.add_argument("--burst", type=float, default=20.0,
+                   help="submission burst a quiet client may save up")
+    p.add_argument("--max-concurrent", type=int, default=4,
+                   help="queued-or-running jobs per client")
+    p.add_argument("--max-units-per-window", type=int, default=1_000_000,
+                   help="devices/points a client may admit per window")
+    p.add_argument("--window", type=float, default=60.0,
+                   help="sliding quota window (seconds)")
+    p.add_argument("--max-error-rate", type=float, default=0.5,
+                   help="rolling job failure rate beyond which the "
+                        "gateway stops admitting (sheds) new work")
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser("submit", help="submit a job to a running gateway")
+    p.add_argument("kind", choices=("population", "sweep"))
+    p.add_argument("--gateway", type=_parse_gateway, default=("127.0.0.1", 9178),
+                   help="gateway address as host:port")
+    p.add_argument("--client", default="cli",
+                   help="client id the gateway meters quotas against")
+    p.add_argument("--devices", type=int, default=200,
+                   help="population size (population jobs)")
+    p.add_argument("--years", type=float, default=2.5)
+    p.add_argument("--capacity-gb", type=float, default=64.0)
+    p.add_argument("--build", default="tlc_baseline",
+                   choices=("tlc_baseline", "qlc_baseline", "plc_naive", "sos"))
+    p.add_argument("--seed", type=int, default=606)
+    p.add_argument("--shard-size", type=int, default=0)
+    p.add_argument("--chunk", type=int, default=50)
+    p.add_argument("--fn", default="lifetime",
+                   help="registered point function (sweep jobs)")
+    p.add_argument("--grid-json", default=None, metavar="PATH",
+                   help="JSON list of per-point params (sweep jobs)")
+    p.add_argument("--wait", action="store_true",
+                   help="poll the job to a terminal state and exit "
+                        "0 complete / 1 partial / 2 failed")
+    p.add_argument("--wait-timeout", type=float, default=600.0)
+    p.add_argument("--poll-timeout", type=float, default=30.0,
+                   help="per-request transport timeout")
+    p.set_defaults(func=_cmd_submit)
+
+    p = sub.add_parser("jobs", help="inspect a running gateway's jobs")
+    p.add_argument("--gateway", type=_parse_gateway, default=("127.0.0.1", 9178),
+                   help="gateway address as host:port")
+    p.add_argument("--id", default=None, help="show one job in full")
+    p.add_argument("--cancel", default=None, metavar="JOB_ID",
+                   help="cancel a queued or running job")
+    p.add_argument("--health", action="store_true",
+                   help="print the /healthz report (exit 1 when shedding)")
+    p.set_defaults(func=_cmd_jobs)
 
     p = sub.add_parser("experiments", help="list all reproducible experiments")
     p.set_defaults(func=_cmd_experiments)

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
+from typing import Callable
 
 from repro.obs import SnapshotAccumulator, get_observer
 from repro.runner.sweep import PointResult, Sweep, SweepResult, run_sweep
@@ -57,31 +58,53 @@ class FleetResult:
 
     @property
     def devices(self) -> int:
-        """Devices actually simulated (== plan.n_devices when ok)."""
+        """Devices actually simulated (< plan.n_devices when shards failed)."""
         return self.wear.count
 
     @property
     def ok(self) -> bool:
         return self.sweep.ok
 
+    @property
+    def missing_devices(self) -> int:
+        """Devices the plan asked for that no completed shard delivered."""
+        return self.plan.n_devices - self.wear.count
+
     def wear_values(self) -> list[float] | None:
-        """Per-device wear in global device order, exact fleets only."""
+        """Per-device wear in global device order, exact fleets only.
+
+        None for histogram-mode fleets *and* for incomplete runs
+        (``keep_going`` with failed shards): a partial vector cannot
+        claim global device order, so it is never offered.
+        """
         return None if self.wear.exact is None else list(self.wear.exact)
 
     def summary(self) -> dict:
-        """Plain-data headline statistics for reports and benches."""
+        """Plain-data headline statistics for reports and benches.
+
+        Partial fleets (``keep_going`` runs with failed shards) are
+        flagged loudly rather than silently under-counted:
+        ``complete`` goes False, ``failed_shards``/``missing_devices``
+        say how much is absent, and the quantile fields describe only
+        the ``devices`` that actually completed.
+        """
+        empty = self.wear.count == 0
         return {
             "devices": self.devices,
+            "requested_devices": self.plan.n_devices,
+            "missing_devices": self.missing_devices,
             "shards": len(self.plan.shard_grid()),
+            "failed_shards": self.sweep.failed_count,
+            "complete": self.ok and self.missing_devices == 0,
             "shard_size": self.plan.shard_size,
             "chunk": self.plan.chunk,
             "exact": self.wear.is_exact,
-            "median": self.wear.quantile(0.5),
-            "p90": self.wear.quantile(0.90),
-            "p99": self.wear.quantile(0.99),
-            "max": self.wear.max,
-            "mean": self.wear.mean(),
-            "worn_out_fraction": self.wear.worn_out_fraction(),
+            "median": None if empty else self.wear.quantile(0.5),
+            "p90": None if empty else self.wear.quantile(0.90),
+            "p99": None if empty else self.wear.quantile(0.99),
+            "max": None if empty else self.wear.max,
+            "mean": None if empty else self.wear.mean(),
+            "worn_out_fraction": None if empty else self.wear.worn_out_fraction(),
             "wall_s": self.sweep.total_wall_s,
         }
 
@@ -96,6 +119,8 @@ def run_fleet(
     keep_going: bool = False,
     collect_obs: bool = False,
     name: str = "fleet",
+    should_stop: Callable[[], bool] | None = None,
+    on_shard: Callable[[int, int, int], None] | None = None,
 ) -> FleetResult:
     """Run a fleet plan: shard, fan out, reduce streamingly.
 
@@ -104,6 +129,14 @@ def run_fleet(
     callers' fleets never share entries.  Exact-mode fleets
     (``plan.exact``) additionally reassemble the per-device wear vector
     in global device order once every shard has completed.
+
+    ``should_stop`` is the job-level cancellation hook: polled by the
+    sweep coordinator, and returning True kills every in-flight shard's
+    worker and raises :class:`~repro.runner.sweep.SweepCancelled`
+    (completed shards stay cached, so a re-run resumes).  ``on_shard``
+    is the job-level progress feed, called in the coordinator after
+    each shard reduces as ``on_shard(shards_done, total_shards,
+    devices_done)`` -- a gateway streams these into its metrics.
     """
     grid = plan.shard_grid()
     sweep = Sweep(
@@ -121,16 +154,22 @@ def run_fleet(
     exact_parts: dict[int, list[float]] = {}
     obs_acc = SnapshotAccumulator() if collect_obs else None
 
+    shards_done = 0
+
     def reduce_shard(point: PointResult) -> None:
+        nonlocal shards_done
         digest = WearDigest.from_dict(point.value["wear"])
         if digest.exact is not None:
             exact_parts[point.index] = digest.exact
         wear.merge_in(digest)
+        shards_done += 1
         obs.count("fleet.shards_done")
         obs.count("fleet.devices_done", digest.count)
         if obs_acc is not None and point.obs is not None:
             obs_acc.add(point.obs["metrics"])
             point.obs = None  # folded; keep coordinator memory shard-bounded
+        if on_shard is not None:
+            on_shard(shards_done, len(grid), wear.count)
 
     result = run_sweep(
         sweep,
@@ -143,6 +182,7 @@ def run_fleet(
         collect_obs=collect_obs,
         on_point=reduce_shard,
         keep_values=False,
+        should_stop=should_stop,
     )
     if plan.exact:
         if len(exact_parts) == len(grid):

@@ -17,10 +17,12 @@ from .sweep import (
     PointError,
     PointResult,
     Sweep,
+    SweepCancelled,
     SweepCrashError,
     SweepResult,
     SweepTimeoutError,
     derive_seeds,
+    full_jitter_backoff,
     run_sweep,
 )
 
@@ -34,9 +36,11 @@ __all__ = [
     "PointError",
     "PointResult",
     "Sweep",
+    "SweepCancelled",
     "SweepCrashError",
     "SweepResult",
     "SweepTimeoutError",
     "derive_seeds",
+    "full_jitter_backoff",
     "run_sweep",
 ]

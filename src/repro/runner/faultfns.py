@@ -23,9 +23,21 @@ def crash_point(params: dict, seed: int) -> dict:
     vanishes mid-task exactly like a segfault or an OOM kill, which is
     what makes the executor raise ``BrokenProcessPool``.  Non-crashing
     points return a small verifiable payload.
+
+    ``params["crash_times"]`` (with a ``scratch`` directory, like
+    :func:`flaky_point`) crashes the first N attempts and then
+    succeeds -- the recoverable-crash shape the gateway's retry budget
+    is meant to absorb.
     """
     if params.get("crash"):
         os._exit(13)
+    if params.get("crash_times"):
+        scratch = Path(params["scratch"])
+        name = f"crashes-{params['index']}"
+        attempts = len(list(scratch.glob(f"{name}-*")))
+        (scratch / f"{name}-{attempts}").touch()
+        if attempts < params["crash_times"]:
+            os._exit(13)
     return {"index": params["index"], "seed": seed}
 
 

@@ -41,6 +41,7 @@ construction).
 from __future__ import annotations
 
 import math
+import signal
 import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
@@ -62,8 +63,10 @@ __all__ = [
     "PointError",
     "SweepTimeoutError",
     "SweepCrashError",
+    "SweepCancelled",
     "SweepResult",
     "derive_seeds",
+    "full_jitter_backoff",
     "run_sweep",
 ]
 
@@ -80,6 +83,39 @@ class SweepTimeoutError(TimeoutError):
 
 class SweepCrashError(RuntimeError):
     """A sweep point killed its worker process (``keep_going`` off)."""
+
+
+class SweepCancelled(RuntimeError):
+    """The sweep's ``should_stop`` hook asked for teardown mid-run.
+
+    Raised from the coordinator (or the serial loop) once the request is
+    observed; every in-flight worker pool is killed first, so no stray
+    point keeps computing after the exception propagates.  Points that
+    completed before the cancel are already persisted to the cache --
+    re-running the same sweep resumes from them.
+    """
+
+
+def full_jitter_backoff(
+    base_s: float, attempt: int, seed: int, cap_s: float = _MAX_BACKOFF_S
+) -> float:
+    """Deterministic full-jitter retry delay for one point's ``attempt``.
+
+    Classic full jitter -- ``U(0, min(cap, base * 2**(attempt-1)))`` --
+    except the "random" draw is derived from ``(seed, attempt)`` via
+    ``SeedSequence``, so the schedule is reproducible run-to-run while
+    still *differing across points*: a grid whose points all fail at
+    once (a dead shared dependency, a full disk) fans its retries out
+    over the window instead of stampeding the pool in synchronized
+    waves.  ``attempt`` is 1-based (the delay before retry #1).
+    """
+    if attempt < 1:
+        raise ValueError("attempt is 1-based")
+    ceiling = min(base_s * (2 ** (attempt - 1)), cap_s)
+    # one uint64 draw -> uniform in [0, 1); entropy mixes seed and attempt
+    state = np.random.SeedSequence(entropy=seed, spawn_key=(attempt,))
+    unit = state.generate_state(1, dtype=np.uint64)[0] / 2.0**64
+    return ceiling * float(unit)
 
 
 @dataclass(frozen=True, slots=True)
@@ -250,6 +286,25 @@ def derive_seeds(base_seed: int, n: int) -> list[int]:
     return [int(child.generate_state(1, dtype=np.uint64)[0]) for child in children]
 
 
+def _worker_init() -> None:
+    """Reset inherited signal plumbing in freshly forked workers.
+
+    When the coordinator is embedded in an asyncio host (the serve
+    gateway), the host's signal handlers write into a wakeup pipe that
+    fork-started workers share with the parent.  Pool teardown SIGTERMs
+    workers after every sweep; without this reset the inherited handler
+    would echo that SIGTERM down the shared pipe and the *parent* event
+    loop would see a phantom shutdown request.
+    """
+    try:
+        signal.set_wakeup_fd(-1)
+    except ValueError:  # pragma: no cover - non-main thread after fork
+        pass
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    # Ctrl-C teardown is the coordinator's job; workers must not race it
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+
+
 def _execute_point(
     fn: Callable[[dict, int], Any], params: dict, seed: int, collect_obs: bool = False
 ) -> tuple[Any, float, dict | None]:
@@ -331,6 +386,7 @@ class _Coordinator:
         collect_obs: bool = False,
         on_point: Callable[[PointResult], None] | None = None,
         keep_values: bool = True,
+        should_stop: Callable[[], bool] | None = None,
     ) -> None:
         self.sweep = sweep
         self.seeds = seeds
@@ -344,6 +400,7 @@ class _Coordinator:
         self.collect_obs = collect_obs
         self.on_point = on_point
         self.keep_values = keep_values
+        self.should_stop = should_stop
         self.results: dict[int, PointResult] = {}
         self.errors: dict[int, PointError] = {}
         self.pool_rebuilds = 0
@@ -361,10 +418,26 @@ class _Coordinator:
         self._queue = deque(pending)
         try:
             while self._queue or self._inflight:
+                self._check_cancelled()
                 self._submit_ready()
                 self._pump()
         finally:
             self._teardown()
+
+    def _check_cancelled(self) -> None:
+        """Honour a pending cancel request before any more scheduling.
+
+        Raising here reaches ``run``'s finally clause, which terminates
+        every worker process -- in-flight points are torn down, not
+        merely abandoned.  Completed points were persisted to the cache
+        the moment they finished, so nothing done is lost.
+        """
+        if self.should_stop is not None and self.should_stop():
+            raise SweepCancelled(
+                f"sweep '{self.sweep.name}' cancelled with "
+                f"{len(self._inflight)} point(s) in flight and "
+                f"{len(self._queue)} queued"
+            )
 
     # -- scheduling ------------------------------------------------------------
 
@@ -372,7 +445,9 @@ class _Coordinator:
         if not self._queue:
             return
         if self._executor is None:
-            self._executor = ProcessPoolExecutor(max_workers=self.jobs)
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.jobs, initializer=_worker_init
+            )
         now = time.monotonic()
         capacity = 1 if self._isolate else self.jobs
         # one pass over the queue: submit what is ready, keep the rest
@@ -407,7 +482,10 @@ class _Coordinator:
                 now = time.monotonic()
                 soonest = min(self._states[i].ready_at for i in self._queue)
                 if soonest > now:
-                    time.sleep(min(soonest - now, _MAX_BACKOFF_S))
+                    # with a cancel hook installed, sleep in short ticks
+                    # so a cancel lands within ~_TICK_S, not a backoff
+                    cap = _TICK_S if self.should_stop is not None else _MAX_BACKOFF_S
+                    time.sleep(min(soonest - now, cap))
             return
         done, _ = wait(set(self._inflight), timeout=_TICK_S,
                        return_when=FIRST_COMPLETED)
@@ -452,8 +530,8 @@ class _Coordinator:
         """Charge one failed attempt; requeue, record, or abort."""
         state.attempts += 1
         if state.attempts <= self.retries:
-            backoff = min(
-                self.retry_backoff_s * (2 ** (state.attempts - 1)), _MAX_BACKOFF_S
+            backoff = full_jitter_backoff(
+                self.retry_backoff_s, state.attempts, self.seeds[state.index]
             )
             state.ready_at = time.monotonic() + backoff
             self._queue.append(state.index)
@@ -550,13 +628,19 @@ def _run_serial(
     collect_obs: bool = False,
     on_point: Callable[[PointResult], None] | None = None,
     keep_values: bool = True,
+    should_stop: Callable[[], bool] | None = None,
 ) -> None:
-    """In-process execution (``jobs=1``): retries and ``keep_going``
-    apply; per-point timeouts and crash survival need worker processes,
-    so they do not (a hard crash of ``fn`` takes the caller with it)."""
+    """In-process execution (``jobs=1``): retries, ``keep_going``, and
+    cancellation (between points and between retry attempts) apply;
+    per-point timeouts and crash survival need worker processes, so
+    they do not (a hard crash of ``fn`` takes the caller with it)."""
     for index in pending:
         attempts = 0
         while True:
+            if should_stop is not None and should_stop():
+                raise SweepCancelled(
+                    f"sweep '{sweep.name}' cancelled at point {index}"
+                )
             attempts += 1
             try:
                 value, wall_s, obs_payload = _execute_point(
@@ -564,8 +648,9 @@ def _run_serial(
                 )
             except Exception as exc:
                 if attempts <= retries:
-                    time.sleep(min(retry_backoff_s * (2 ** (attempts - 1)),
-                                   _MAX_BACKOFF_S))
+                    time.sleep(
+                        full_jitter_backoff(retry_backoff_s, attempts, seeds[index])
+                    )
                     continue
                 if keep_going:
                     errors[index] = PointError(
@@ -599,6 +684,7 @@ def run_sweep(
     collect_obs: bool = False,
     on_point: Callable[[PointResult], None] | None = None,
     keep_values: bool = True,
+    should_stop: Callable[[], bool] | None = None,
 ) -> SweepResult:
     """Run every point of ``sweep`` and return results in grid order.
 
@@ -640,6 +726,13 @@ def run_sweep(
         sweep's memory by one point instead of the whole grid.  The
         returned :class:`SweepResult` then carries ``value=None`` points
         (timings, params, and obs payloads are kept).
+    should_stop:
+        Cooperative cancellation hook, polled by the scheduling loop
+        (every tick in parallel runs; between points and retry attempts
+        serially).  Returning True raises :class:`SweepCancelled` after
+        killing every in-flight worker, so cancellation genuinely tears
+        down running shards; already-completed points stay in the cache
+        and a re-run of the same sweep resumes from them.
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
@@ -685,12 +778,12 @@ def run_sweep(
         if jobs == 1 or not pending:
             _run_serial(sweep, seeds, keys, cache, pending, retries,
                         retry_backoff_s, keep_going, results, errors,
-                        collect_obs, on_point, keep_values)
+                        collect_obs, on_point, keep_values, should_stop)
         else:
             coordinator = _Coordinator(
                 sweep, seeds, keys, cache, min(jobs, len(pending)),
                 retries, retry_backoff_s, timeout_s, keep_going,
-                collect_obs, on_point, keep_values,
+                collect_obs, on_point, keep_values, should_stop,
             )
             coordinator.run(pending)
             results.update(coordinator.results)

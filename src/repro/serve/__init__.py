@@ -1,0 +1,64 @@
+"""Simulation-as-a-service: a robust gateway over the coordinator stack.
+
+The serving layer the ROADMAP's "heavy traffic from millions of users"
+north star calls for -- stdlib-only (asyncio streams, no frameworks),
+one process, composed from six pieces:
+
+* :mod:`repro.serve.protocol`  -- bounded HTTP-over-streams wire format
+* :mod:`repro.serve.limiter`   -- per-client token-bucket rate limiting
+* :mod:`repro.serve.quotas`    -- per-client concurrency + work windows
+* :mod:`repro.serve.jobs`      -- job specs, the crash journal, execution
+* :mod:`repro.serve.scheduler` -- bounded fair-share dispatch + cancel
+* :mod:`repro.serve.health`    -- rolling health -> admit/shed decision
+
+:class:`Gateway` wires them together; :class:`GatewayClient` talks to
+one.  Start a service with ``repro serve``, submit with ``repro
+submit``, inspect with ``repro jobs`` (see the CLI), or embed the
+pieces directly -- every component takes an injected clock and is
+deterministic under test.
+"""
+
+from .client import GatewayClient, GatewayError
+from .gateway import Gateway, GatewayConfig
+from .health import HealthMonitor, HealthThresholds
+from .jobs import (
+    JOB_STATES,
+    SWEEP_POINT_FNS,
+    TERMINAL_STATES,
+    JobRecord,
+    JobSpec,
+    JobStore,
+    execute_job,
+    spec_units,
+)
+from .limiter import RateLimiter, TokenBucket
+from .protocol import ProtocolError, Request, read_request, write_response
+from .quotas import Admission, ClientQuota, QuotaManager
+from .scheduler import Scheduler
+
+__all__ = [
+    "Admission",
+    "ClientQuota",
+    "Gateway",
+    "GatewayClient",
+    "GatewayConfig",
+    "GatewayError",
+    "HealthMonitor",
+    "HealthThresholds",
+    "JOB_STATES",
+    "JobRecord",
+    "JobSpec",
+    "JobStore",
+    "ProtocolError",
+    "QuotaManager",
+    "RateLimiter",
+    "Request",
+    "SWEEP_POINT_FNS",
+    "Scheduler",
+    "TERMINAL_STATES",
+    "TokenBucket",
+    "execute_job",
+    "read_request",
+    "spec_units",
+    "write_response",
+]

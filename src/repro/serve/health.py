@@ -1,0 +1,152 @@
+"""Gateway health: rolling signals -> one admit/shed decision.
+
+The monitor owns the gateway's :class:`~repro.obs.MetricsRegistry` --
+queue-depth and running-job gauges, admission/shed/completion counters,
+pool-rebuild and retry counts fed from each finished sweep's stats --
+and derives a single boolean from it: *is this gateway healthy enough
+to take on more work?*
+
+The philosophy mirrors the paper's storage design: degrade gracefully,
+and predictably.  When the rolling error rate or the pool-rebuild rate
+crosses its threshold, the gateway does not die or start timing out
+randomly -- it flips unhealthy, **stops admitting new jobs** (503 with
+a retry hint), finishes what is in flight, and keeps serving status
+and cached-result queries, which cost nothing.  Health recovers the
+same way it was lost: the rolling window ages bad outcomes out, and
+admission resumes.
+
+Everything here is synchronous, allocation-light, and injected-clock
+deterministic, so the thresholds are unit-testable without a gateway.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.obs import MetricsRegistry
+
+__all__ = ["HealthThresholds", "HealthMonitor"]
+
+
+@dataclass(frozen=True, slots=True)
+class HealthThresholds:
+    """When does the gateway stop admitting?
+
+    ``min_sample`` keeps one early failure from shedding a fresh
+    gateway: the error-rate rule only arms once the rolling window has
+    seen that many finished jobs.
+    """
+
+    #: rolling fraction of finished jobs that failed (0..1)
+    max_error_rate: float = 0.5
+    #: finished jobs the error-rate rule needs before it can trip
+    min_sample: int = 4
+    #: jobs the rolling window remembers
+    window: int = 20
+    #: worker-pool rebuilds (crashes/timeout kills) tolerated per window
+    max_pool_rebuilds: int = 10
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.max_error_rate <= 1.0:
+            raise ValueError("max_error_rate must be in (0, 1]")
+        if self.min_sample < 1 or self.window < self.min_sample:
+            raise ValueError("need window >= min_sample >= 1")
+        if self.max_pool_rebuilds < 0:
+            raise ValueError("max_pool_rebuilds must be >= 0")
+
+
+class HealthMonitor:
+    """Rolling job outcomes + live gauges -> healthy/unhealthy."""
+
+    def __init__(
+        self,
+        thresholds: HealthThresholds | None = None,
+        registry: MetricsRegistry | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.thresholds = thresholds if thresholds is not None else HealthThresholds()
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._clock = clock
+        self.started_at = clock()
+        #: (ok, pool_rebuilds) per finished job, newest last
+        self._recent: deque[tuple[bool, int]] = deque(maxlen=self.thresholds.window)
+
+    # -- feeds -----------------------------------------------------------------
+
+    def job_finished(self, ok: bool, pool_rebuilds: int = 0, retries: int = 0) -> None:
+        """Fold one finished job's outcome into the rolling window."""
+        self._recent.append((bool(ok), int(pool_rebuilds)))
+        self.registry.counter(
+            "serve.jobs_done" if ok else "serve.jobs_failed"
+        ).inc()
+        if pool_rebuilds:
+            self.registry.counter("serve.pool_rebuilds").inc(pool_rebuilds)
+        if retries:
+            self.registry.counter("serve.retry_attempts").inc(retries)
+
+    def set_queue_depth(self, depth: int) -> None:
+        self.registry.gauge("serve.queue_depth").set(depth)
+
+    def set_running(self, running: int) -> None:
+        self.registry.gauge("serve.running_jobs").set(running)
+
+    def count(self, name: str, amount: int = 1) -> None:
+        self.registry.counter(name).inc(amount)
+
+    # -- the decision ----------------------------------------------------------
+
+    @property
+    def error_rate(self) -> float:
+        """Failure fraction over the rolling window (0.0 when unarmed)."""
+        if len(self._recent) < self.thresholds.min_sample:
+            return 0.0
+        return sum(1 for ok, _ in self._recent if not ok) / len(self._recent)
+
+    @property
+    def recent_pool_rebuilds(self) -> int:
+        return sum(rebuilds for _, rebuilds in self._recent)
+
+    @property
+    def healthy(self) -> bool:
+        if self.error_rate > self.thresholds.max_error_rate:
+            return False
+        if self.recent_pool_rebuilds > self.thresholds.max_pool_rebuilds:
+            return False
+        return True
+
+    def unhealthy_reasons(self) -> list[str]:
+        reasons = []
+        if self.error_rate > self.thresholds.max_error_rate:
+            reasons.append(
+                f"rolling error rate {self.error_rate:.2f} exceeds "
+                f"{self.thresholds.max_error_rate:.2f} "
+                f"over the last {len(self._recent)} job(s)"
+            )
+        if self.recent_pool_rebuilds > self.thresholds.max_pool_rebuilds:
+            reasons.append(
+                f"{self.recent_pool_rebuilds} worker-pool rebuilds in the "
+                f"window exceed {self.thresholds.max_pool_rebuilds}"
+            )
+        return reasons
+
+    # -- reporting -------------------------------------------------------------
+
+    def report(self) -> dict:
+        """The ``/healthz`` payload: decision, signals, metrics snapshot."""
+        snapshot = self.registry.snapshot()
+        counters = snapshot["counters"]
+        gauges = snapshot["gauges"]
+        return {
+            "healthy": self.healthy,
+            "reasons": self.unhealthy_reasons(),
+            "uptime_s": self._clock() - self.started_at,
+            "error_rate": self.error_rate,
+            "window_jobs": len(self._recent),
+            "recent_pool_rebuilds": self.recent_pool_rebuilds,
+            "queue_depth": gauges.get("serve.queue_depth", 0),
+            "running_jobs": gauges.get("serve.running_jobs", 0),
+            "counters": counters,
+        }

@@ -1,0 +1,96 @@
+"""Per-client token-bucket rate limiting for the gateway's front door.
+
+A :class:`TokenBucket` is the classic leaky-abstraction-free version:
+capacity ``burst`` tokens, refilled continuously at ``rate_per_s``.  A
+request costs one token; an empty bucket answers with the **exact**
+time until the next token exists, which the gateway surfaces as a
+``Retry-After`` header -- rejected clients are told precisely when to
+come back instead of guessing (and hammering).
+
+The clock is injected (``clock=time.monotonic`` by default), so tests
+drive buckets with a fake clock and the arithmetic below is exactly
+reproducible: given the same request times, the same admits and the
+same retry-after values come out, every run.  :class:`RateLimiter`
+keeps one lazily created bucket per client id; clients never share
+tokens, so one noisy tenant cannot starve the others' buckets.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+__all__ = ["TokenBucket", "RateLimiter"]
+
+
+class TokenBucket:
+    """Continuous-refill token bucket with exact retry-after arithmetic."""
+
+    __slots__ = ("rate_per_s", "burst", "_clock", "_tokens", "_refilled_at")
+
+    def __init__(
+        self,
+        rate_per_s: float,
+        burst: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate_per_s <= 0:
+            raise ValueError("rate_per_s must be positive")
+        if burst < 1:
+            raise ValueError("burst must allow at least one request")
+        self.rate_per_s = float(rate_per_s)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = self.burst
+        self._refilled_at = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = max(0.0, now - self._refilled_at)
+        self._tokens = min(self.burst, self._tokens + elapsed * self.rate_per_s)
+        self._refilled_at = now
+
+    def try_acquire(self, tokens: float = 1.0) -> tuple[bool, float]:
+        """Spend ``tokens`` if available.
+
+        Returns ``(True, 0.0)`` on success, else ``(False, retry_after)``
+        where ``retry_after`` is the exact seconds until the bucket will
+        hold ``tokens`` again (assuming no other spender).
+        """
+        self._refill()
+        if self._tokens >= tokens:
+            self._tokens -= tokens
+            return True, 0.0
+        return False, (tokens - self._tokens) / self.rate_per_s
+
+    @property
+    def tokens(self) -> float:
+        """Current token count (refilled to now); for tests and reports."""
+        self._refill()
+        return self._tokens
+
+
+class RateLimiter:
+    """One :class:`TokenBucket` per client id, created on first sight."""
+
+    def __init__(
+        self,
+        rate_per_s: float,
+        burst: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.rate_per_s = rate_per_s
+        self.burst = burst
+        self._clock = clock
+        self._buckets: dict[str, TokenBucket] = {}
+
+    def try_acquire(self, client: str) -> tuple[bool, float]:
+        bucket = self._buckets.get(client)
+        if bucket is None:
+            bucket = self._buckets[client] = TokenBucket(
+                self.rate_per_s, self.burst, self._clock
+            )
+        return bucket.try_acquire()
+
+    def __len__(self) -> int:
+        return len(self._buckets)

@@ -1,0 +1,187 @@
+"""Minimal HTTP-over-asyncio-streams wire protocol for the gateway.
+
+The gateway speaks just enough HTTP/1.1 to be driven by ``curl``, a
+browser, or the bundled :mod:`repro.serve.client` helper -- request
+line, headers, JSON bodies, standard status codes -- implemented
+directly on :mod:`asyncio` streams with **no** framework and no
+``http.server`` thread pool.  Robustness constraints are part of the
+protocol, not bolted on:
+
+* every read is **bounded** -- request line, header block, and body all
+  have byte ceilings, so a hostile or broken client cannot make the
+  gateway buffer without limit (admission control starts at the socket);
+* connections are **one-shot** (``Connection: close``): each request is
+  parsed, answered, and the stream closed, which keeps per-connection
+  state trivially bounded and makes client retry semantics obvious;
+* malformed input maps to a structured 4xx :class:`ProtocolError`, never
+  an exception escaping the connection handler.
+
+Responses are always JSON (``application/json``), and backpressure
+rejections carry a standard ``Retry-After`` header so well-behaved
+clients can pace themselves.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+import asyncio
+
+__all__ = [
+    "MAX_REQUEST_LINE_BYTES",
+    "MAX_HEADER_BYTES",
+    "MAX_BODY_BYTES",
+    "ProtocolError",
+    "Request",
+    "read_request",
+    "write_response",
+]
+
+#: Ceiling on the request line (method + path + version).
+MAX_REQUEST_LINE_BYTES = 4096
+
+#: Ceiling on the header block (sum of all header lines).
+MAX_HEADER_BYTES = 16384
+
+#: Ceiling on a request body; a job submission is a small JSON spec, so
+#: anything near this is abuse, not a real client.
+MAX_BODY_BYTES = 1 << 20
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class ProtocolError(Exception):
+    """A malformed or over-limit request; carries the HTTP status to send."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+@dataclass(slots=True)
+class Request:
+    """One parsed request."""
+
+    method: str
+    path: str
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self) -> Any:
+        """Decode the body as JSON; empty body decodes to ``None``."""
+        if not self.body:
+            return None
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ProtocolError(400, f"request body is not valid JSON: {exc}")
+
+
+async def _read_line(reader: asyncio.StreamReader, limit: int, what: str) -> bytes:
+    """One CRLF (or LF) terminated line, bounded by ``limit`` bytes."""
+    try:
+        line = await reader.readuntil(b"\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return b""  # clean EOF
+        raise ProtocolError(400, f"connection closed mid-{what}")
+    except asyncio.LimitOverrunError:
+        raise ProtocolError(413, f"{what} exceeds {limit} bytes")
+    if len(line) > limit:
+        raise ProtocolError(413, f"{what} exceeds {limit} bytes")
+    return line.rstrip(b"\r\n")
+
+
+async def read_request(reader: asyncio.StreamReader) -> Request | None:
+    """Parse one request off the stream; None on a clean EOF.
+
+    Raises :class:`ProtocolError` for anything malformed or over limit;
+    the connection handler turns that into the matching 4xx response.
+    """
+    line = await _read_line(reader, MAX_REQUEST_LINE_BYTES, "request line")
+    if not line:
+        return None
+    parts = line.split()
+    if len(parts) != 3 or not parts[2].startswith(b"HTTP/"):
+        raise ProtocolError(400, f"malformed request line: {line[:80]!r}")
+    method = parts[0].decode("ascii", "replace").upper()
+    path = parts[1].decode("ascii", "replace")
+
+    headers: dict[str, str] = {}
+    header_bytes = 0
+    while True:
+        line = await _read_line(reader, MAX_HEADER_BYTES, "header block")
+        if not line:
+            break
+        header_bytes += len(line)
+        if header_bytes > MAX_HEADER_BYTES:
+            raise ProtocolError(413, f"header block exceeds {MAX_HEADER_BYTES} bytes")
+        name, sep, value = line.partition(b":")
+        if not sep:
+            raise ProtocolError(400, f"malformed header line: {line[:80]!r}")
+        headers[name.decode("ascii", "replace").strip().lower()] = (
+            value.decode("ascii", "replace").strip()
+        )
+
+    body = b""
+    length_header = headers.get("content-length", "0")
+    try:
+        length = int(length_header)
+    except ValueError:
+        raise ProtocolError(400, f"bad Content-Length: {length_header!r}")
+    if length < 0:
+        raise ProtocolError(400, f"bad Content-Length: {length_header!r}")
+    if length > MAX_BODY_BYTES:
+        raise ProtocolError(413, f"body of {length} bytes exceeds {MAX_BODY_BYTES}")
+    if length:
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            raise ProtocolError(400, "connection closed mid-body")
+    return Request(method=method, path=path, headers=headers, body=body)
+
+
+async def write_response(
+    writer: asyncio.StreamWriter,
+    status: int,
+    payload: Any = None,
+    headers: dict[str, str] | None = None,
+) -> None:
+    """Serialize one JSON response and flush it.
+
+    ``payload`` may be any JSON-able value (None sends an empty object
+    for 2xx and an empty body for 204).  Numeric numpy scalars that leak
+    into summaries coerce via ``default=float``.
+    """
+    reason = _REASONS.get(status, "Unknown")
+    if status == 204:
+        body = b""
+    else:
+        body = json.dumps(
+            {} if payload is None else payload, sort_keys=True, default=float
+        ).encode("utf-8")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        "content-type: application/json",
+        f"content-length: {len(body)}",
+        "connection: close",
+    ]
+    for name, value in (headers or {}).items():
+        lines.append(f"{name}: {value}")
+    writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("ascii") + body)
+    await writer.drain()

@@ -55,6 +55,18 @@ def tlc_chip() -> FlashChip:
     return FlashChip(SMALL_GEOMETRY, CellTechnology.TLC, seed=99)
 
 
+@pytest.fixture(autouse=True)
+def _suite_wall_clamp(wall_clock_clamp):
+    """Global timeout guard: every test runs under the wall-clock clamp.
+
+    The serve gateway added event-loop-driven tests on top of the
+    worker-pool ones; any of them can hang on a regression.  Directory
+    conftests that opted in earlier still work -- the clamp fixture is
+    function-scoped, so pytest applies it once per test either way.
+    """
+    yield
+
+
 @pytest.fixture
 def wall_clock_clamp(request):
     """Fail the requesting test if it runs longer than the clamp.

@@ -159,6 +159,80 @@ class TestShardPoint:
         assert faulted.wear_values() != clean.wear_values()
 
 
+class TestFailurePaths:
+    """Partial fleets are flagged loudly, never silently under-counted."""
+
+    def test_shard_timeout_keep_going_yields_flagged_partial(self, monkeypatch):
+        """One shard hangs past the per-shard timeout: the run finishes
+        with keep_going, and every surface of the result says a shard
+        is missing -- ``complete`` False, devices under-counted by
+        exactly one shard, and no exact wear vector on offer."""
+        monkeypatch.setattr("repro.fleet.run.fleet_shard_point", _stall_middle_shard)
+        fleet = run_fleet(
+            _plan(), jobs=2, timeout_s=2.0, retries=0, keep_going=True
+        )
+        assert not fleet.ok
+        assert fleet.devices == N_DEVICES - 10
+        assert fleet.missing_devices == 10
+        assert fleet.wear_values() is None  # partial vector never offered
+        summary = fleet.summary()
+        assert summary["complete"] is False
+        assert summary["failed_shards"] == 1
+        assert summary["missing_devices"] == 10
+        assert summary["requested_devices"] == N_DEVICES
+        # the statistics that *are* reported describe the completed 20
+        assert summary["devices"] == 20
+        assert summary["median"] is not None
+        [error] = fleet.sweep.errors
+        assert error.kind == "timeout"
+        assert error.params["start"] == 10
+
+    def test_every_shard_failing_keeps_summary_well_defined(self, monkeypatch):
+        """An all-failed fleet reports None statistics, not a crash."""
+        monkeypatch.setattr("repro.fleet.run.fleet_shard_point", _stall_always)
+        fleet = run_fleet(
+            _plan(), jobs=2, timeout_s=0.3, retries=0, keep_going=True
+        )
+        assert not fleet.ok
+        assert fleet.devices == 0
+        assert fleet.missing_devices == N_DEVICES
+        summary = fleet.summary()
+        assert summary["complete"] is False
+        assert summary["failed_shards"] == fleet.plan.n_shards
+        assert summary["median"] is None and summary["mean"] is None
+        assert summary["worn_out_fraction"] is None
+
+    def test_should_stop_cancels_the_fleet(self):
+        from repro.runner import SweepCancelled
+
+        with pytest.raises(SweepCancelled):
+            run_fleet(_plan(), jobs=2, should_stop=lambda: True)
+
+    def test_on_shard_progress_is_monotonic_and_complete(self):
+        seen: list[tuple[int, int, int]] = []
+        run_fleet(_plan(), on_shard=lambda *a: seen.append(a))
+        assert [done for done, _, _ in seen] == [1, 2, 3]
+        assert all(total == 3 for _, total, _ in seen)
+        devices = [d for _, _, d in seen]
+        assert devices == sorted(devices) and devices[-1] == N_DEVICES
+
+
+def _stall_middle_shard(params: dict, seed: int) -> dict:
+    """Module-level (worker-picklable) shard fn: hangs shard start=10."""
+    if params["start"] == 10:
+        import time
+
+        time.sleep(30)
+    return fleet_shard_point(params, seed)
+
+
+def _stall_always(params: dict, seed: int) -> dict:
+    import time
+
+    time.sleep(30)
+    return fleet_shard_point(params, seed)
+
+
 class TestPlanValidation:
     def test_grid_covers_population_exactly(self):
         grid = _plan(shard_size=7).shard_grid()

@@ -8,17 +8,21 @@ The regression these tests guard against is a coordinator that blocks
 on the backoff timer (sleeping the loop instead of requeueing), which
 would serialize the whole sweep behind its slowest retrier.
 
-Timings use generous bounds sized for a loaded single-core CI box; the
-directory's autouse wall-clock clamp turns a genuine stall into a fast
-failure rather than a hang.
+Retry delays are *full-jitter*: each attempt waits a deterministic
+``U(0, base * 2**(attempt-1))`` draw derived from the point's seed, so
+the timing bounds below reason about the jitter window rather than the
+nominal exponential.  Timings use generous bounds sized for a loaded
+single-core CI box; the suite-wide wall-clock clamp turns a genuine
+stall into a fast failure rather than a hang.
 """
 
 from __future__ import annotations
 
 import time
 
-from repro.runner import Sweep, run_sweep
+from repro.runner import Sweep, full_jitter_backoff, run_sweep
 from repro.runner.faultfns import flaky_point, sleepy_point
+from repro.runner.sweep import derive_seeds
 
 
 def test_backoff_does_not_stall_other_completions(tmp_path):
@@ -26,7 +30,7 @@ def test_backoff_does_not_stall_other_completions(tmp_path):
     backing off, and their completions stream through ``on_point``
     well before the flaky point's final success."""
     n_sleepy = 4
-    backoff_s = 0.8  # first retry delay; total flaky delay >= 0.8 + 1.6
+    backoff_s = 0.8  # nominal base; actual delays are jittered per seed
     grid = (
         # index 0: fails twice, succeeds on the third attempt
         {"index": 0, "fail_times": 2, "scratch": str(tmp_path)},
@@ -54,10 +58,17 @@ def test_backoff_does_not_stall_other_completions(tmp_path):
     assert set(by_index) == {0, 1, 2, 3, 4}
     flaky_done = by_index[0]
     healthy_done = max(t for i, t in completed if i != 0)
-    # the flaky point waited out >= 0.8s + 1.6s of backoff; the healthy
-    # points are instant.  If the coordinator kept scheduling during the
-    # backoff, every healthy completion lands well before the flaky one.
-    assert flaky_done >= backoff_s  # sanity: backoff really happened
+    # the flaky point waited out two jittered backoffs (deterministic
+    # given its seed); the healthy points are instant.  If the
+    # coordinator kept scheduling during the backoff, every healthy
+    # completion lands well before the flaky one.
+    flaky_seed = derive_seeds(3, len(grid))[0]
+    total_delay = sum(
+        full_jitter_backoff(backoff_s, attempt, flaky_seed)
+        for attempt in (1, 2)
+    )
+    assert total_delay > 0.5  # seed chosen so the window is observable
+    assert flaky_done >= total_delay  # sanity: backoff really happened
     assert healthy_done < flaky_done, (
         f"healthy points finished at {healthy_done:.2f}s, after the "
         f"flaky point's {flaky_done:.2f}s -- the backoff stalled them"
@@ -119,14 +130,54 @@ def test_sleepy_points_keep_streaming_past_a_retrier(tmp_path):
         ),
         jobs=2,
         retries=3,
-        retry_backoff_s=0.6,
+        retry_backoff_s=1.2,
         on_point=lambda p: completed.append(p.index),
     )
     assert result.ok
     # every sleepy point (6 x 0.15s across 2 workers ~ 0.45s of work)
-    # resolved before the flaky point cleared its >= 0.6 + 1.2s backoff
+    # resolved before the flaky point cleared its two jittered backoffs
+    # (~0.97s total for base_seed=11 -- deterministic, see
+    # full_jitter_backoff)
     assert completed[-1] == 0
     assert set(completed[:-1]) == set(range(1, 7))
+
+
+class TestFullJitter:
+    """The deterministic full-jitter schedule itself (no pools)."""
+
+    def test_schedules_differ_across_points(self):
+        """Points of one sweep fan their retries out over the window
+        instead of stampeding in synchronized waves: the first-retry
+        delays across a grid are (essentially) all distinct."""
+        seeds = derive_seeds(base_seed=42, n=32)
+        delays = [full_jitter_backoff(1.0, 1, s) for s in seeds]
+        assert len(set(delays)) == len(delays)
+        # and they genuinely spread over the window, not cluster
+        assert min(delays) < 0.25 and max(delays) > 0.75
+
+    def test_schedule_reproduces_across_runs(self):
+        """Same (seed, attempt) -> same delay, run after run: retry
+        timing is part of the experiment's deterministic surface."""
+        seeds = derive_seeds(base_seed=7, n=8)
+        first = [
+            [full_jitter_backoff(0.5, a, s) for a in (1, 2, 3)] for s in seeds
+        ]
+        second = [
+            [full_jitter_backoff(0.5, a, s) for a in (1, 2, 3)] for s in seeds
+        ]
+        assert first == second
+
+    def test_jitter_respects_exponential_ceiling_and_cap(self):
+        seed = derive_seeds(base_seed=9, n=1)[0]
+        for attempt in range(1, 12):
+            delay = full_jitter_backoff(0.5, attempt, seed, cap_s=30.0)
+            assert 0.0 <= delay <= min(0.5 * 2 ** (attempt - 1), 30.0)
+
+    def test_attempt_is_one_based(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            full_jitter_backoff(1.0, 0, 123)
 
 
 def _flaky_or_sleepy(params: dict, seed: int) -> dict:

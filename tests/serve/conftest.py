@@ -1,0 +1,64 @@
+"""Shared helpers for the serve-gateway tests.
+
+The suite-wide wall-clock clamp (tests/conftest.py) already covers this
+directory; what lives here is the fake clock the admission-control
+arithmetic tests share and an in-process gateway harness for the
+end-to-end tests -- a real asyncio server on an ephemeral port, driven
+by the real :class:`~repro.serve.client.GatewayClient`, torn down
+whether the test passes or not.
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+import pytest
+
+import asyncio
+
+
+class FakeClock:
+    """A hand-advanced monotonic clock for deterministic admission math."""
+
+    def __init__(self, start: float = 1000.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def clock() -> FakeClock:
+    return FakeClock()
+
+
+@contextlib.asynccontextmanager
+async def running_gateway(config):
+    """Start a gateway, yield (gateway, client), always stop it."""
+    from repro.serve import Gateway, GatewayClient
+
+    gateway = Gateway(config)
+    host, port = await gateway.start()
+    try:
+        yield gateway, GatewayClient(host, port, timeout_s=30.0)
+    finally:
+        await gateway.stop(cancel_running=True)
+
+
+@pytest.fixture
+def gateway_harness():
+    """The context manager itself; tests compose it inside asyncio.run."""
+    return running_gateway
+
+
+@pytest.fixture
+def run_async():
+    """Run one coroutine to completion on a fresh event loop."""
+
+    def _run(coro):
+        return asyncio.run(coro)
+
+    return _run

@@ -1,0 +1,84 @@
+"""The admit/shed decision: rolling windows, arming, and recovery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import HealthMonitor, HealthThresholds
+
+
+def _monitor(clock, **overrides) -> HealthMonitor:
+    defaults = dict(max_error_rate=0.5, min_sample=4, window=8,
+                    max_pool_rebuilds=5)
+    defaults.update(overrides)
+    return HealthMonitor(HealthThresholds(**defaults), clock=clock)
+
+
+class TestDecision:
+    def test_fresh_gateway_is_healthy(self, clock):
+        assert _monitor(clock).healthy
+
+    def test_error_rate_only_arms_after_min_sample(self, clock):
+        monitor = _monitor(clock)
+        monitor.job_finished(ok=False)
+        monitor.job_finished(ok=False)
+        assert monitor.healthy  # 2 failures < min_sample of 4: unarmed
+        assert monitor.error_rate == 0.0
+        monitor.job_finished(ok=False)
+        monitor.job_finished(ok=False)
+        assert not monitor.healthy
+        assert monitor.error_rate == 1.0
+
+    def test_window_ages_bad_outcomes_out(self, clock):
+        monitor = _monitor(clock)
+        for _ in range(4):
+            monitor.job_finished(ok=False)
+        assert not monitor.healthy
+        for _ in range(8):  # a full window of successes displaces them
+            monitor.job_finished(ok=True)
+        assert monitor.healthy
+        assert monitor.error_rate == 0.0
+
+    def test_pool_rebuild_rate_trips_independently(self, clock):
+        monitor = _monitor(clock)
+        monitor.job_finished(ok=True, pool_rebuilds=6)
+        assert not monitor.healthy
+        reasons = monitor.unhealthy_reasons()
+        assert len(reasons) == 1 and "pool rebuilds" in reasons[0]
+
+    def test_thresholds_validate(self):
+        with pytest.raises(ValueError):
+            HealthThresholds(max_error_rate=0.0)
+        with pytest.raises(ValueError):
+            HealthThresholds(min_sample=5, window=4)
+
+
+class TestReport:
+    def test_report_is_the_obs_snapshot_plus_decision(self, clock):
+        monitor = _monitor(clock)
+        monitor.job_finished(ok=True, pool_rebuilds=1, retries=2)
+        monitor.job_finished(ok=False)
+        monitor.set_queue_depth(3)
+        monitor.set_running(2)
+        monitor.count("serve.admitted", 2)
+        clock.advance(12.5)
+        report = monitor.report()
+        assert report["healthy"] is True
+        assert report["uptime_s"] == pytest.approx(12.5)
+        assert report["queue_depth"] == 3
+        assert report["running_jobs"] == 2
+        assert report["window_jobs"] == 2
+        assert report["recent_pool_rebuilds"] == 1
+        assert report["counters"]["serve.jobs_done"] == 1
+        assert report["counters"]["serve.jobs_failed"] == 1
+        assert report["counters"]["serve.pool_rebuilds"] == 1
+        assert report["counters"]["serve.retry_attempts"] == 2
+        assert report["counters"]["serve.admitted"] == 2
+
+    def test_monitor_owns_a_real_metrics_registry(self, clock):
+        from repro.obs import MetricsRegistry
+
+        monitor = _monitor(clock)
+        assert isinstance(monitor.registry, MetricsRegistry)
+        monitor.count("serve.requests")
+        assert monitor.registry.snapshot()["counters"]["serve.requests"] == 1

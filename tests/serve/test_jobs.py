@@ -1,0 +1,202 @@
+"""Job specs, the crash journal, and the blocking execution core."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.serve import (
+    JobRecord,
+    JobSpec,
+    JobStore,
+    execute_job,
+    spec_units,
+)
+
+
+def _population_spec(**overrides) -> JobSpec:
+    params = {"devices": 20, "days": 30, "seed": 7, "shard_size": 10}
+    params.update(overrides)
+    return JobSpec.from_wire(
+        {"client": "t", "kind": "population", "params": params}
+    )
+
+
+def _sweep_spec(grid, fn="flaky", client="t") -> JobSpec:
+    return JobSpec.from_wire(
+        {
+            "client": client,
+            "kind": "sweep",
+            "params": {"fn": fn, "grid": grid, "base_seed": 3},
+        }
+    )
+
+
+class TestJobSpec:
+    def test_identity_is_stable_and_param_sensitive(self):
+        a, b = _population_spec(), _population_spec()
+        assert a.job_id() == b.job_id()
+        assert a.job_id() != _population_spec(devices=21).job_id()
+        # a different client is a different job (quota isolation)
+        other = JobSpec.from_wire(
+            {"client": "u", "kind": "population", "params": a.params}
+        )
+        assert other.job_id() != a.job_id()
+
+    def test_units_charge_devices_or_points(self):
+        assert spec_units(_population_spec(devices=500, shard_size=50)) == 500
+        assert spec_units(_sweep_spec([{"index": i} for i in range(3)])) == 3
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            "not a dict",
+            {"kind": "population", "params": {}},  # no client
+            {"client": "", "kind": "population", "params": {"devices": 1}},
+            {"client": "c", "kind": "teapot", "params": {}},
+            {"client": "c", "kind": "population", "params": {"devices": 0}},
+            {"client": "c", "kind": "population",
+             "params": {"devices": 10**9}},
+            {"client": "c", "kind": "sweep",
+             "params": {"fn": "os.system", "grid": [{}]}},
+            {"client": "c", "kind": "sweep", "params": {"fn": "flaky",
+                                                        "grid": []}},
+        ],
+        ids=["non-dict", "no-client", "empty-client", "bad-kind",
+             "zero-devices", "absurd-devices", "unregistered-fn",
+             "empty-grid"],
+    )
+    def test_invalid_submissions_rejected(self, payload):
+        with pytest.raises(ValueError):
+            JobSpec.from_wire(payload)
+
+    def test_unregistered_code_never_rides_the_wire(self):
+        """The registry is the whole attack surface: a spec names a
+        function, it can never carry one."""
+        from repro.serve import SWEEP_POINT_FNS
+
+        assert set(SWEEP_POINT_FNS) == {
+            "lifetime", "population_batch", "flaky", "crash", "sleepy"
+        }
+        for target in SWEEP_POINT_FNS.values():
+            assert target.startswith("repro.runner.")
+
+
+class TestJobStore:
+    def test_save_load_round_trip(self, tmp_path):
+        store = JobStore(tmp_path)
+        record = JobRecord.fresh(_population_spec())
+        record.state = "done"
+        record.result = {"devices": 20}
+        store.save(record)
+        loaded = store.load(record.job_id)
+        assert loaded.state == "done"
+        assert loaded.result == {"devices": 20}
+        assert loaded.spec == record.spec
+
+    def test_corrupt_journal_is_skipped_and_counted_never_fatal(self, tmp_path):
+        store = JobStore(tmp_path)
+        good = JobRecord.fresh(_population_spec())
+        store.save(good)
+        (tmp_path / "jdeadbeefdeadbeef.json").write_text("{torn")
+        (tmp_path / "jfeedfacefeedface.json").write_text(
+            json.dumps({"schema": "repro.serve.job/v1", "state": "exploded"})
+        )
+        records = store.load_all()
+        assert [r.job_id for r in records] == [good.job_id]
+        assert store.corrupt_skipped == 2
+
+    def test_recover_requeues_only_interrupted_jobs(self, tmp_path):
+        store = JobStore(tmp_path)
+        states = {}
+        for i, state in enumerate(("queued", "running", "done", "failed")):
+            record = JobRecord.fresh(_population_spec(seed=100 + i))
+            record.state = state
+            record.progress = {"shards_done": 1}
+            store.save(record)
+            states[record.job_id] = state
+        recovered = store.recover()
+        assert {r.job_id for r in recovered} == {
+            jid for jid, s in states.items() if s in ("queued", "running")
+        }
+        for record in store.load_all():
+            expected = states[record.job_id]
+            if expected in ("queued", "running"):
+                assert record.state == "queued"
+                assert record.progress == {}  # cache, not this, resumes work
+            else:
+                assert record.state == expected
+
+    def test_malformed_job_id_never_escapes_the_root(self, tmp_path):
+        store = JobStore(tmp_path)
+        with pytest.raises(ValueError):
+            store.load("../../etc/passwd")
+
+
+class TestExecuteJob:
+    def test_population_job_produces_complete_summary(self, tmp_path):
+        record = JobRecord.fresh(_population_spec())
+        seen = []
+        result = execute_job(
+            record, cache_dir=tmp_path / "cache", jobs=2,
+            on_progress=seen.append,
+        )
+        assert result["complete"] is True
+        assert result["devices"] == 20
+        assert result["errors"] == []
+        assert result["median"] is not None
+        assert seen[-1]["shards_done"] == seen[-1]["shards_total"] == 2
+        assert seen[-1]["devices_done"] == 20
+
+    def test_identical_specs_share_the_result_cache(self, tmp_path):
+        cache = tmp_path / "cache"
+        first = execute_job(
+            JobRecord.fresh(_population_spec()), cache_dir=cache, jobs=2
+        )
+        second = execute_job(
+            JobRecord.fresh(_population_spec()), cache_dir=cache, jobs=2
+        )
+        assert first["cached_shards"] == 0
+        assert second["cached_shards"] == 2  # byte-identical cache keys
+        for stat in ("median", "p90", "p99", "max", "mean"):
+            assert first[stat] == second[stat]
+
+    def test_worker_crash_mid_job_completes_via_retry(self, tmp_path):
+        """A worker process dying (os._exit, as an OOM kill would) costs
+        a pool rebuild and a retry, never the job."""
+        scratch = tmp_path / "scratch"
+        scratch.mkdir()
+        grid = [{"index": 0, "crash_times": 1, "scratch": str(scratch)},
+                {"index": 1}, {"index": 2}]
+        record = JobRecord.fresh(_sweep_spec(grid, fn="crash"))
+        result = execute_job(
+            record, cache_dir=tmp_path / "cache", jobs=2, retries=2
+        )
+        assert result["complete"] is True
+        assert result["failed"] == 0
+        assert result["pool_rebuilds"] >= 1
+        assert [v["index"] for v in result["values"]] == [0, 1, 2]
+
+    def test_flaky_points_recover_with_correct_values(self, tmp_path):
+        scratch = tmp_path / "scratch"
+        scratch.mkdir()
+        grid = [{"index": i, "fail_times": 1 if i == 0 else 0,
+                 "scratch": str(scratch)} for i in range(3)]
+        record = JobRecord.fresh(_sweep_spec(grid, fn="flaky"))
+        result = execute_job(
+            record, cache_dir=tmp_path / "cache", jobs=2, retries=2
+        )
+        assert result["complete"] is True
+        assert result["retry_attempts"] >= 1
+        assert result["values"][0]["attempts"] == 2
+
+    def test_cancellation_raises_sweep_cancelled(self, tmp_path):
+        from repro.runner import SweepCancelled
+
+        record = JobRecord.fresh(_population_spec(devices=40, days=365))
+        with pytest.raises(SweepCancelled):
+            execute_job(
+                record, cache_dir=tmp_path / "cache", jobs=2,
+                should_stop=lambda: True,
+            )

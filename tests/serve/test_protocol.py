@@ -1,0 +1,141 @@
+"""Wire-format bounds: every read is limited, every answer well-formed."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import asyncio
+
+from repro.serve.protocol import (
+    MAX_BODY_BYTES,
+    MAX_REQUEST_LINE_BYTES,
+    ProtocolError,
+    read_request,
+    write_response,
+)
+
+
+def _parse(raw: bytes):
+    async def _go():
+        # StreamReader wants a running loop; build it inside the coroutine
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader)
+
+    return asyncio.run(_go())
+
+
+class _SinkWriter:
+    """Just enough StreamWriter for write_response."""
+
+    def __init__(self) -> None:
+        self.chunks: list[bytes] = []
+
+    def write(self, data: bytes) -> None:
+        self.chunks.append(data)
+
+    async def drain(self) -> None:
+        pass
+
+    @property
+    def raw(self) -> bytes:
+        return b"".join(self.chunks)
+
+
+class TestReadRequest:
+    def test_parses_method_path_headers_body(self):
+        body = b'{"client": "a"}'
+        raw = (
+            b"POST /jobs HTTP/1.1\r\n"
+            b"Content-Type: application/json\r\n"
+            + f"Content-Length: {len(body)}\r\n\r\n".encode()
+            + body
+        )
+        request = _parse(raw)
+        assert request.method == "POST"
+        assert request.path == "/jobs"
+        assert request.headers["content-type"] == "application/json"
+        assert request.json() == {"client": "a"}
+
+    def test_clean_eof_is_none_not_error(self):
+        assert _parse(b"") is None
+
+    def test_bare_lf_lines_accepted(self):
+        request = _parse(b"GET /healthz HTTP/1.1\nhost: x\n\n")
+        assert request.path == "/healthz"
+
+    @pytest.mark.parametrize(
+        "raw",
+        [
+            b"GARBAGE\r\n\r\n",
+            b"GET /path\r\n\r\n",  # no version
+            b"GET /x HTTP/1.1\r\nno-colon-here\r\n\r\n",
+            b"POST /x HTTP/1.1\r\ncontent-length: nope\r\n\r\n",
+            b"POST /x HTTP/1.1\r\ncontent-length: -5\r\n\r\n",
+        ],
+        ids=["no-parts", "no-version", "bad-header", "bad-length", "neg-length"],
+    )
+    def test_malformed_input_is_400(self, raw):
+        with pytest.raises(ProtocolError) as err:
+            _parse(raw)
+        assert err.value.status == 400
+
+    def test_oversize_request_line_is_413(self):
+        raw = b"GET /" + b"x" * MAX_REQUEST_LINE_BYTES + b" HTTP/1.1\r\n\r\n"
+        with pytest.raises(ProtocolError) as err:
+            _parse(raw)
+        assert err.value.status == 413
+
+    def test_oversize_declared_body_is_413_before_reading_it(self):
+        raw = (
+            b"POST /jobs HTTP/1.1\r\n"
+            + f"content-length: {MAX_BODY_BYTES + 1}\r\n\r\n".encode()
+        )
+        with pytest.raises(ProtocolError) as err:
+            _parse(raw)
+        assert err.value.status == 413
+
+    def test_truncated_body_is_400(self):
+        raw = b"POST /x HTTP/1.1\r\ncontent-length: 10\r\n\r\nshort"
+        with pytest.raises(ProtocolError) as err:
+            _parse(raw)
+        assert err.value.status == 400
+
+    def test_non_json_body_raises_on_decode_only(self):
+        raw = b"POST /x HTTP/1.1\r\ncontent-length: 3\r\n\r\nxyz"
+        request = _parse(raw)
+        with pytest.raises(ProtocolError):
+            request.json()
+
+
+class TestWriteResponse:
+    def _render(self, *args, **kwargs) -> bytes:
+        sink = _SinkWriter()
+        asyncio.run(write_response(sink, *args, **kwargs))
+        return sink.raw
+
+    def test_status_line_headers_and_json_body(self):
+        raw = self._render(200, {"ok": True})
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert head.startswith(b"HTTP/1.1 200 OK\r\n")
+        assert b"connection: close" in head
+        assert json.loads(body) == {"ok": True}
+        length = [
+            line for line in head.split(b"\r\n")
+            if line.startswith(b"content-length")
+        ]
+        assert length == [f"content-length: {len(body)}".encode()]
+
+    def test_retry_after_header_passes_through(self):
+        raw = self._render(429, {"error": "slow down"}, {"retry-after": "3"})
+        assert b"HTTP/1.1 429 Too Many Requests" in raw
+        assert b"retry-after: 3" in raw
+
+    def test_numpy_scalars_coerce(self):
+        import numpy as np
+
+        raw = self._render(200, {"p99": np.float64(1.5)})
+        assert json.loads(raw.partition(b"\r\n\r\n")[2]) == {"p99": 1.5}

@@ -80,6 +80,68 @@ class TestCli:
             main(["faults"])
 
 
+from repro.runner.points import lifetime_point as _real_lifetime_point  # noqa: E402
+
+
+def _fail_sos_lifetime(params: dict, seed: int):
+    """Module-level so fork workers can unpickle it by qualname."""
+    if params["build"] == "sos":
+        raise RuntimeError("injected: sos point fails")
+    return _real_lifetime_point(params, seed)
+
+
+def _fail_every_lifetime(params: dict, seed: int):
+    raise RuntimeError("injected: every point fails")
+
+
+class TestExitCodes:
+    """The 0 ok / 1 partial / 2 failed ladder scripts and CI gate on."""
+
+    def test_ladder_arithmetic(self):
+        from repro.cli import _run_exit_code
+
+        assert _run_exit_code(completed=5, failed=0) == 0
+        assert _run_exit_code(completed=3, failed=2) == 1
+        assert _run_exit_code(completed=0, failed=4) == 2
+
+    def test_keep_going_with_failed_points_exits_1(self, monkeypatch, capsys):
+        import repro.runner.points as points
+
+        monkeypatch.setattr(points, "lifetime_point", _fail_sos_lifetime)
+        code = main([
+            "lifetime", "--years", "1", "--mix", "light",
+            "--jobs", "2", "--retries", "0", "--keep-going",
+        ])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "1 point(s) failed" in out
+        assert "sos" in out  # the failed point is named, not swallowed
+        assert "tlc_baseline" in out  # the surviving points still print
+
+    def test_keep_going_with_every_point_failed_exits_2(
+        self, monkeypatch, capsys
+    ):
+        import repro.runner.points as points
+
+        monkeypatch.setattr(points, "lifetime_point", _fail_every_lifetime)
+        code = main([
+            "lifetime", "--years", "1", "--mix", "light",
+            "--jobs", "2", "--retries", "0", "--keep-going",
+        ])
+        assert code == 2
+        assert "point(s) failed" in capsys.readouterr().out
+
+    def test_submit_without_gateway_exits_3(self, capsys):
+        # nothing listens on port 9 (discard); transport failure is the
+        # fourth rung -- distinct from a job that ran and failed
+        code = main([
+            "submit", "population", "--gateway", "127.0.0.1:9",
+            "--devices", "10", "--years", "0.1",
+        ])
+        assert code == 3
+        assert "error:" in capsys.readouterr().out
+
+
 class TestObsCli:
     @pytest.fixture(scope="class")
     def run_dir(self, tmp_path_factory):
