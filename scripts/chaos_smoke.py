@@ -1,0 +1,174 @@
+"""End-to-end chaos smoke: degrade-don't-die and crash-and-resume, CI-shaped.
+
+Drives the real CLI as subprocesses -- nothing mocked -- through the two
+failure stories the chaos layer hardens:
+
+1. **ENOSPC fleet**: run ``repro population`` with
+   ``REPRO_CHAOS_FS=enospc_after=0`` so every cache store hits a full
+   disk; the fleet must *complete* (exit 0) in read-through passthrough
+   and say so (the degraded-storage warning);
+2. **crash-armed gateway restart**: start a gateway with
+   ``REPRO_CHAOS_CRASH=journal.save.post_rename``, submit a job, and
+   require the gateway to die at the label with the distinctive exit
+   code; restart it disarmed over the same state dir and require the
+   journaled job to be recovered, the identical resubmission to
+   deduplicate onto it and run to a complete result, and ``/healthz``
+   to report healthy.
+
+Any deviation exits nonzero with the captured output, so a CI step can
+gate on it directly.
+
+Usage::
+
+    PYTHONPATH=src python scripts/chaos_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+CRASH_EXIT = 86  # repro.chaos.crash.CRASH_EXIT, pinned for the smoke
+
+
+def _env(**extra: str) -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    env.pop("REPRO_CHAOS_FS", None)
+    env.pop("REPRO_CHAOS_CRASH", None)
+    env.update(extra)
+    return env
+
+
+def _cli(*args: str, timeout: float = 120.0, **extra_env: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli", *args],
+        env=_env(**extra_env), capture_output=True, text=True, timeout=timeout,
+    )
+
+
+def _fail(step: str, detail: str, output: str = "") -> None:
+    print(f"FAIL [{step}] {detail}")
+    if output:
+        print("--- captured output ---")
+        print(output)
+    raise SystemExit(1)
+
+
+def _start_gateway(state_dir: Path, port_file: Path, **extra_env: str) -> subprocess.Popen:
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--state-dir", str(state_dir),
+            "--port", "0",
+            "--port-file", str(port_file),
+            "--max-running", "1",
+            "--job-workers", "2",
+        ],
+        env=_env(**extra_env), stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT, text=True,
+    )
+
+
+def _await_port(gateway: subprocess.Popen, port_file: Path, step: str) -> str:
+    deadline = time.monotonic() + 30.0
+    while not port_file.exists():
+        if gateway.poll() is not None:
+            _fail(step, "gateway exited during startup", gateway.stdout.read())
+        if time.monotonic() > deadline:
+            _fail(step, "port file never appeared")
+        time.sleep(0.05)
+    return f"127.0.0.1:{port_file.read_text().strip()}"
+
+
+def _enospc_fleet(tmp_path: Path) -> None:
+    run = _cli(
+        "population", "--devices", "40", "--years", "0.1",
+        "--cache-dir", str(tmp_path / "cache"),
+        REPRO_CHAOS_FS="enospc_after=0",
+    )
+    if run.returncode != 0:
+        _fail("enospc", f"fleet exited {run.returncode} -- ENOSPC must "
+              f"degrade, not kill:\n{run.stdout}\n{run.stderr}")
+    if "result cache degraded" not in run.stdout:
+        _fail("enospc", f"no degraded-storage warning in output:\n{run.stdout}")
+    if "passthrough=True" not in run.stdout:
+        _fail("enospc", f"passthrough not reported:\n{run.stdout}")
+    print("PASS [enospc] full-disk fleet completed read-through and said so")
+
+
+def _crash_restart(tmp_path: Path) -> None:
+    state = tmp_path / "state"
+    submit_args = (
+        "submit", "population",
+        "--devices", "40", "--years", "0.1",
+    )
+
+    armed_port = tmp_path / "armed-port"
+    armed = _start_gateway(
+        state, armed_port, REPRO_CHAOS_CRASH="journal.save.post_rename"
+    )
+    try:
+        target = _await_port(armed, armed_port, "arm")
+        # the first journal append fires the crash point mid-submission;
+        # the client sees a dropped connection (any nonzero exit is fine)
+        _cli(*submit_args, "--gateway", target, timeout=30.0)
+        try:
+            code = armed.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            _fail("arm", "armed gateway survived the journal append")
+        if code != CRASH_EXIT:
+            _fail("arm", f"armed gateway exited {code}, expected {CRASH_EXIT} "
+                  "-- the crash point never fired", armed.stdout.read())
+        print(f"PASS [arm] gateway died at journal.save.post_rename "
+              f"(exit {CRASH_EXIT})")
+    finally:
+        if armed.poll() is None:
+            armed.kill()
+            armed.wait(timeout=10)
+
+    port_file = tmp_path / "port"
+    gateway = _start_gateway(state, port_file)
+    try:
+        target = _await_port(gateway, port_file, "restart")
+        resubmit = _cli(*submit_args, "--gateway", target, "--wait")
+        if resubmit.returncode != 0:
+            _fail("resume", f"resubmission exited {resubmit.returncode}:\n"
+                  f"{resubmit.stdout}", gateway.stdout.read() if gateway.poll()
+                  is not None else "")
+        view = json.loads(resubmit.stdout.partition("\n")[2])
+        if view["state"] != "done" or not view["result"]["complete"]:
+            _fail("resume", f"recovered job not complete:\n{resubmit.stdout}")
+        print(f"PASS [resume] journaled job {view['job_id']} recovered and "
+              f"ran to a complete result ({view['result']['devices']} devices)")
+
+        health = _cli("jobs", "--gateway", target, "--health")
+        report = json.loads(health.stdout)
+        if health.returncode != 0 or report["healthy"] is not True:
+            _fail("health", f"restarted gateway unhealthy:\n{health.stdout}")
+        if report["storage"]["degraded"]:
+            _fail("health", f"storage still degraded after restart:\n{health.stdout}")
+        print("PASS [health] restarted gateway healthy, storage clean")
+    finally:
+        if gateway.poll() is None:
+            gateway.kill()
+            gateway.wait(timeout=10)
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="chaos-smoke-") as tmp:
+        tmp_path = Path(tmp)
+        _enospc_fleet(tmp_path)
+        _crash_restart(tmp_path)
+    print("chaos smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

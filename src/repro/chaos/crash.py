@@ -1,0 +1,116 @@
+"""Labeled crash points: kill the process at a named instant, on demand.
+
+The storage/coordination stack marks the instants that matter for crash
+consistency -- just before and after a cache record's rename, around a
+journal append, after a shard reduces -- with ``crash_point("label")``.
+Disarmed (the default, and the only state production code ever runs
+in), a crash point is one truthiness check on an empty dict; armed, the
+process dies via ``os._exit`` at the n-th hit of the label, skipping
+every ``finally``/``atexit`` exactly like a SIGKILL or a power cut.
+
+Arming is environment-driven (``REPRO_CHAOS_CRASH="label"`` or
+``"label:3"`` for the third hit), so a subprocess driver -- the crash
+matrix in :mod:`repro.chaos.driver` -- can kill a sweep, fleet, or
+gateway at *every* labeled point in turn and assert that a resumed run
+is bit-identical to an uninterrupted one.  The registry below is the
+closed set of labels; arming an unknown label is an error, so the
+matrix can never silently test nothing.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = [
+    "CRASH_EXIT",
+    "CRASH_POINTS",
+    "CRASH_POINT_ENV",
+    "arm",
+    "crash_point",
+    "disarm",
+    "rearm_from_env",
+]
+
+#: distinctive exit code of an injected crash, so drivers can tell an
+#: intended kill from an ordinary failure
+CRASH_EXIT = 86
+
+CRASH_POINT_ENV = "REPRO_CHAOS_CRASH"
+
+#: Every labeled instant the stack can die at.  Closed registry: a call
+#: site adding a label must list it here or arming it fails loudly.
+CRASH_POINTS = (
+    # result cache: tmp file fully written, rename not yet issued
+    "cache.store.pre_rename",
+    # result cache: record visible under its final name
+    "cache.store.post_rename",
+    # job journal: record serialized to tmp, rename not yet issued
+    "journal.save.pre_rename",
+    # job journal: record visible under its final name
+    "journal.save.post_rename",
+    # sweep coordinator: point persisted to cache, reduction hook not run
+    "sweep.point.post_persist",
+    # fleet reduction: shard folded into the running digest
+    "fleet.shard.reduced",
+)
+
+#: armed labels -> remaining hits before exit; empty = disarmed
+_armed: dict[str, int] = {}
+
+#: indirection so unit tests can observe the exit instead of dying
+_exit = os._exit
+
+
+def crash_point(label: str) -> None:
+    """Die here if ``label`` is armed and its hit count is due.
+
+    The disarmed fast path -- the only one production code takes -- is
+    a single truthiness check; no allocation, no lookup.
+    """
+    if not _armed:
+        return
+    remaining = _armed.get(label)
+    if remaining is None:
+        return
+    if remaining > 1:
+        _armed[label] = remaining - 1
+        return
+    # mirror a power cut: say where we died (stderr survives the exit
+    # for the driver's logs), then vanish without teardown
+    os.write(2, f"chaos: crash at {label} (pid {os.getpid()})\n".encode())
+    _exit(CRASH_EXIT)
+
+
+def arm(label: str, hits: int = 1) -> None:
+    """Arm ``label`` to kill the process at its ``hits``-th future hit."""
+    if label not in CRASH_POINTS:
+        raise ValueError(
+            f"unknown crash point {label!r}; known: {', '.join(CRASH_POINTS)}"
+        )
+    if hits < 1:
+        raise ValueError("hits is 1-based")
+    _armed[label] = hits
+
+
+def disarm() -> None:
+    """Clear every armed crash point."""
+    _armed.clear()
+
+
+def rearm_from_env() -> None:
+    """(Re)load armed points from ``REPRO_CHAOS_CRASH``.
+
+    Format: comma-separated ``label`` or ``label:hits`` entries.  Runs
+    at import, so worker processes forked from an armed coordinator and
+    subprocesses spawned with the variable set are armed identically.
+    """
+    disarm()
+    raw = os.environ.get(CRASH_POINT_ENV, "").strip()
+    if not raw:
+        return
+    for item in raw.split(","):
+        label, _, hits = item.strip().partition(":")
+        arm(label, int(hits) if hits else 1)
+
+
+rearm_from_env()

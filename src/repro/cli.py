@@ -35,6 +35,11 @@ Commands
     List, inspect, cancel gateway jobs, or poll gateway health.
 ``faults selftest``
     Deterministic fault-plan replay and crash-containment smoke test.
+``chaos labels|target|matrix``
+    Infrastructure chaos: list the crash-point registry, run one
+    deterministic matrix target, or run the full crash matrix
+    (kill-at-every-label, assert bit-identical resume; see
+    ``repro.chaos``).
 ``obs report``
     Render span timings, top counters, and event totals from a run
     directory produced by ``lifetime --trace/--metrics-json``.
@@ -176,6 +181,7 @@ def _cmd_lifetime(args: argparse.Namespace) -> int:
                     retries=args.retries,
                     timeout_s=args.timeout,
                     keep_going=args.keep_going,
+                    durability=args.durability,
                     collect_obs=True,
                 )
         else:
@@ -186,6 +192,7 @@ def _cmd_lifetime(args: argparse.Namespace) -> int:
                 retries=args.retries,
                 timeout_s=args.timeout,
                 keep_going=args.keep_going,
+                durability=args.durability,
             )
     finally:
         if profiler is not None:
@@ -283,6 +290,7 @@ def _cmd_population(args: argparse.Namespace) -> int:
         timeout_s=args.timeout,
         keep_going=args.keep_going,
         name="cli-population-batch",
+        durability=args.durability,
     )
     stats = fleet.summary()
     results = [fleet.sweep]
@@ -332,6 +340,16 @@ def _cmd_population(args: argparse.Namespace) -> int:
         ["metric", "value"], rows,
         title=f"{args.devices} x {args.capacity_gb:.0f} GB '{args.build}' "
               f"devices, {args.years}y service life"))
+    storage = stats["storage"]  # empty without --cache-dir
+    if any(storage.get(key) for key in (
+            "passthrough", "store_errors",
+            "corrupt_quarantined", "invalid_payloads")):
+        detail = ", ".join(
+            f"{key}={value}" for key, value in storage.items()
+            if key != "durability"
+        )
+        print(f"\nWARNING: result cache degraded ({detail}); "
+              "fleet completed read-through")
     if args.bench_json:
         write_bench_json(args.bench_json, results, notes="repro.cli population")
         print(f"\nwrote per-point timings to {args.bench_json}")
@@ -462,6 +480,62 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos_labels(args: argparse.Namespace) -> int:
+    """``repro chaos labels``: the closed crash-point registry."""
+    from repro.chaos import CRASH_POINTS, MATRIX_TARGETS
+
+    covered = {
+        label: sorted(t for t, labels in MATRIX_TARGETS.items() if label in labels)
+        for label in CRASH_POINTS
+    }
+    rows = [
+        [label, ", ".join(covered[label]) or "(uncovered)"]
+        for label in CRASH_POINTS
+    ]
+    print(format_table(["crash point", "matrix target(s)"], rows,
+                       title=f"{len(CRASH_POINTS)} labeled crash points "
+                             f"(arm: REPRO_CHAOS_CRASH=<label>[:hits])"))
+    return 0
+
+
+def _cmd_chaos_target(args: argparse.Namespace) -> int:
+    """``repro chaos target``: one matrix workload, canonical stdout.
+
+    This is the subprocess side of the crash matrix: the driver runs it
+    uninterrupted for a baseline, armed to die at a label, and again
+    over the crashed state dir -- the canonical JSON printed here is
+    what must come back bit-identical.
+    """
+    from repro.chaos import run_target
+    from repro.chaos.driver import canonical
+
+    print(canonical(run_target(args.target, args.state_dir)))
+    return 0
+
+
+def _cmd_chaos_matrix(args: argparse.Namespace) -> int:
+    """``repro chaos matrix``: kill at every label, assert identical resume."""
+    from repro.chaos import MATRIX_TARGETS, run_crash_matrix
+
+    targets = args.targets or sorted(MATRIX_TARGETS)
+    cells = sum(len(MATRIX_TARGETS[t]) for t in targets)
+    print(f"crash matrix: {len(targets)} target(s), {cells} cell(s)")
+
+    def on_row(row) -> None:
+        mark = "ok" if row.ok else "FAIL"
+        detail = "" if row.ok else f": {row.detail}"
+        print(f"  [{mark}] {row.target} @ {row.label}{detail}", flush=True)
+
+    report = run_crash_matrix(targets, base_dir=args.base_dir, on_row=on_row)
+    failed = [row for row in report.rows if not row.ok]
+    if failed:
+        print(f"crash matrix FAILED: {len(failed)} of {len(report.rows)} cell(s)")
+        return 1
+    print(f"crash matrix passed: every crash resumed bit-identically "
+          f"({len(report.rows)} cell(s))")
+    return 0
+
+
 def _cmd_obs_report(args: argparse.Namespace) -> int:
     """``repro obs report``: render observability artifacts as tables."""
     from repro.obs import format_obs_report, load_run_artifacts
@@ -502,6 +576,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         job_workers=args.job_workers,
         retries=args.retries,
         timeout_s=args.timeout,
+        durability=args.durability,
         rate_per_s=args.rate,
         burst=args.burst,
         quota=ClientQuota(
@@ -716,6 +791,12 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--keep-going", action="store_true",
                    help="report failed points as structured errors instead "
                         "of aborting the sweep")
+    p.add_argument("--durability", default="rename",
+                   choices=("none", "rename", "fsync"),
+                   help="cache write durability: none (in place; CRC catches "
+                        "crash-torn records), rename (atomic tmp+rename, "
+                        "default), fsync (rename + fsync of file and parent "
+                        "dir)")
     p.add_argument("--trace", default=None, metavar="PATH",
                    help="write the deterministic JSONL event trace here")
     p.add_argument("--metrics-json", default=None, metavar="PATH",
@@ -761,6 +842,10 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--keep-going", action="store_true",
                    help="report failed shards as structured errors instead "
                         "of aborting the fleet")
+    p.add_argument("--durability", default="rename",
+                   choices=("none", "rename", "fsync"),
+                   help="shard cache write durability (see lifetime "
+                        "--durability)")
     p.add_argument("--compare-scalar", action="store_true",
                    help="also run the per-device scalar engine and verify "
                         "the sharded wear values match it (exact mode only)")
@@ -775,6 +860,29 @@ def main(argv: list[str] | None = None) -> int:
     )
     p.add_argument("--seed", type=int, default=7)
     p.set_defaults(func=_cmd_faults)
+
+    p = sub.add_parser("chaos", help="fs/crash fault-injection utilities")
+    chaos_sub = p.add_subparsers(dest="chaos_command", required=True)
+    p = chaos_sub.add_parser("labels", help="list the crash-point registry")
+    p.set_defaults(func=_cmd_chaos_labels)
+    p = chaos_sub.add_parser(
+        "target", help="run one deterministic matrix workload (driver-facing)"
+    )
+    p.add_argument("target", choices=("fleet", "journal", "sweep"))
+    p.add_argument("--state-dir", required=True,
+                   help="cache/journal directory the workload persists into")
+    p.set_defaults(func=_cmd_chaos_target)
+    p = chaos_sub.add_parser(
+        "matrix",
+        help="kill a sweep/fleet/journal at every labeled crash point and "
+             "assert the resumed output is bit-identical",
+    )
+    p.add_argument("targets", nargs="*", metavar="TARGET",
+                   help="targets to run: fleet, journal, sweep (default: all)")
+    p.add_argument("--base-dir", default=None,
+                   help="working directory for matrix state "
+                        "(default: a fresh temp dir)")
+    p.set_defaults(func=_cmd_chaos_matrix)
 
     p = sub.add_parser("obs", help="observability utilities")
     obs_sub = p.add_subparsers(dest="obs_command", required=True)
@@ -811,6 +919,10 @@ def main(argv: list[str] | None = None) -> int:
                    help="per-point retry budget inside each job")
     p.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
                    help="per-point timeout inside each job")
+    p.add_argument("--durability", default="rename",
+                   choices=("none", "rename", "fsync"),
+                   help="journal + result-cache write durability (see "
+                        "lifetime --durability)")
     p.add_argument("--rate", type=float, default=10.0,
                    help="sustained submissions/second per client")
     p.add_argument("--burst", type=float, default=20.0,

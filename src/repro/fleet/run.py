@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable
 
+from repro.chaos import crash_point
 from repro.obs import SnapshotAccumulator, get_observer
 from repro.runner.sweep import PointResult, Sweep, SweepResult, run_sweep
 
@@ -106,6 +107,7 @@ class FleetResult:
             "mean": None if empty else self.wear.mean(),
             "worn_out_fraction": None if empty else self.wear.worn_out_fraction(),
             "wall_s": self.sweep.total_wall_s,
+            "storage": dict(self.sweep.storage),
         }
 
 
@@ -121,6 +123,7 @@ def run_fleet(
     name: str = "fleet",
     should_stop: Callable[[], bool] | None = None,
     on_shard: Callable[[int, int, int], None] | None = None,
+    durability: str = "rename",
 ) -> FleetResult:
     """Run a fleet plan: shard, fan out, reduce streamingly.
 
@@ -168,6 +171,7 @@ def run_fleet(
         if obs_acc is not None and point.obs is not None:
             obs_acc.add(point.obs["metrics"])
             point.obs = None  # folded; keep coordinator memory shard-bounded
+        crash_point("fleet.shard.reduced")
         if on_shard is not None:
             on_shard(shards_done, len(grid), wear.count)
 
@@ -183,6 +187,7 @@ def run_fleet(
         on_point=reduce_shard,
         keep_values=False,
         should_stop=should_stop,
+        durability=durability,
     )
     if plan.exact:
         if len(exact_parts) == len(grid):

@@ -6,13 +6,15 @@ cache point results on disk keyed by a stable config hash, and record
 per-point wall times for the ``BENCH_runner.json`` perf baseline.
 
 * :mod:`repro.runner.sweep`   -- Sweep/SweepResult API and the executor
-* :mod:`repro.runner.cache`   -- stable hashing + pickle-per-key store
+* :mod:`repro.runner.cache`   -- stable hashing + framed-record store
+* :mod:`repro.runner.record`  -- checksummed record framing (CRC32C)
 * :mod:`repro.runner.metrics` -- BENCH_runner.json emission
 * :mod:`repro.runner.points`  -- picklable experiment point functions
 """
 
-from .cache import CacheEntry, ResultCache, stable_key
+from .cache import DURABILITY_LEVELS, CacheEntry, ResultCache, stable_key
 from .metrics import BENCH_SCHEMA, bench_record, write_bench_json
+from .record import RecordError, crc32c, frame_record, unframe_record
 from .sweep import (
     PointError,
     PointResult,
@@ -28,8 +30,13 @@ from .sweep import (
 
 __all__ = [
     "CacheEntry",
+    "DURABILITY_LEVELS",
+    "RecordError",
     "ResultCache",
+    "crc32c",
+    "frame_record",
     "stable_key",
+    "unframe_record",
     "BENCH_SCHEMA",
     "bench_record",
     "write_bench_json",

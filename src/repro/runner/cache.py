@@ -1,31 +1,49 @@
-"""On-disk result cache for sweep points.
+"""On-disk result cache for sweep points: checksummed, degrade-don't-die.
 
 Each sweep point is identified by a *stable key*: the SHA-256 of a
 canonical JSON encoding of everything that determines its result -- the
 sweep name, a code-version tag, the point's parameters, and its derived
-seed.  Results are pickled one-file-per-key, written atomically (write
-to a temp file, then rename), so a re-run of a sweep only computes
-points whose key changed (new params, new seed derivation, or a bumped
-version tag).
+seed.  Results are persisted one-file-per-key as **framed records**
+(magic + length + CRC32C + pickled payload, see
+:mod:`repro.runner.record`), written atomically under the configured
+durability policy, so a re-run of a sweep only computes points whose
+key changed.
 
-The load contract is **"a torn or stale file is a miss, not an
-error"**: truncated writes from a killed process, hand-edited garbage,
-and pickles whose class layout has since changed (renamed module,
-removed attribute, incompatible ``__init__``) all deserialize into some
-exception -- every one of them answers "no cached value" rather than
-propagating.  Leftover ``*.tmp`` files from a writer that died before
-its rename are swept out by :meth:`ResultCache.remove_stale_tmp` once
-they are old enough that no live writer can still own them; the sweep
-runner calls it exactly once per run, from the coordinator.  Opening a
-cache does **not** scan the directory -- a worker-side open is O(1) no
-matter how many points are cached, which is what keeps million-shard
-fleets from rescanning the store once per shard.
+Three hardening contracts replace the old "a torn file is a miss"
+hand-wave:
+
+* **corruption is detected and quarantined** -- a record that fails
+  frame validation (torn tail, bit rot, truncation, wrong format) or
+  unpickles into the wrong payload shape is moved to ``corrupt/``
+  beside the store, counted, and warned about once; it is *never*
+  silently mis-loaded, and it cannot be re-detected on every restart
+  because the move happens exactly once;
+* **an explicit durability ladder** -- ``none`` writes in place (fast,
+  crash-torn files possible, the CRC catches them), ``rename`` (the
+  default) writes tmp-then-``os.replace`` so readers never see a torn
+  record, ``fsync`` additionally syncs the file *and its parent
+  directory* before/after the rename so a power cut cannot lose an
+  acknowledged store;
+* **ENOSPC degrades, it does not kill** -- the first full-disk error
+  flips the cache into read-through *passthrough* mode: cached hits are
+  still served, new stores are dropped (counted), and the sweep keeps
+  running; other I/O errors drop the single store and count it.
+
+All file I/O routes through the :mod:`repro.chaos` filesystem layer, so
+the chaos suite can fire ENOSPC/EIO/torn-write/failed-rename at seeded
+points; with chaos disabled the layer is a stateless pass-through.
+Leftover ``*.tmp`` files from a writer that died before its rename are
+swept by :meth:`ResultCache.remove_stale_tmp` once they are old enough
+that no live writer can still own them; opening a cache does **not**
+scan the directory -- a worker-side open stays O(1).
 """
 
 from __future__ import annotations
 
+import errno
 import hashlib
 import json
+import logging
 import math
 import os
 import pickle
@@ -35,14 +53,24 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
 
-__all__ = ["CacheEntry", "ResultCache", "stable_key"]
+from repro.chaos import crash_point, get_fs
+from repro.obs import get_observer
 
-#: Exceptions that mean "this cache file cannot serve a hit".  Beyond
-#: torn-file errors (UnpicklingError/EOFError/KeyError), a *stale* pickle
-#: whose class layout changed since it was written surfaces as
-#: AttributeError (attribute/class gone), ImportError/ModuleNotFoundError
-#: (module moved), TypeError (constructor signature changed), or
-#: IndexError (reduce payload reshaped) -- all of them are misses.
+from .record import RecordError, frame_record, unframe_record
+
+__all__ = ["CacheEntry", "DURABILITY_LEVELS", "ResultCache", "stable_key"]
+
+_LOG = logging.getLogger("repro.runner.cache")
+
+#: the durability ladder, weakest to strongest
+DURABILITY_LEVELS = ("none", "rename", "fsync")
+
+#: Exceptions that mean "this payload cannot serve a hit".  Beyond
+#: torn-pickle errors (UnpicklingError/EOFError), a *stale* pickle whose
+#: class layout changed since it was written surfaces as AttributeError
+#: (attribute/class gone), ImportError/ModuleNotFoundError (module
+#: moved), TypeError (constructor signature changed), or IndexError
+#: (reduce payload reshaped) -- all of them quarantine as stale.
 _MISS_ERRORS = (
     pickle.UnpicklingError,
     EOFError,
@@ -106,7 +134,7 @@ class CacheEntry:
 
 
 class ResultCache:
-    """Pickle-per-key store under one directory.
+    """Framed-record-per-key store under one directory.
 
     Construction is deliberately rescan-free: it creates the directory
     and nothing else.  Stale-``*.tmp`` cleanup is a separate, explicit
@@ -115,47 +143,198 @@ class ResultCache:
     fine, one sweep per *open* is quadratic.  Pass ``scan_stale_tmp=True``
     to opt a construction into the sweep (what the sweep coordinator
     does, once per :func:`~repro.runner.sweep.run_sweep` call).
+
+    ``durability`` picks a rung of :data:`DURABILITY_LEVELS`; ``fs``
+    overrides the process-global :func:`repro.chaos.get_fs` layer (the
+    chaos suite injects faults through it).
     """
 
     #: age (seconds) past which an orphaned ``*.tmp`` file is fair game
     STALE_TMP_AGE_S = 3600.0
 
-    def __init__(self, root: str | Path, *, scan_stale_tmp: bool = False) -> None:
+    #: subdirectory quarantined (corrupt/invalid) records are moved to
+    CORRUPT_DIR = "corrupt"
+
+    def __init__(
+        self,
+        root: str | Path,
+        *,
+        scan_stale_tmp: bool = False,
+        durability: str = "rename",
+        fs=None,
+    ) -> None:
+        if durability not in DURABILITY_LEVELS:
+            raise ValueError(
+                f"durability must be one of {DURABILITY_LEVELS}, got {durability!r}"
+            )
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self.durability = durability
+        self.fs = fs if fs is not None else get_fs()
+        #: latched by the first ENOSPC: serve hits, drop new stores
+        self.passthrough = False
+        #: stores dropped (passthrough mode or individual I/O errors)
+        self.stores_dropped = 0
+        #: non-ENOSPC I/O errors that each dropped one store
+        self.store_errors = 0
+        #: records moved to ``corrupt/`` after failing validation
+        self.corrupt_quarantined = 0
+        #: well-formed pickles whose payload shape was wrong
+        self.invalid_payloads = 0
         if scan_stale_tmp:
             self.remove_stale_tmp()
 
     def _path(self, key: str) -> Path:
         return self.root / f"{key}.pkl"
 
+    # -- reads -----------------------------------------------------------------
+
     def load(self, key: str) -> CacheEntry | None:
-        """Return the cached entry for ``key``, or None on miss/corruption."""
+        """Return the cached entry for ``key``, or None on miss.
+
+        Damage is *detected*, never mis-loaded: a record failing frame
+        validation (CRC/magic/length) or carrying the wrong payload
+        shape is quarantined to ``corrupt/`` and answers as a miss.
+        """
         path = self._path(key)
         try:
-            with path.open("rb") as fh:
-                payload = pickle.load(fh)
-            return CacheEntry(value=payload["value"], wall_s=payload["wall_s"])
+            data = path.read_bytes()
         except FileNotFoundError:
             return None
-        except _MISS_ERRORS:
-            # a torn or stale file is a miss, not an error
+        except OSError:
+            get_observer().count("cache.read_errors")
             return None
+        try:
+            payload_bytes = unframe_record(data)
+        except RecordError as err:
+            self._quarantine(path, err.reason)
+            return None
+        try:
+            payload = pickle.loads(payload_bytes)
+        except _MISS_ERRORS:
+            # checksum passed but the pickle's class layout has moved on
+            # (renamed module, removed attribute): stale, not torn
+            self._quarantine(path, "stale-pickle")
+            return None
+        if (
+            not isinstance(payload, dict)
+            or "value" not in payload
+            or not isinstance(payload.get("wall_s"), (int, float))
+        ):
+            # a well-formed pickle with the wrong shape must be a miss
+            # here, not a KeyError at some distant use-site
+            self.invalid_payloads += 1
+            get_observer().count("cache.invalid_payloads")
+            self._quarantine(path, "invalid-payload")
+            return None
+        return CacheEntry(value=payload["value"], wall_s=float(payload["wall_s"]))
+
+    def _quarantine(self, path: Path, reason: str) -> None:
+        """Move one damaged record to ``corrupt/``, once, loudly."""
+        dest = self.root / self.CORRUPT_DIR / path.name
+        try:
+            dest.parent.mkdir(exist_ok=True)
+            os.replace(path, dest)
+        except OSError:
+            # cannot move (disk trouble, concurrent delete): leave it --
+            # the next store of this key overwrites it anyway
+            dest = path
+        self.corrupt_quarantined += 1
+        get_observer().count("cache.corrupt_quarantined")
+        _LOG.warning(
+            "quarantined corrupt cache record %s (%s) -> %s", path.name, reason, dest
+        )
+
+    # -- writes ----------------------------------------------------------------
 
     def store(self, key: str, value: Any, wall_s: float) -> None:
-        """Atomically persist one point result."""
+        """Persist one point result under the durability policy.
+
+        Serialization errors (unpicklable values) raise -- they are
+        bugs.  I/O errors degrade: ENOSPC latches passthrough mode and
+        every store from then on is dropped (hits are still served);
+        any other ``OSError`` drops this store and counts it.
+        """
+        if self.passthrough:
+            self.stores_dropped += 1
+            get_observer().count("cache.stores_dropped")
+            return
+        framed = frame_record(pickle.dumps({"value": value, "wall_s": wall_s}))
         path = self._path(key)
+        try:
+            if self.durability == "none":
+                self._write_in_place(path, framed)
+            else:
+                self._write_rename(path, framed)
+        except OSError as err:
+            self._degrade(err)
+
+    def _write_in_place(self, path: Path, framed: bytes) -> None:
+        fs = self.fs
+        with fs.open_write(path) as fh:
+            fs.write(fh, framed)
+
+    def _write_rename(self, path: Path, framed: bytes) -> None:
+        fs = self.fs
         fd, tmp_name = tempfile.mkstemp(dir=self.root, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as fh:
-                pickle.dump({"value": value, "wall_s": wall_s}, fh)
-            os.replace(tmp_name, path)
+                fs.write(fh, framed)
+                if self.durability == "fsync":
+                    fs.fsync(fh)
+            crash_point("cache.store.pre_rename")
+            fs.replace(tmp_name, path)
+            if self.durability == "fsync":
+                fs.fsync_dir(self.root)
+            crash_point("cache.store.post_rename")
         except BaseException:
             try:
                 os.unlink(tmp_name)
             except FileNotFoundError:
                 pass
             raise
+
+    def _degrade(self, err: OSError) -> None:
+        """Fold one failed store into the degradation state."""
+        self.stores_dropped += 1
+        obs = get_observer()
+        obs.count("cache.stores_dropped")
+        if err.errno == errno.ENOSPC:
+            if not self.passthrough:
+                self.passthrough = True
+                obs.count("cache.enospc_passthrough")
+                _LOG.warning(
+                    "result cache %s: disk full (ENOSPC); degrading to "
+                    "read-through passthrough -- hits still served, new "
+                    "stores dropped",
+                    self.root,
+                )
+        else:
+            self.store_errors += 1
+            obs.count("cache.store_errors")
+            _LOG.warning(
+                "result cache %s: dropped one store (%s)", self.root, err
+            )
+
+    # -- reporting -------------------------------------------------------------
+
+    def storage_report(self) -> dict:
+        """Plain-data degradation/durability summary for results and health."""
+        return {
+            "durability": self.durability,
+            "passthrough": self.passthrough,
+            "stores_dropped": self.stores_dropped,
+            "store_errors": self.store_errors,
+            "corrupt_quarantined": self.corrupt_quarantined,
+            "invalid_payloads": self.invalid_payloads,
+        }
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the cache is running in a reduced mode."""
+        return self.passthrough or self.store_errors > 0
+
+    # -- maintenance -----------------------------------------------------------
 
     def remove_stale_tmp(self, max_age_s: float | None = None) -> int:
         """Delete orphaned ``*.tmp`` files left by a killed writer.

@@ -41,6 +41,7 @@ construction).
 from __future__ import annotations
 
 import math
+import os
 import signal
 import time
 from collections import deque
@@ -53,6 +54,7 @@ from typing import Any, Callable, Sequence
 import numpy as np
 
 from repro import __version__ as _CODE_VERSION
+from repro.chaos import crash_point
 from repro.obs import get_observer, merge_point_traces, merge_snapshots, observed
 
 from .cache import ResultCache, stable_key
@@ -220,6 +222,9 @@ class SweepResult:
     errors: list[PointError] = field(default_factory=list)
     #: worker pools rebuilt after a crash or timeout kill
     pool_rebuilds: int = 0
+    #: the cache's degradation/durability report (empty when uncached);
+    #: see :meth:`repro.runner.cache.ResultCache.storage_report`
+    storage: dict = field(default_factory=dict)
 
     def values(self) -> list[Any]:
         """Successful point values in grid order."""
@@ -303,6 +308,33 @@ def _worker_init() -> None:
     signal.signal(signal.SIGTERM, signal.SIG_DFL)
     # Ctrl-C teardown is the coordinator's job; workers must not race it
     signal.signal(signal.SIGINT, signal.SIG_IGN)
+    _die_with_parent()
+
+
+def _die_with_parent() -> None:  # pragma: no cover - exercised via subprocess
+    """Tie this worker's life to its coordinator (Linux PDEATHSIG).
+
+    A coordinator that dies without pool teardown -- SIGKILL, power cut,
+    an armed :func:`repro.chaos.crash_point` -- cannot close the call
+    queue under its workers: every worker also inherits a write end of
+    the queue's pipe, so the read side never sees EOF and each worker
+    blocks in ``get()`` forever, reparented to init.  ``PR_SET_PDEATHSIG``
+    makes the kernel deliver SIGTERM to the worker the instant its
+    parent exits, so crashed coordinators never leak a worker fleet.
+    Best-effort: silently a no-op off Linux or without libc.
+    """
+    try:
+        import ctypes
+
+        libc = ctypes.CDLL("libc.so.6", use_errno=True)
+        PR_SET_PDEATHSIG = 1
+        libc.prctl(PR_SET_PDEATHSIG, signal.SIGTERM, 0, 0, 0)
+        # the parent may have died between our fork and the prctl; the
+        # kernel only signals on *future* deaths, so check once
+        if os.getppid() == 1:
+            os._exit(0)
+    except OSError:
+        pass
 
 
 def _execute_point(
@@ -514,6 +546,7 @@ class _Coordinator:
         # persist first: a crash after this line loses nothing
         if self.cache is not None:
             self.cache.store(self.keys[index], value, wall_s)
+        crash_point("sweep.point.post_persist")
         self.results[index] = _finish_point(
             PointResult(
                 index=index, params=self.sweep.grid[index],
@@ -662,6 +695,7 @@ def _run_serial(
             else:
                 if cache is not None:
                     cache.store(keys[index], value, wall_s)
+                crash_point("sweep.point.post_persist")
                 results[index] = _finish_point(
                     PointResult(
                         index=index, params=sweep.grid[index], seed=seeds[index],
@@ -685,6 +719,7 @@ def run_sweep(
     on_point: Callable[[PointResult], None] | None = None,
     keep_values: bool = True,
     should_stop: Callable[[], bool] | None = None,
+    durability: str = "rename",
 ) -> SweepResult:
     """Run every point of ``sweep`` and return results in grid order.
 
@@ -733,6 +768,11 @@ def run_sweep(
         killing every in-flight worker, so cancellation genuinely tears
         down running shards; already-completed points stay in the cache
         and a re-run of the same sweep resumes from them.
+    durability:
+        Cache write policy (``none``/``rename``/``fsync``); see
+        :data:`repro.runner.cache.DURABILITY_LEVELS`.  The default
+        ``rename`` keeps benchmarks honest (no fsync stalls) while
+        readers still never observe a torn record.
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
@@ -750,7 +790,7 @@ def run_sweep(
     # the coordinator sweeps orphaned *.tmp files exactly once per run;
     # every other cache open (workers, reducers) is rescan-free
     cache = (
-        ResultCache(cache_dir, scan_stale_tmp=True)
+        ResultCache(cache_dir, scan_stale_tmp=True, durability=durability)
         if cache_dir is not None
         else None
     )
@@ -797,4 +837,5 @@ def run_sweep(
         points=[results[i] for i in range(n) if i in results],
         errors=[errors[i] for i in sorted(errors)],
         pool_rebuilds=pool_rebuilds,
+        storage=cache.storage_report() if cache is not None else {},
     )

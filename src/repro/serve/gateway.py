@@ -69,6 +69,9 @@ class GatewayConfig:
     retries: int = 2
     #: per-point timeout handed to each job's sweep
     timeout_s: float | None = None
+    #: durability rung for the job journal and every job's result cache
+    #: (one of :data:`repro.runner.cache.DURABILITY_LEVELS`)
+    durability: str = "rename"
     #: submissions per second a client may sustain...
     rate_per_s: float = 10.0
     #: ...and the burst a quiet client may save up
@@ -88,7 +91,7 @@ class Gateway:
     def __init__(self, config: GatewayConfig) -> None:
         self.config = config
         state = Path(config.state_dir)
-        self.store = JobStore(state / "jobs")
+        self.store = JobStore(state / "jobs", durability=config.durability)
         self.cache_dir = str(state / "cache")
         self.health = HealthMonitor(config.thresholds, clock=config.clock)
         self.limiter = RateLimiter(config.rate_per_s, config.burst, config.clock)
@@ -104,6 +107,7 @@ class Gateway:
             job_workers=config.job_workers,
             retries=config.retries,
             timeout_s=config.timeout_s,
+            durability=config.durability,
             on_finish=self._job_finished,
         )
         #: records this process knows; the journal is the durable copy
@@ -186,6 +190,7 @@ class Gateway:
     def _route(self, request: Request) -> tuple[int, Any, dict | None]:
         method, path = request.method, request.path.rstrip("/") or "/"
         if path == "/healthz" and method == "GET":
+            self.health.sync_journal(self.store)
             report = self.health.report()
             if report["healthy"]:
                 return 200, report, None
@@ -225,7 +230,11 @@ class Gateway:
             self.health.count("serve.deduplicated")
             return 200, existing.public_view() | {"deduplicated": True}, None
 
-        # gate 2: health -- an unhealthy gateway admits nothing new
+        # gate 2: health -- an unhealthy gateway admits nothing new;
+        # storage degradation (journal absorbing failed saves, caches in
+        # ENOSPC passthrough) sheds here too: admitting work whose
+        # results cannot be persisted only burns compute
+        self.health.sync_journal(self.store)
         if not self.health.healthy:
             self.health.count("serve.shed.unhealthy")
             return (

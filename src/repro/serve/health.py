@@ -48,6 +48,11 @@ class HealthThresholds:
     window: int = 20
     #: worker-pool rebuilds (crashes/timeout kills) tolerated per window
     max_pool_rebuilds: int = 10
+    #: shed new admissions while durable storage is degraded (result
+    #: cache in ENOSPC passthrough, or the job journal absorbing failed
+    #: saves) -- admitting work whose results cannot be persisted only
+    #: burns compute to produce answers a restart forgets
+    shed_on_storage_degraded: bool = True
 
     def __post_init__(self) -> None:
         if not 0.0 < self.max_error_rate <= 1.0:
@@ -73,6 +78,12 @@ class HealthMonitor:
         self.started_at = clock()
         #: (ok, pool_rebuilds) per finished job, newest last
         self._recent: deque[tuple[bool, int]] = deque(maxlen=self.thresholds.window)
+        #: latest finished job reported its result cache in passthrough
+        self._cache_degraded = False
+        #: the journal's degrade-don't-die latch, as last synced
+        self._journal_degraded = False
+        #: plain-data storage picture for the /healthz payload
+        self._storage: dict = {}
 
     # -- feeds -----------------------------------------------------------------
 
@@ -96,6 +107,36 @@ class HealthMonitor:
     def count(self, name: str, amount: int = 1) -> None:
         self.registry.counter(name).inc(amount)
 
+    def storage_from_job(self, storage: dict | None) -> None:
+        """Fold one finished job's cache storage report into health.
+
+        Each job runs against its own :class:`ResultCache` handle, so
+        the report's flags describe *current* disk conditions: a job
+        whose cache hit ENOSPC flips ``cache_degraded`` on, and a later
+        job storing cleanly flips it back off -- recovery is observed,
+        not assumed.  Counters accumulate into the registry so the
+        degradation history survives the latch clearing.
+        """
+        if not storage:
+            return
+        self._cache_degraded = bool(storage.get("passthrough"))
+        for key in ("stores_dropped", "store_errors",
+                    "corrupt_quarantined", "invalid_payloads"):
+            amount = int(storage.get(key, 0))
+            if amount:
+                self.registry.counter(f"serve.cache_{key}").inc(amount)
+
+    def sync_journal(self, store) -> None:
+        """Pull the job journal's degradation state (gateway calls this
+        before every health decision; the store is the source of truth)."""
+        self._journal_degraded = bool(getattr(store, "degraded", False))
+        self._storage["journal_save_failures"] = int(
+            getattr(store, "save_failures", 0)
+        )
+        self._storage["journal_corrupt_skipped"] = int(
+            getattr(store, "corrupt_skipped", 0)
+        )
+
     # -- the decision ----------------------------------------------------------
 
     @property
@@ -110,10 +151,17 @@ class HealthMonitor:
         return sum(rebuilds for _, rebuilds in self._recent)
 
     @property
+    def storage_degraded(self) -> bool:
+        """Durable storage cannot currently absorb new work's results."""
+        return self._cache_degraded or self._journal_degraded
+
+    @property
     def healthy(self) -> bool:
         if self.error_rate > self.thresholds.max_error_rate:
             return False
         if self.recent_pool_rebuilds > self.thresholds.max_pool_rebuilds:
+            return False
+        if self.thresholds.shed_on_storage_degraded and self.storage_degraded:
             return False
         return True
 
@@ -130,6 +178,17 @@ class HealthMonitor:
                 f"{self.recent_pool_rebuilds} worker-pool rebuilds in the "
                 f"window exceed {self.thresholds.max_pool_rebuilds}"
             )
+        if self.thresholds.shed_on_storage_degraded:
+            if self._cache_degraded:
+                reasons.append(
+                    "result cache is in ENOSPC passthrough (disk full); "
+                    "new results would not be persisted"
+                )
+            if self._journal_degraded:
+                reasons.append(
+                    "job journal is absorbing failed saves; new admissions "
+                    "would not survive a restart"
+                )
         return reasons
 
     # -- reporting -------------------------------------------------------------
@@ -148,5 +207,11 @@ class HealthMonitor:
             "recent_pool_rebuilds": self.recent_pool_rebuilds,
             "queue_depth": gauges.get("serve.queue_depth", 0),
             "running_jobs": gauges.get("serve.running_jobs", 0),
+            "storage": {
+                "degraded": self.storage_degraded,
+                "cache_degraded": self._cache_degraded,
+                "journal_degraded": self._journal_degraded,
+                **self._storage,
+            },
             "counters": counters,
         }

@@ -31,6 +31,7 @@ Three pieces live here:
 from __future__ import annotations
 
 import json
+import logging
 import os
 import tempfile
 import time
@@ -38,7 +39,11 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable
 
-from repro.runner.cache import stable_key
+from repro.chaos import crash_point, get_fs
+from repro.obs import get_observer
+from repro.runner.cache import DURABILITY_LEVELS, stable_key
+
+_LOG = logging.getLogger("repro.serve.jobs")
 
 __all__ = [
     "JOB_STATES",
@@ -270,34 +275,108 @@ class JobStore:
     """Crash journal: one atomically replaced JSON file per job.
 
     The write protocol is the result cache's: serialize to a temp file
-    in the same directory, then ``os.replace`` -- a reader sees either
-    the old record or the new one, never a torn hybrid.  A file that
-    fails to parse (hand-edited, disk-torn despite the rename, written
-    by a future schema) is *skipped and counted*, never fatal: losing
-    one job's journal must not take the gateway's whole recovery down.
+    in the same directory, then replace -- a reader sees either the old
+    record or the new one, never a torn hybrid.  Hardened the same way
+    the cache is:
+
+    * a file that fails to parse (hand-edited, disk-torn despite the
+      rename, written by a future schema) is **quarantined once** to
+      ``corrupt/``, counted, and warned about -- never fatal, and never
+      re-counted on every restart, because the move takes it out of the
+      journal glob for good;
+    * a **failed save degrades, it does not kill**: the record stays
+      authoritative in memory, the failure is counted and latches the
+      ``degraded`` flag (which the gateway folds into ``/healthz``
+      shedding), and the next successful save clears it -- a full disk
+      must not take down a gateway that is still serving status and
+      cached results;
+    * writes route through the :mod:`repro.chaos` fs layer and carry
+      the ``journal.save.*`` crash points, so the crash matrix can kill
+      a gateway mid-append and assert recovery.
     """
 
-    def __init__(self, root: str | Path) -> None:
+    #: subdirectory unparseable journal entries are moved to
+    CORRUPT_DIR = "corrupt"
+
+    def __init__(
+        self,
+        root: str | Path,
+        *,
+        durability: str = "rename",
+        fs=None,
+    ) -> None:
+        if durability not in DURABILITY_LEVELS:
+            raise ValueError(
+                f"durability must be one of {DURABILITY_LEVELS}, got {durability!r}"
+            )
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self.durability = durability
+        self.fs = fs if fs is not None else get_fs()
+        #: unparseable journal entries quarantined (counted once each)
         self.corrupt_skipped = 0
+        #: journal writes that failed and were absorbed
+        self.save_failures = 0
+        #: True while the last save failed; clears on the next success
+        self.degraded = False
 
     def _path(self, job_id: str) -> Path:
         if not job_id.replace("-", "").isalnum():
             raise ValueError(f"malformed job id {job_id!r}")
         return self.root / f"{job_id}.json"
 
-    def save(self, record: JobRecord) -> None:
+    def save(self, record: JobRecord) -> bool:
+        """Journal one record; False when the write was absorbed.
+
+        Degrade-don't-die: an ``OSError`` (disk full, I/O error) is
+        counted and latched, the in-memory record stays authoritative,
+        and the gateway keeps running -- it sheds via health instead of
+        crashing.  Non-I/O errors (unserializable record) still raise;
+        they are bugs.
+        """
         record.updated_at = time.time()
         path = self._path(record.job_id)
-        payload = json.dumps(record.to_dict(), sort_keys=True, default=float)
+        payload = json.dumps(
+            record.to_dict(), sort_keys=True, default=float
+        ).encode("utf-8")
+        try:
+            if self.durability == "none":
+                self._write_in_place(path, payload)
+            else:
+                self._write_rename(record.job_id, path, payload)
+        except OSError as err:
+            self.save_failures += 1
+            self.degraded = True
+            get_observer().count("journal.save_failures")
+            _LOG.warning(
+                "job journal %s: absorbed failed save of %s (%s); record "
+                "stays in memory, gateway degrades via health",
+                self.root, record.job_id, err,
+            )
+            return False
+        self.degraded = False
+        return True
+
+    def _write_in_place(self, path: Path, payload: bytes) -> None:
+        fs = self.fs
+        with fs.open_write(path) as fh:
+            fs.write(fh, payload)
+
+    def _write_rename(self, job_id: str, path: Path, payload: bytes) -> None:
+        fs = self.fs
         fd, tmp_name = tempfile.mkstemp(
-            dir=self.root, prefix=f"{record.job_id}.", suffix=".tmp"
+            dir=self.root, prefix=f"{job_id}.", suffix=".tmp"
         )
         try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                handle.write(payload)
-            os.replace(tmp_name, path)
+            with os.fdopen(fd, "wb") as handle:
+                fs.write(handle, payload)
+                if self.durability == "fsync":
+                    fs.fsync(handle)
+            crash_point("journal.save.pre_rename")
+            fs.replace(tmp_name, path)
+            if self.durability == "fsync":
+                fs.fsync_dir(self.root)
+            crash_point("journal.save.post_rename")
         except BaseException:
             try:
                 os.unlink(tmp_name)
@@ -312,9 +391,24 @@ class JobStore:
             return JobRecord.from_dict(data)
         except FileNotFoundError:
             return None
-        except (json.JSONDecodeError, KeyError, TypeError, ValueError):
-            self.corrupt_skipped += 1
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError) as err:
+            self._quarantine(path, err)
             return None
+
+    def _quarantine(self, path: Path, err: Exception) -> None:
+        """Move one unparseable journal entry aside, once, loudly."""
+        dest = self.root / self.CORRUPT_DIR / path.name
+        try:
+            dest.parent.mkdir(exist_ok=True)
+            os.replace(path, dest)
+        except OSError:
+            dest = path  # cannot move; at least it is counted this run
+        self.corrupt_skipped += 1
+        get_observer().count("journal.corrupt_skipped")
+        _LOG.warning(
+            "quarantined corrupt journal entry %s (%s) -> %s",
+            path.name, err, dest,
+        )
 
     def load_all(self) -> list[JobRecord]:
         """Every parseable record, oldest submission first."""
@@ -354,6 +448,7 @@ def execute_job(
     timeout_s: float | None = None,
     should_stop: Callable[[], bool] | None = None,
     on_progress: Callable[[dict], None] | None = None,
+    durability: str = "rename",
 ) -> dict:
     """Run one job to completion; blocking (the scheduler threads it).
 
@@ -370,10 +465,12 @@ def execute_job(
     spec = record.spec
     if spec.kind == "population":
         return _execute_population(
-            spec, cache_dir, jobs, retries, timeout_s, should_stop, on_progress
+            spec, cache_dir, jobs, retries, timeout_s, should_stop, on_progress,
+            durability,
         )
     return _execute_sweep(
-        spec, cache_dir, jobs, retries, timeout_s, should_stop, on_progress
+        spec, cache_dir, jobs, retries, timeout_s, should_stop, on_progress,
+        durability,
     )
 
 
@@ -397,6 +494,7 @@ def _execute_population(
     timeout_s: float | None,
     should_stop: Callable[[], bool] | None,
     on_progress: Callable[[dict], None] | None,
+    durability: str,
 ) -> dict:
     from repro.fleet import FleetPlan, run_fleet
 
@@ -431,6 +529,7 @@ def _execute_population(
         name="serve-population",
         should_stop=should_stop,
         on_shard=report,
+        durability=durability,
     )
     result = fleet.summary()
     result["errors"] = _point_errors(fleet.sweep.errors)
@@ -448,6 +547,7 @@ def _execute_sweep(
     timeout_s: float | None,
     should_stop: Callable[[], bool] | None,
     on_progress: Callable[[dict], None] | None,
+    durability: str,
 ) -> dict:
     from repro.runner.sweep import Sweep, run_sweep
 
@@ -479,6 +579,7 @@ def _execute_sweep(
         keep_going=True,
         on_point=on_point,
         should_stop=should_stop,
+        durability=durability,
     )
     result = {
         "points": len(outcome.points),
@@ -489,6 +590,7 @@ def _execute_sweep(
         "retry_attempts": outcome.retry_attempts,
         "wall_s": outcome.total_wall_s,
         "errors": _point_errors(outcome.errors),
+        "storage": dict(outcome.storage),
     }
     # point values ride along only when they are plain data (the test
     # doubles return dicts; simulation objects summarize elsewhere)

@@ -55,6 +55,7 @@ class Scheduler:
         job_workers: int = 2,
         retries: int = 2,
         timeout_s: float | None = None,
+        durability: str = "rename",
         on_finish: Callable[[JobRecord], None] | None = None,
     ) -> None:
         if max_running < 1 or max_queue < 1:
@@ -67,6 +68,7 @@ class Scheduler:
         self.job_workers = job_workers
         self.retries = retries
         self.timeout_s = timeout_s
+        self.durability = durability
         self.on_finish = on_finish
         self._queues: dict[str, deque[JobRecord]] = {}
         self._rotation: deque[str] = deque()
@@ -171,6 +173,7 @@ class Scheduler:
                 jobs=self.job_workers,
                 retries=self.retries,
                 timeout_s=self.timeout_s,
+                durability=self.durability,
                 should_stop=cancel.is_set,
                 # dict.update is atomic enough for a progress feed read
                 # by the status endpoint between events
@@ -204,6 +207,9 @@ class Scheduler:
                 pool_rebuilds=int(stats.get("pool_rebuilds", 0)),
                 retries=int(stats.get("retry_attempts", 0)),
             )
+            # each job ran against its own cache handle, so its storage
+            # report is a fresh reading of disk health -- fold it in
+            self.health.storage_from_job(stats.get("storage"))
         if self.on_finish is not None:
             self.on_finish(record)
 

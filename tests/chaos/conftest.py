@@ -1,0 +1,29 @@
+"""Chaos-test guardrails.
+
+Crash and fault-injection tests spawn subprocesses and worker pools; a
+regression shows up as a hang, not a failure.  Opt the directory into
+the shared SIGALRM wall-clock clamp, and guarantee every test leaves
+the process-global chaos state (fs layer, armed crash points) exactly
+as it found it -- a leaked ChaosFs would poison the rest of the suite.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos import REAL_FS, disarm, get_fs, set_fs
+
+
+@pytest.fixture(autouse=True)
+def _clamped(wall_clock_clamp):
+    """Apply the shared SIGALRM wall-clock clamp to every test here."""
+    yield
+
+
+@pytest.fixture(autouse=True)
+def _pristine_chaos():
+    """Restore the real fs and disarm every crash point after each test."""
+    previous = get_fs()
+    yield
+    set_fs(previous if previous is REAL_FS else REAL_FS)
+    disarm()

@@ -1,0 +1,77 @@
+"""Chaos must be invisible when disabled -- the default, always.
+
+Mirrors the obs transparency guard: the fs indirection and the crash
+points are now threaded through every durable write in the repo, and
+this file pins that with chaos off (no env vars, nothing armed) they
+change *nothing*: the fs layer is the stateless real singleton, no
+crash point is armed, cache records are byte-identical run to run, and
+the healthy path emits not a single chaos/degradation obs event.
+"""
+
+from __future__ import annotations
+
+from repro.chaos import REAL_FS, get_fs
+from repro.chaos import crash as crash_mod
+from repro.obs import observed
+from repro.runner import ResultCache, Sweep, run_sweep
+from repro.chaos.driver import matrix_point
+
+
+class TestDisabledState:
+    def test_fs_layer_is_the_real_stateless_singleton(self):
+        assert get_fs() is REAL_FS
+        assert not hasattr(REAL_FS, "__dict__")  # slots: no per-call state
+
+    def test_no_crash_point_is_armed(self):
+        assert crash_mod._armed == {}
+
+
+class TestBitIdentical:
+    def test_cache_records_byte_identical_across_runs(self, tmp_path):
+        """Same store through the chaos-threaded write path twice: the
+        on-disk framed records are byte-for-byte identical."""
+        payload = {"value": {"x": [1, 2.5, "s"]}, "wall": 0.125}
+        blobs = []
+        for name in ("a", "b"):
+            cache = ResultCache(tmp_path / name)
+            cache.store("k", payload["value"], payload["wall"])
+            blobs.append((tmp_path / name / "k.pkl").read_bytes())
+        assert blobs[0] == blobs[1]
+
+    def test_sweep_identical_with_chaos_hooks_in_path(self, tmp_path):
+        grid = tuple({"i": i} for i in range(4))
+        results = []
+        for name in ("a", "b"):
+            sweep = Sweep(name="transparency", fn=matrix_point, grid=grid,
+                          base_seed=3)
+            outcome = run_sweep(sweep, jobs=1, cache_dir=tmp_path / name)
+            results.append([p.value for p in outcome.points])
+        assert results[0] == results[1]
+
+    def test_healthy_path_emits_no_degradation_events(self, tmp_path):
+        """Quarantine/passthrough counters fire only on damage; a clean
+        store-and-load run must not touch them (golden obs traces
+        elsewhere depend on that silence)."""
+        with observed() as obs:
+            cache = ResultCache(tmp_path)
+            cache.store("k", {"v": 1}, 0.01)
+            assert cache.load("k").value == {"v": 1}
+        counters = obs.registry.snapshot()["counters"]
+        assert not any(
+            key.startswith(("cache.", "journal.")) for key in counters
+        ), counters
+
+    def test_storage_report_is_all_quiet(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store("k", 1, 0.0)
+        cache.load("k")
+        report = cache.storage_report()
+        assert report == {
+            "durability": "rename",
+            "passthrough": False,
+            "stores_dropped": 0,
+            "store_errors": 0,
+            "corrupt_quarantined": 0,
+            "invalid_payloads": 0,
+        }
+        assert cache.degraded is False

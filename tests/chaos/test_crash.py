@@ -1,0 +1,94 @@
+"""Crash points: a closed registry, an env protocol, an exact exit."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos import (
+    CRASH_EXIT,
+    CRASH_POINT_ENV,
+    CRASH_POINTS,
+    arm,
+    crash_point,
+    disarm,
+    rearm_from_env,
+)
+from repro.chaos import crash as crash_mod
+
+
+@pytest.fixture
+def exits(monkeypatch):
+    """Capture would-be ``os._exit`` calls instead of dying."""
+    calls: list[int] = []
+    monkeypatch.setattr(crash_mod, "_exit", calls.append)
+    return calls
+
+
+class TestRegistry:
+    def test_labels_are_unique_and_namespaced(self):
+        assert len(set(CRASH_POINTS)) == len(CRASH_POINTS)
+        assert all("." in label for label in CRASH_POINTS)
+
+    def test_arming_unknown_label_fails_loudly(self):
+        # the matrix must never silently test nothing
+        with pytest.raises(ValueError, match="unknown crash point"):
+            arm("cache.store.pre_renam")
+
+    def test_hits_is_one_based(self):
+        with pytest.raises(ValueError):
+            arm(CRASH_POINTS[0], hits=0)
+
+
+class TestFiring:
+    def test_disarmed_is_a_no_op(self, exits):
+        for label in CRASH_POINTS:
+            crash_point(label)
+        assert exits == []
+
+    def test_armed_label_fires_with_the_distinctive_exit(self, exits, capfd):
+        arm("cache.store.pre_rename")
+        crash_point("cache.store.post_rename")  # different label: no fire
+        assert exits == []
+        crash_point("cache.store.pre_rename")
+        assert exits == [CRASH_EXIT]
+        assert "chaos: crash at cache.store.pre_rename" in capfd.readouterr().err
+
+    def test_hits_counts_down(self, exits):
+        arm("journal.save.pre_rename", hits=3)
+        crash_point("journal.save.pre_rename")
+        crash_point("journal.save.pre_rename")
+        assert exits == []
+        crash_point("journal.save.pre_rename")
+        assert exits == [CRASH_EXIT]
+
+    def test_disarm_clears_everything(self, exits):
+        arm("fleet.shard.reduced")
+        disarm()
+        crash_point("fleet.shard.reduced")
+        assert exits == []
+
+
+class TestEnvProtocol:
+    def test_rearm_from_env_parses_labels_and_hits(self, monkeypatch, exits):
+        monkeypatch.setenv(
+            CRASH_POINT_ENV, "sweep.point.post_persist, fleet.shard.reduced:2"
+        )
+        rearm_from_env()
+        crash_point("fleet.shard.reduced")
+        assert exits == []
+        crash_point("sweep.point.post_persist")
+        assert exits == [CRASH_EXIT]
+
+    def test_rearm_from_empty_env_disarms(self, monkeypatch, exits):
+        arm("cache.store.pre_rename")
+        monkeypatch.delenv(CRASH_POINT_ENV, raising=False)
+        rearm_from_env()
+        crash_point("cache.store.pre_rename")
+        assert exits == []
+
+    def test_rearm_rejects_unknown_labels(self, monkeypatch):
+        monkeypatch.setenv(CRASH_POINT_ENV, "not.a.label")
+        with pytest.raises(ValueError):
+            rearm_from_env()
+        monkeypatch.delenv(CRASH_POINT_ENV)
+        rearm_from_env()

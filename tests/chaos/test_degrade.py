@@ -1,0 +1,169 @@
+"""Degrade-don't-die: ENOSPC, EIO, and torn writes under injection.
+
+The acceptance story: a fleet whose disk fills mid-run *completes* in
+read-through passthrough with the degradation visible in its storage
+report and obs counters; a gateway journal that cannot persist keeps
+serving from memory and sheds via health; corrupt records quarantine
+exactly once.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos import REAL_FS, ChaosFs, FaultSpec, chaos_fs
+from repro.obs import observed
+from repro.runner import ResultCache
+from repro.serve.health import HealthMonitor, HealthThresholds
+from repro.serve.jobs import JobRecord, JobSpec, JobStore
+
+
+def _spec(seed=0):
+    return JobSpec(
+        client="chaos-test",
+        kind="sweep",
+        params={"fn": "lifetime", "grid": [{"i": seed}], "base_seed": seed},
+    )
+
+
+class TestCacheDegradation:
+    def test_enospc_latches_passthrough_hits_still_served(self, tmp_path):
+        warm = ResultCache(tmp_path)
+        warm.store("hot", {"answer": 42}, 0.5)
+
+        cache = ResultCache(tmp_path, fs=ChaosFs(seed=0, spec=FaultSpec(enospc_after=0)))
+        cache.store("cold", {"answer": 43}, 0.5)  # absorbed, not raised
+        assert cache.passthrough is True
+        assert cache.stores_dropped == 1
+        assert cache.load("hot").value == {"answer": 42}  # hits survive
+        assert cache.load("cold") is None
+        cache.store("cold", {"answer": 43}, 0.5)  # passthrough short-circuit
+        assert cache.stores_dropped == 2
+        report = cache.storage_report()
+        assert report["passthrough"] is True
+        assert cache.degraded is True
+
+    def test_eio_drops_one_store_without_latching(self, tmp_path):
+        cache = ResultCache(tmp_path, fs=ChaosFs(seed=0, spec=FaultSpec(eio_rate=1.0)))
+        cache.store("k", 1, 0.0)
+        assert cache.passthrough is False  # EIO is per-store, not terminal
+        assert cache.store_errors == 1
+        assert cache.stores_dropped == 1
+
+    def test_torn_write_detected_never_misloaded(self, tmp_path):
+        """durability=none + a 100% torn-write fs: every record on disk
+        is a silent prefix; the CRC turns each into a quarantined miss."""
+        cache = ResultCache(
+            tmp_path, durability="none",
+            fs=ChaosFs(seed=0, spec=FaultSpec(torn_write_rate=1.0)),
+        )
+        cache.store("k", {"big": list(range(200))}, 0.5)
+        assert cache.load("k") is None
+        assert cache.corrupt_quarantined == 1
+        assert (tmp_path / "corrupt" / "k.pkl").exists()
+
+    def test_store_counters_surface_in_obs(self, tmp_path):
+        with observed() as obs:
+            cache = ResultCache(
+                tmp_path, fs=ChaosFs(seed=0, spec=FaultSpec(enospc_after=0))
+            )
+            cache.store("k", 1, 0.0)
+        counters = obs.registry.snapshot()["counters"]
+        assert counters["cache.enospc_passthrough"] == 1
+        assert counters["cache.stores_dropped"] == 1
+
+
+class TestFleetUnderEnospc:
+    def test_fleet_completes_in_passthrough(self, tmp_path):
+        """The headline acceptance: disk fills, the fleet still answers,
+        and the degradation is visible in the summary and obs."""
+        from repro.fleet import FleetPlan, run_fleet
+
+        plan = FleetPlan(
+            n_devices=20, days=20, capacity_gb=64.0, seed=3,
+            shard_size=5, chunk=5,
+        )
+        with observed() as obs:
+            with chaos_fs(ChaosFs(seed=0, spec=FaultSpec(enospc_after=0))):
+                fleet = run_fleet(plan, jobs=1, cache_dir=tmp_path / "cache")
+        summary = fleet.summary()
+        assert summary["complete"] is True
+        assert summary["devices"] == 20
+        assert summary["storage"]["passthrough"] is True
+        assert summary["storage"]["stores_dropped"] == summary["shards"]
+        counters = obs.registry.snapshot()["counters"]
+        assert counters["cache.enospc_passthrough"] == 1
+        assert counters["cache.stores_dropped"] == summary["shards"]
+
+
+class TestJournalDegradation:
+    def test_failed_save_absorbed_and_latched(self, tmp_path):
+        store = JobStore(
+            tmp_path, fs=ChaosFs(seed=0, spec=FaultSpec(enospc_after=0))
+        )
+        record = JobRecord.fresh(_spec())
+        assert store.save(record) is False  # absorbed, not raised
+        assert store.degraded is True
+        assert store.save_failures == 1
+        assert store.load(record.job_id) is None  # memory, not disk, has it
+
+    def test_successful_save_clears_the_latch(self, tmp_path):
+        store = JobStore(tmp_path, fs=ChaosFs(seed=0, spec=FaultSpec(enospc_after=0)))
+        record = JobRecord.fresh(_spec())
+        store.save(record)
+        assert store.degraded is True
+        store.fs = REAL_FS
+        assert store.save(record) is True
+        assert store.degraded is False  # recovery is observed, not assumed
+        assert store.load(record.job_id).job_id == record.job_id
+
+    def test_corrupt_entry_quarantined_once_across_restarts(self, tmp_path):
+        """The restart-recount bug: a corrupt journal entry must be
+        counted at its first detection and never again."""
+        first = JobStore(tmp_path)
+        good = JobRecord.fresh(_spec())
+        first.save(good)
+        (tmp_path / "jdeadbeefdeadbeef.json").write_text("{torn")
+        assert [r.job_id for r in first.load_all()] == [good.job_id]
+        assert first.corrupt_skipped == 1
+        assert (tmp_path / "corrupt" / "jdeadbeefdeadbeef.json").exists()
+
+        second = JobStore(tmp_path)  # the restart
+        assert [r.job_id for r in second.load_all()] == [good.job_id]
+        assert second.corrupt_skipped == 0  # quarantined, not re-counted
+
+
+class TestHealthShedding:
+    def test_cache_passthrough_sheds_and_recovers(self):
+        health = HealthMonitor()
+        assert health.healthy is True
+        health.storage_from_job({"passthrough": True, "stores_dropped": 4})
+        assert health.healthy is False
+        assert any("ENOSPC" in r for r in health.unhealthy_reasons())
+        health.storage_from_job({"passthrough": False, "stores_dropped": 0})
+        assert health.healthy is True  # a later clean job clears the latch
+
+    def test_journal_degradation_sheds(self, tmp_path):
+        health = HealthMonitor()
+        store = JobStore(tmp_path, fs=ChaosFs(seed=0, spec=FaultSpec(enospc_after=0)))
+        store.save(JobRecord.fresh(_spec()))
+        health.sync_journal(store)
+        assert health.healthy is False
+        assert any("journal" in r for r in health.unhealthy_reasons())
+        report = health.report()
+        assert report["storage"]["journal_degraded"] is True
+        assert report["storage"]["journal_save_failures"] == 1
+
+    def test_storage_shedding_can_be_disabled(self):
+        health = HealthMonitor(HealthThresholds(shed_on_storage_degraded=False))
+        health.storage_from_job({"passthrough": True})
+        assert health.healthy is True
+        assert health.unhealthy_reasons() == []
+
+    def test_counters_accumulate_past_recovery(self):
+        health = HealthMonitor()
+        health.storage_from_job({"passthrough": True, "stores_dropped": 3})
+        health.storage_from_job({"passthrough": False, "corrupt_quarantined": 2})
+        counters = health.registry.snapshot()["counters"]
+        assert counters["serve.cache_stores_dropped"] == 3
+        assert counters["serve.cache_corrupt_quarantined"] == 2

@@ -1,0 +1,127 @@
+"""The seeded filesystem shim: deterministic faults, inert when off."""
+
+from __future__ import annotations
+
+import errno
+
+import pytest
+
+from repro.chaos import (
+    CHAOS_FS_ENV,
+    REAL_FS,
+    ChaosFs,
+    FaultSpec,
+    chaos_fs,
+    get_fs,
+    set_fs,
+)
+from repro.chaos.fs import _fs_from_env
+
+
+class TestFaultSpec:
+    @pytest.mark.parametrize("field", [
+        "enospc_rate", "eio_rate", "torn_write_rate", "rename_fail_rate",
+    ])
+    def test_rates_validated(self, field):
+        with pytest.raises(ValueError, match=field):
+            FaultSpec(**{field: 1.5})
+
+    def test_enospc_after_validated(self):
+        with pytest.raises(ValueError):
+            FaultSpec(enospc_after=-1)
+
+
+class TestDeterminism:
+    def _drive(self, seed, tmp_path):
+        fs = ChaosFs(seed=seed, spec=FaultSpec(
+            eio_rate=0.3, torn_write_rate=0.3, rename_fail_rate=0.3,
+        ))
+        outcomes = []
+        for i in range(20):
+            target = tmp_path / f"f{i}"
+            try:
+                with open(target, "wb") as fh:
+                    fs.write(fh, b"x" * 64)
+                outcomes.append(("wrote", target.stat().st_size))
+            except OSError as err:
+                outcomes.append(("raised", err.errno))
+        return outcomes, dict(fs.injected)
+
+    def test_same_seed_same_faults(self, tmp_path):
+        (a_dir := tmp_path / "a").mkdir()
+        (b_dir := tmp_path / "b").mkdir()
+        first, first_injected = self._drive(7, a_dir)
+        second, second_injected = self._drive(7, b_dir)
+        assert first == second
+        assert first_injected == second_injected
+        assert sum(first_injected.values()) > 0  # faults actually fired
+
+    def test_different_seed_different_schedule(self, tmp_path):
+        (a_dir := tmp_path / "a").mkdir()
+        (b_dir := tmp_path / "b").mkdir()
+        first, _ = self._drive(7, a_dir)
+        second, _ = self._drive(8, b_dir)
+        assert first != second
+
+    def test_torn_write_persists_strict_prefix_silently(self, tmp_path):
+        fs = ChaosFs(seed=0, spec=FaultSpec(torn_write_rate=1.0))
+        target = tmp_path / "torn"
+        with open(target, "wb") as fh:
+            fs.write(fh, b"0123456789")  # succeeds: the nasty case
+        assert 0 < target.stat().st_size < 10
+        assert fs.injected["torn_write"] == 1
+
+    def test_enospc_after_schedule(self, tmp_path):
+        fs = ChaosFs(seed=0, spec=FaultSpec(enospc_after=2))
+        for i in range(2):
+            with open(tmp_path / f"ok{i}", "wb") as fh:
+                fs.write(fh, b"data")
+        with pytest.raises(OSError) as err:
+            with open(tmp_path / "full", "wb") as fh:
+                fs.write(fh, b"data")
+        assert err.value.errno == errno.ENOSPC
+        assert fs.injected["enospc"] == 1
+
+    def test_rename_fail(self, tmp_path):
+        fs = ChaosFs(seed=0, spec=FaultSpec(rename_fail_rate=1.0))
+        src = tmp_path / "src"
+        src.write_bytes(b"x")
+        with pytest.raises(OSError):
+            fs.replace(src, tmp_path / "dst")
+        assert src.exists()  # a failed rename leaves the source alone
+
+
+class TestInstallation:
+    def test_default_is_the_real_singleton(self):
+        assert get_fs() is REAL_FS
+
+    def test_context_scopes_and_restores(self):
+        fake = ChaosFs(seed=1)
+        with chaos_fs(fake) as installed:
+            assert installed is fake
+            assert get_fs() is fake
+        assert get_fs() is REAL_FS
+
+    def test_set_fs_returns_previous(self):
+        fake = ChaosFs(seed=1)
+        assert set_fs(fake) is REAL_FS
+        assert set_fs(REAL_FS) is fake
+
+    def test_env_parsing(self, monkeypatch):
+        monkeypatch.setenv(
+            CHAOS_FS_ENV, "seed=9, enospc_after=3, torn_write_rate=0.25"
+        )
+        fs = _fs_from_env()
+        assert isinstance(fs, ChaosFs)
+        assert fs.seed == 9
+        assert fs.spec.enospc_after == 3
+        assert fs.spec.torn_write_rate == 0.25
+
+    def test_env_empty_is_real(self, monkeypatch):
+        monkeypatch.delenv(CHAOS_FS_ENV, raising=False)
+        assert _fs_from_env() is REAL_FS
+
+    def test_env_unknown_field_fails_loudly(self, monkeypatch):
+        monkeypatch.setenv(CHAOS_FS_ENV, "tornn_rate=0.5")
+        with pytest.raises(ValueError, match="unknown field"):
+            _fs_from_env()

@@ -1,0 +1,117 @@
+"""Framed records: damage is *detected*, never mis-loaded.
+
+The property the whole hardened-cache story rests on: for any framed
+record, any single-byte corruption or truncation either still yields
+the exact original payload (impossible for CRC32C over <2^31 bits to
+miss a one-byte change -- but the property allows it) or raises
+``RecordError``.  What must never happen is a *different* payload
+coming back without an error.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runner.record import (
+    HEADER_SIZE,
+    MAGIC,
+    RecordError,
+    crc32c,
+    frame_record,
+    unframe_record,
+)
+
+
+class TestCrc32c:
+    def test_castagnoli_check_value(self):
+        # the canonical CRC-32C check vector (RFC 3720 appendix B.4)
+        assert crc32c(b"123456789") == 0xE3069283
+
+    def test_empty_is_zero(self):
+        assert crc32c(b"") == 0
+
+    def test_incremental_equals_one_shot(self):
+        data = bytes(range(256)) * 3
+        running = 0
+        for i in range(0, len(data), 7):
+            running = crc32c(data[i:i + 7], running)
+        assert running == crc32c(data)
+
+
+class TestFraming:
+    def test_round_trip(self):
+        payload = pickle.dumps({"value": [1, 2.5, "x"], "wall_s": 0.25})
+        assert unframe_record(frame_record(payload)) == payload
+
+    def test_header_layout(self):
+        framed = frame_record(b"abc")
+        assert framed[:4] == MAGIC
+        assert len(framed) == HEADER_SIZE + 3
+
+    def test_empty_payload_frames(self):
+        assert unframe_record(frame_record(b"")) == b""
+
+    @pytest.mark.parametrize("cut", [0, 1, HEADER_SIZE - 1])
+    def test_truncated_header_is_detected(self, cut):
+        framed = frame_record(b"payload")
+        with pytest.raises(RecordError) as err:
+            unframe_record(framed[:cut])
+        assert err.value.reason == "truncated-header"
+
+    def test_wrong_magic_is_detected(self):
+        framed = bytearray(frame_record(b"payload"))
+        framed[0] ^= 0xFF
+        with pytest.raises(RecordError) as err:
+            unframe_record(bytes(framed))
+        assert err.value.reason == "bad-magic"
+
+    def test_truncated_payload_is_detected(self):
+        framed = frame_record(b"payload")
+        with pytest.raises(RecordError) as err:
+            unframe_record(framed[:-1])
+        assert err.value.reason == "length-mismatch"
+
+    def test_flipped_payload_byte_is_detected(self):
+        framed = bytearray(frame_record(b"payload"))
+        framed[HEADER_SIZE] ^= 0x01
+        with pytest.raises(RecordError) as err:
+            unframe_record(bytes(framed))
+        assert err.value.reason == "crc-mismatch"
+
+
+@st.composite
+def _framed_and_damage(draw):
+    payload = draw(st.binary(min_size=0, max_size=200))
+    framed = frame_record(payload)
+    mode = draw(st.sampled_from(["flip", "truncate", "extend"]))
+    if mode == "flip":
+        index = draw(st.integers(0, len(framed) - 1))
+        bit = draw(st.integers(0, 7))
+        damaged = bytearray(framed)
+        damaged[index] ^= 1 << bit
+        damaged = bytes(damaged)
+    elif mode == "truncate":
+        cut = draw(st.integers(0, len(framed) - 1))
+        damaged = framed[:cut]
+    else:
+        damaged = framed + draw(st.binary(min_size=1, max_size=16))
+    return payload, damaged
+
+
+class TestDamageProperty:
+    @settings(max_examples=200, deadline=None)
+    @given(_framed_and_damage())
+    def test_any_damage_is_detected_or_harmless(self, case):
+        """Bit flips, truncation, and trailing garbage never yield a
+        *different* payload silently -- wrong answers are worse than
+        missing ones."""
+        payload, damaged = case
+        try:
+            recovered = unframe_record(damaged)
+        except RecordError:
+            return  # detected: the cache treats it as a miss + quarantine
+        assert recovered == payload

@@ -1,4 +1,4 @@
-"""Stable hashing and the pickle-per-key result cache."""
+"""Stable hashing and the framed-record-per-key result cache."""
 
 from __future__ import annotations
 
@@ -159,3 +159,56 @@ class TestCrashConsistency:
         with pytest.raises(Exception):
             cache.store(stable_key({"p": 1}), lambda: None, wall_s=0.1)
         assert list(tmp_path.glob("*.tmp")) == []
+
+
+class TestHardening:
+    """Framing, quarantine, and the durability ladder."""
+
+    def test_records_are_framed_on_disk(self, tmp_path):
+        from repro.runner.record import MAGIC, unframe_record
+
+        cache = ResultCache(tmp_path)
+        key = stable_key({"p": 1})
+        cache.store(key, {"answer": 42}, wall_s=0.5)
+        raw = (tmp_path / f"{key}.pkl").read_bytes()
+        assert raw[:4] == MAGIC
+        payload = pickle.loads(unframe_record(raw))
+        assert payload == {"value": {"answer": 42}, "wall_s": 0.5}
+
+    def test_corrupt_record_quarantined_exactly_once(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = stable_key({"p": 1})
+        cache.store(key, "value", wall_s=0.1)
+        path = tmp_path / f"{key}.pkl"
+        path.write_bytes(b"not a framed record")
+        assert cache.load(key) is None
+        assert cache.corrupt_quarantined == 1
+        assert not path.exists()
+        assert (tmp_path / "corrupt" / path.name).exists()
+        # the move makes a second detection impossible: plain miss now
+        assert cache.load(key) is None
+        assert cache.corrupt_quarantined == 1
+
+    def test_invalid_payload_shape_quarantined_and_counted(self, tmp_path):
+        from repro.runner.record import frame_record
+
+        cache = ResultCache(tmp_path)
+        key = stable_key({"p": 1})
+        (tmp_path / f"{key}.pkl").write_bytes(
+            frame_record(pickle.dumps({"no": "value"}))
+        )
+        assert cache.load(key) is None
+        assert cache.invalid_payloads == 1
+        assert (tmp_path / "corrupt" / f"{key}.pkl").exists()
+
+    @pytest.mark.parametrize("durability", ["none", "rename", "fsync"])
+    def test_every_durability_rung_round_trips(self, tmp_path, durability):
+        cache = ResultCache(tmp_path / durability, durability=durability)
+        key = stable_key({"p": 1})
+        cache.store(key, {"answer": 42}, wall_s=0.5)
+        assert cache.load(key) == CacheEntry(value={"answer": 42}, wall_s=0.5)
+        assert cache.storage_report()["durability"] == durability
+
+    def test_unknown_durability_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="durability"):
+            ResultCache(tmp_path, durability="paranoid")
