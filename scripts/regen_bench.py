@@ -16,6 +16,12 @@ Runs the recorded sweeps in one process and writes a single
   reduced to a mergeable wear histogram, never materialized), so the
   curve should stay ~linear in device count.
 
+A top-level ``store`` section additionally records the column store's
+size and scan throughput for a cached 10k-device fleet against the
+pickle-per-point counterfactual (one framed pickle per device, the
+scalar engine's cache granularity) -- the ``>= 5x`` smaller claim, as a
+number.
+
 The scalar/batch pair records the batching speedup, the scaling rows
 the sharding throughput, as part of the perf trajectory: compare
 ``total_wall_s`` across sweeps.
@@ -27,11 +33,17 @@ Usage::
 
 from __future__ import annotations
 
+import pickle
 import sys
+import tempfile
+import time
 from pathlib import Path
 
 from repro.fleet import FleetPlan, run_fleet
 from repro.runner import Sweep, run_sweep, write_bench_json
+from repro.runner.cache import ResultCache
+from repro.runner.record import frame_record
+from repro.store import ColumnStore
 from repro.runner.points import (
     DEFAULT_MIX_WEIGHTS,
     assign_mixes,
@@ -53,6 +65,67 @@ FLEET_SCALING = (
     ("fleet-scaling-100k", 100_000, 5_000, 1_000),
     ("fleet-scaling-1m", 1_000_000, 50_000, 1_000),
 )
+
+#: the store size/throughput comparison: the fleet-scaling-10k plan,
+#: run once more *with* a cache so observables land in columns.rcs
+STORE_BENCH_DEVICES = 10_000
+
+
+def store_bench() -> dict:
+    """Column store vs pickle-per-point for a 10k-device fleet.
+
+    The counterfactual is the scalar engine's cache granularity: one
+    framed pickle per device holding that device's observables.  The
+    store side is the real artifact a cached fleet run leaves behind
+    (``columns.rcs``, compacted), and the scan number is a cold
+    off-disk quantile query over every device's wear.
+    """
+    plan = FleetPlan(
+        n_devices=STORE_BENCH_DEVICES, days=FLEET_DAYS, capacity_gb=64.0,
+        seed=606, mix_weights=DEFAULT_MIX_WEIGHTS, shard_size=2_500, chunk=500,
+    )
+    with tempfile.TemporaryDirectory(prefix="store-bench-") as cache_dir:
+        run_fleet(plan, jobs=1, cache_dir=cache_dir, name="store-bench")
+        store_path = Path(cache_dir) / ResultCache.STORE_FILE
+        raw_bytes = store_path.stat().st_size
+        store = ColumnStore(store_path)
+        store.compact()
+        compacted_bytes = store_path.stat().st_size
+
+        # pickle-per-point counterfactual, from the same observables
+        baseline_bytes = 0
+        devices = 0
+        columns: dict[str, list] = {}
+        for _, name, arr in store.scan():
+            columns.setdefault(name, []).append(arr)
+        per_column = {
+            name: [v for part in parts for v in part.tolist()]
+            for name, parts in columns.items()
+        }
+        for i in range(STORE_BENCH_DEVICES):
+            value = {name: vals[i] for name, vals in per_column.items()}
+            baseline_bytes += len(
+                frame_record(pickle.dumps({"value": value, "wall_s": 0.0}))
+            )
+            devices += 1
+
+        # cold off-disk scan: every device's wear out of the block index
+        cold = ColumnStore(store_path, mode="read")
+        start = time.perf_counter()
+        wear = cold.column_values("obs.wear")
+        scan_s = time.perf_counter() - start
+        assert len(wear) == STORE_BENCH_DEVICES
+        return {
+            "devices": devices,
+            "days": FLEET_DAYS,
+            "codec": store.codec,
+            "store_bytes": raw_bytes,
+            "compacted_bytes": compacted_bytes,
+            "pickle_per_point_bytes": baseline_bytes,
+            "size_ratio": round(baseline_bytes / compacted_bytes, 2),
+            "scan_wall_s": scan_s,
+            "scan_values_per_s": round(len(wear) / scan_s) if scan_s else None,
+        }
 
 
 def main(path: str) -> int:
@@ -114,7 +187,17 @@ def main(path: str) -> int:
               f"{'exact' if plan.exact else 'histogram'} reduction, "
               f"p99 wear {fleet.wear.quantile(0.99):.4f})")
 
-    write_bench_json(path, results, notes="scripts/regen_bench.py")
+    store = store_bench()
+    print(f"store: {store['devices']} devices -> "
+          f"{store['compacted_bytes']:,} bytes compacted "
+          f"({store['codec']}), pickle-per-point "
+          f"{store['pickle_per_point_bytes']:,} bytes, "
+          f"{store['size_ratio']:.1f}x smaller; wear scan "
+          f"{store['scan_values_per_s']:,} values/s")
+
+    write_bench_json(
+        path, results, notes="scripts/regen_bench.py", extras={"store": store}
+    )
     print(f"wrote {path}")
     return 0
 

@@ -1,0 +1,139 @@
+"""End-to-end column store smoke: cache -> query -> damage -> compact, CI-shaped.
+
+Drives the real CLI as subprocesses -- nothing mocked -- through the
+column store's whole life cycle:
+
+1. **populate**: ``repro population --cache-dir`` runs a small fleet;
+   its shard observables must land in ``columns.rcs`` beside the shard
+   pickles;
+2. **query off-disk**: ``repro store inspect`` verifies clean, and
+   ``repro store scan --column obs.wear`` answers the wear distribution
+   from the block index with every device accounted for;
+3. **resume**: the same fleet re-run over the cache must be all cache
+   hits (the store rehydrates every shard bit-identically -- a wrong
+   byte would change the printed percentiles);
+4. **damage**: flip one byte in the middle of ``columns.rcs``; the
+   re-run must still exit 0 (the damaged shard degrades to a
+   recomputed miss, never to wrong data) and print the same numbers;
+5. **compact**: ``repro store compact`` rewrites live entries only and
+   ``inspect`` verifies clean after; the off-disk scan output is
+   byte-identical before and after.
+
+Any deviation exits nonzero with the captured output, so a CI step can
+gate on it directly.
+
+Usage::
+
+    PYTHONPATH=src python scripts/store_smoke.py
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+
+POPULATION = [
+    "population", "--devices", "120", "--years", "0.2",
+    "--shard-size", "40", "--chunk", "40", "--seed", "11",
+    "--cache-dir",  # + dir
+]
+
+
+def _cli(*args: str, timeout: float = 300.0) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    env.pop("REPRO_CHAOS_FS", None)
+    env.pop("REPRO_CHAOS_CRASH", None)
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli", *args],
+        capture_output=True, text=True, timeout=timeout, env=env,
+    )
+
+
+def _require(proc: subprocess.CompletedProcess, step: str, expect_rc: int = 0) -> str:
+    if proc.returncode != expect_rc:
+        print(f"FAIL [{step}]: exit {proc.returncode}, expected {expect_rc}")
+        print("-- stdout --\n" + proc.stdout)
+        print("-- stderr --\n" + proc.stderr)
+        sys.exit(1)
+    print(f"ok [{step}]")
+    return proc.stdout
+
+
+def _wear_table(cache: str) -> str:
+    return _require(
+        _cli("store", "scan", cache, "--column", "obs.wear"), "store scan obs.wear"
+    )
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="store-smoke-") as cache:
+        store_file = Path(cache) / "columns.rcs"
+
+        # 1. populate through the real fleet path
+        first = _require(_cli(*POPULATION, cache), "population (cold)")
+        if not store_file.exists():
+            print(f"FAIL: fleet run left no column store at {store_file}")
+            return 1
+
+        # 2. off-disk queries
+        inspect = _require(_cli("store", "inspect", cache), "store inspect")
+        if "verify: clean" not in inspect:
+            print("FAIL: inspect did not verify clean:\n" + inspect)
+            return 1
+        scan = _wear_table(cache)
+        if "120" not in scan:  # every device's wear answered off-disk
+            print("FAIL: scan does not account for all 120 devices:\n" + scan)
+            return 1
+
+        # 3. warm resume: identical numbers, no recompute needed
+        second = _require(_cli(*POPULATION, cache), "population (warm)")
+        if _percentiles(first) != _percentiles(second):
+            print("FAIL: warm re-run changed the percentile lines")
+            print("-- cold --\n" + first + "-- warm --\n" + second)
+            return 1
+
+        # 4. single-byte damage degrades to a recomputed miss, not wrong data
+        blob = bytearray(store_file.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        store_file.write_bytes(bytes(blob))
+        healed = _require(_cli(*POPULATION, cache), "population (damaged store)")
+        if _percentiles(first) != _percentiles(healed):
+            print("FAIL: damaged-store re-run changed the percentile lines")
+            print("-- cold --\n" + first + "-- healed --\n" + healed)
+            return 1
+
+        # 5. compact, verify clean, and the off-disk answers are unchanged
+        before_scan = _wear_table(cache)
+        _require(_cli("store", "compact", cache), "store compact")
+        after = _require(_cli("store", "inspect", cache), "store inspect (compacted)")
+        if "verify: clean" not in after:
+            print("FAIL: store does not verify clean after compact:\n" + after)
+            return 1
+        if _wear_table(cache) != before_scan:
+            print("FAIL: compaction changed the off-disk wear distribution")
+            return 1
+
+    print("store smoke: all steps passed")
+    return 0
+
+
+def _percentiles(output: str) -> list[str]:
+    """The wear-distribution lines of a population run's report."""
+    lines = [
+        line.strip() for line in output.splitlines()
+        if any(tag in line for tag in ("p50", "p90", "p99", "median", "max"))
+    ]
+    if not lines:
+        print("FAIL: population output carries no percentile lines:\n" + output)
+        sys.exit(1)
+    return lines
+
+
+if __name__ == "__main__":
+    sys.exit(main())

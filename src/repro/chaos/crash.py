@@ -52,6 +52,12 @@ CRASH_POINTS = (
     "sweep.point.post_persist",
     # fleet reduction: shard folded into the running digest
     "fleet.shard.reduced",
+    # column store: block frame appended, index not yet rewritten
+    "store.block.append",
+    # column store: footer index appended (checkpoint durable)
+    "store.index.write",
+    # column store: compacted tmp fully written, rename not yet issued
+    "store.compact.rename",
 )
 
 #: armed labels -> remaining hits before exit; empty = disarmed

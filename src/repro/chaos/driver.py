@@ -59,10 +59,19 @@ MATRIX_TARGETS: dict[str, tuple[str, ...]] = {
         "cache.store.post_rename",
         "sweep.point.post_persist",
         "fleet.shard.reduced",
+        # shard observables route through the column store: a block is
+        # appended per persisted shard, the index at finalize
+        "store.block.append",
+        "store.index.write",
     ),
     "journal": (
         "journal.save.pre_rename",
         "journal.save.post_rename",
+    ),
+    "store": (
+        "store.block.append",
+        "store.index.write",
+        "store.compact.rename",
     ),
 }
 
@@ -86,6 +95,8 @@ def run_target(name: str, state_dir: str | Path) -> dict:
         return _target_fleet(Path(state_dir))
     if name == "journal":
         return _target_journal(Path(state_dir))
+    if name == "store":
+        return _target_store(Path(state_dir))
     raise ValueError(
         f"unknown matrix target {name!r}; known: {', '.join(sorted(MATRIX_TARGETS))}"
     )
@@ -163,6 +174,55 @@ def _target_journal(state_dir: Path) -> dict:
         )
     out.sort(key=lambda item: item["job_id"])
     return {"jobs": out, "corrupt_skipped": store.corrupt_skipped}
+
+
+def _target_store(state_dir: Path) -> dict:
+    """Drive a ColumnStore through append, checkpoint, and compact.
+
+    Written to *converge*: every put is guarded by a presence check, so
+    a run resumed over crashed state skips what already landed, and the
+    final :meth:`~repro.store.ColumnStore.compact` rewrites the file
+    from sorted logical content -- whatever block layout the crash and
+    resume history produced, the compacted bytes (and so their SHA-256)
+    match the uninterrupted run's exactly.
+    """
+    import hashlib
+
+    import numpy as np
+
+    from repro.store import ColumnStore
+
+    path = Path(state_dir) / "store" / "target.rcs"
+    # small block_bytes: each put flushes its own block, so the
+    # block-append crash point fires on the very first key
+    store = ColumnStore(path, codec="zlib", block_bytes=256)
+    for index in range(6):
+        key = f"point-{index:02d}"
+        if key not in store:
+            lane = np.arange(40, dtype=np.float64) * (index + 1)
+            store.put(key, {
+                "wear": lane / 100.0,
+                "retired": (np.arange(40, dtype=np.int64) * (index + 3)) % 7,
+            })
+    store.checkpoint()
+    report = store.compact()
+    listing = {}
+    for key in store.keys():
+        arrays = store.get(key)
+        listing[key] = {
+            name: {
+                "dtype": str(arr.dtype),
+                "shape": list(arr.shape),
+                "sha256": hashlib.sha256(arr.tobytes()).hexdigest(),
+            }
+            for name, arr in sorted(arrays.items())
+        }
+    return {
+        "keys": store.keys(),
+        "columns": listing,
+        "compacted_sha256": hashlib.sha256(path.read_bytes()).hexdigest(),
+        "dropped": report["dropped_entries"],
+    }
 
 
 def canonical(payload: dict) -> str:

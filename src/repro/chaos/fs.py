@@ -65,6 +65,9 @@ class RealFs:
     def open_write(self, path: str | Path) -> BinaryIO:
         return open(path, "wb")
 
+    def open_append(self, path: str | Path) -> BinaryIO:
+        return open(path, "ab")
+
     def write(self, fh: BinaryIO, data: bytes) -> None:
         fh.write(data)
 
@@ -169,6 +172,17 @@ class ChaosFs(RealFs):
         if decision < self.spec.enospc_rate:
             self._fire("enospc", "open", errno.ENOSPC)
         return super().open_write(path)
+
+    def open_append(self, path: str | Path) -> BinaryIO:
+        # appends share the "open" ordinal stream: to an injection
+        # schedule a store-block append and a record create are the
+        # same kind of durable open
+        ordinal, decision, _ = self._next("open")
+        if self.spec.enospc_after is not None and ordinal >= self.spec.enospc_after:
+            self._fire("enospc", "open", errno.ENOSPC)
+        if decision < self.spec.enospc_rate:
+            self._fire("enospc", "open", errno.ENOSPC)
+        return super().open_append(path)
 
     def write(self, fh: BinaryIO, data: bytes) -> None:
         ordinal, decision, detail = self._next("write")

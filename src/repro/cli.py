@@ -43,6 +43,11 @@ Commands
 ``obs report``
     Render span timings, top counters, and event totals from a run
     directory produced by ``lifetime --trace/--metrics-json``.
+``store inspect|scan|compact``
+    Columnar result store (``columns.rcs``) utilities: header/index
+    stats and integrity verification, off-disk column scans with
+    distribution quantiles, and live-entry compaction (see
+    ``repro.store``).
 """
 
 from __future__ import annotations
@@ -536,6 +541,94 @@ def _cmd_chaos_matrix(args: argparse.Namespace) -> int:
     return 0
 
 
+def _store_path(raw: str):
+    """Resolve a store argument: the file itself, or a cache dir holding
+    one (the ``columns.rcs`` the result cache writes)."""
+    from pathlib import Path
+
+    from repro.runner.cache import ResultCache
+
+    path = Path(raw)
+    if path.is_dir():
+        path = path / ResultCache.STORE_FILE
+    if not path.exists():
+        raise SystemExit(f"no column store at {path}")
+    return path
+
+
+def _cmd_store_inspect(args: argparse.Namespace) -> int:
+    """``repro store inspect``: stats + integrity verdict, read-only."""
+    from repro.store import ColumnStore
+
+    store = ColumnStore(_store_path(args.store), mode="read")
+    stats = store.stats().to_dict()
+    rows = [[key, str(value)] for key, value in stats.items()]
+    print(format_table(["field", "value"], rows, title="column store"))
+    problems = store.verify()
+    if problems:
+        print(f"verify: {len(problems)} problem(s)")
+        for problem in problems[:20]:
+            print(f"  {problem}")
+        return 1
+    print("verify: clean (every frame and entry validated)")
+    return 0
+
+
+def _cmd_store_scan(args: argparse.Namespace) -> int:
+    """``repro store scan``: stream keys/columns, or one column's
+    distribution -- quantiles answered off-disk, no pickles rehydrated."""
+    import numpy as np
+
+    from repro.store import ColumnStore, StoreError
+
+    store = ColumnStore(_store_path(args.store), mode="read")
+    if args.column is None:
+        rows = []
+        for key in store.keys():
+            for name in store.columns(key):
+                rows.append([key[:16], name])
+        print(format_table(
+            ["key (prefix)", "column"], rows,
+            title=f"{len(store.keys())} key(s)",
+        ))
+        return 0
+    try:
+        values = store.column_values(args.column)
+    except StoreError as err:
+        raise SystemExit(f"scan failed: {err}")
+    if values.size == 0:
+        print(f"column {args.column!r}: no values")
+        return 1
+    quantiles = [0.5, 0.9, 0.99]
+    rows = [
+        ["values", str(values.size)],
+        ["min", f"{values.min():.6g}"],
+        ["max", f"{values.max():.6g}"],
+        *[
+            [f"p{int(q * 100)}", f"{float(np.quantile(values, q)):.6g}"]
+            for q in quantiles
+        ],
+    ]
+    print(format_table(["stat", "value"], rows, title=f"column {args.column!r}"))
+    return 0
+
+
+def _cmd_store_compact(args: argparse.Namespace) -> int:
+    """``repro store compact``: rewrite with live entries only."""
+    from repro.store import ColumnStore
+
+    store = ColumnStore(_store_path(args.store), mode="append")
+    report = store.compact(codec=args.codec)
+    saved = report["before_bytes"] - report["after_bytes"]
+    print(
+        f"compacted {store.path}: {report['before_bytes']} -> "
+        f"{report['after_bytes']} bytes ({saved:+d} reclaimed), "
+        f"{report['keys']} key(s), {report['dropped_entries']} "
+        f"unreadable entr(ies) dropped"
+    )
+    return 0
+
+
 def _cmd_obs_report(args: argparse.Namespace) -> int:
     """``repro obs report``: render observability artifacts as tables."""
     from repro.obs import format_obs_report, load_run_artifacts
@@ -868,7 +961,7 @@ def main(argv: list[str] | None = None) -> int:
     p = chaos_sub.add_parser(
         "target", help="run one deterministic matrix workload (driver-facing)"
     )
-    p.add_argument("target", choices=("fleet", "journal", "sweep"))
+    p.add_argument("target", choices=("fleet", "journal", "store", "sweep"))
     p.add_argument("--state-dir", required=True,
                    help="cache/journal directory the workload persists into")
     p.set_defaults(func=_cmd_chaos_target)
@@ -878,7 +971,8 @@ def main(argv: list[str] | None = None) -> int:
              "assert the resumed output is bit-identical",
     )
     p.add_argument("targets", nargs="*", metavar="TARGET",
-                   help="targets to run: fleet, journal, sweep (default: all)")
+                   help="targets to run: fleet, journal, store, sweep "
+                        "(default: all)")
     p.add_argument("--base-dir", default=None,
                    help="working directory for matrix state "
                         "(default: a fresh temp dir)")
@@ -894,6 +988,30 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--top", type=int, default=10,
                    help="counters to show (largest first)")
     p.set_defaults(func=_cmd_obs_report)
+
+    p = sub.add_parser("store", help="columnar result store utilities")
+    store_sub = p.add_subparsers(dest="store_command", required=True)
+    p = store_sub.add_parser(
+        "inspect", help="stats + integrity verification (read-only)"
+    )
+    p.add_argument("store", help="store file or cache dir holding columns.rcs")
+    p.set_defaults(func=_cmd_store_inspect)
+    p = store_sub.add_parser(
+        "scan", help="list keys/columns, or one column's off-disk quantiles"
+    )
+    p.add_argument("store", help="store file or cache dir holding columns.rcs")
+    p.add_argument(
+        "--column", default=None,
+        help="scan this column and print its distribution (e.g. obs.wear)",
+    )
+    p.set_defaults(func=_cmd_store_scan)
+    p = store_sub.add_parser("compact", help="rewrite with live entries only")
+    p.add_argument("store", help="store file or cache dir holding columns.rcs")
+    p.add_argument(
+        "--codec", default=None, choices=("none", "zlib", "lzma"),
+        help="recompress with this codec (default: keep the store's)",
+    )
+    p.set_defaults(func=_cmd_store_compact)
 
     p = sub.add_parser(
         "serve",

@@ -26,7 +26,7 @@ Invariants pinned by ``tests/fleet``:
 from .plan import DEFAULT_EXACT_CAP, FleetPlan
 from .points import fleet_shard_point
 from .reduce import WEAR_BIN_WIDTH, WEAR_N_BINS, WearDigest
-from .run import FleetResult, run_fleet
+from .run import FleetResult, fleet_store_keys, fleet_wear_from_store, run_fleet
 
 __all__ = [
     "DEFAULT_EXACT_CAP",
@@ -36,5 +36,7 @@ __all__ = [
     "WEAR_N_BINS",
     "WearDigest",
     "fleet_shard_point",
+    "fleet_store_keys",
+    "fleet_wear_from_store",
     "run_fleet",
 ]

@@ -28,12 +28,19 @@ def fleet_shard_point(params: dict, seed: int) -> dict:
     ``[name, weight]`` pairs), ``capacity_gb``, ``days``, ``build``,
     ``workload_seed_base``, ``chunk``, ``exact``, optional ``faults``.
 
-    Returns ``{"devices", "start", "wear"}`` with ``wear`` a serialized
-    :class:`WearDigest`; exact shards keep per-device values in device
-    order, so the fleet layer can reassemble the population's wear
-    vector bit-identically.
+    Returns ``{"devices", "start", "wear", "obs"}``: ``wear`` is a
+    serialized histogram-only :class:`WearDigest`, and ``obs`` holds the
+    shard's end-of-life observable *columns* (float64/int64 arrays in
+    device order, ``wear``/``spare_wear``/``capacity_gb``/... -- see
+    :func:`repro.runner.points.population_batch_observables`).  The
+    result cache lifts those arrays into its column store, and the
+    fleet layer takes exact per-device wear from the ``wear`` column --
+    so one persisted value serves both streaming reduction and off-disk
+    distribution queries, without duplicating the values in the digest.
     """
-    from repro.runner.points import assign_mixes, population_batch_point
+    import numpy as np
+
+    from repro.runner.points import assign_mixes, population_batch_observables
 
     start = int(params["start"])
     count = int(params["count"])
@@ -41,7 +48,8 @@ def fleet_shard_point(params: dict, seed: int) -> dict:
     if count <= 0 or chunk <= 0:
         raise ValueError("shard count and chunk must be positive")
     base = int(params["workload_seed_base"])
-    digest = WearDigest(keep_exact=bool(params.get("exact", False)))
+    digest = WearDigest()
+    parts: list[dict] = []
     for offset in range(0, count, chunk):
         sub = min(chunk, count - offset)
         lo = start + offset
@@ -54,6 +62,17 @@ def fleet_shard_point(params: dict, seed: int) -> dict:
         }
         if params.get("faults"):
             batch_params["faults"] = params["faults"]
-        digest.add_many(population_batch_point(batch_params, seed))
+        chunk_obs = population_batch_observables(batch_params, seed)
+        digest.add_many(chunk_obs["wear"])
+        parts.append(chunk_obs)
+    obs_columns = {
+        name: np.concatenate([part[name] for part in parts])
+        for name in parts[0]
+    }
     get_observer().count("fleet.shard_devices", count)
-    return {"devices": count, "start": start, "wear": digest.to_dict()}
+    return {
+        "devices": count,
+        "start": start,
+        "wear": digest.to_dict(),
+        "obs": obs_columns,
+    }

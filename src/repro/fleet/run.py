@@ -29,16 +29,23 @@ from typing import Callable
 
 from repro.chaos import crash_point
 from repro.obs import SnapshotAccumulator, get_observer
-from repro.runner.sweep import PointResult, Sweep, SweepResult, run_sweep
+from repro.runner.sweep import PointResult, Sweep, SweepResult, derive_seeds, run_sweep
 
 from .plan import FleetPlan
 from .points import fleet_shard_point
 from .reduce import WearDigest
 
-__all__ = ["FleetResult", "run_fleet"]
+__all__ = [
+    "FleetResult",
+    "fleet_store_keys",
+    "fleet_wear_from_store",
+    "run_fleet",
+]
 
-#: bump when fleet_shard_point's meaning changes (part of cache keys)
-_FLEET_VERSION_TAG = "fleet-shard/v1"
+#: bump when fleet_shard_point's meaning changes (part of cache keys).
+#: v2: shard values carry observable columns ("obs") and a
+#: histogram-only digest; exact wear comes from the wear column.
+_FLEET_VERSION_TAG = "fleet-shard/v2"
 
 
 @dataclass(slots=True)
@@ -162,6 +169,10 @@ def run_fleet(
     def reduce_shard(point: PointResult) -> None:
         nonlocal shards_done
         digest = WearDigest.from_dict(point.value["wear"])
+        if plan.exact:
+            # exact per-device wear lives in the shard's wear column
+            # (identical floats whether fresh or store-rehydrated)
+            digest.exact = [float(v) for v in point.value["obs"]["wear"]]
         if digest.exact is not None:
             exact_parts[point.index] = digest.exact
         wear.merge_in(digest)
@@ -202,3 +213,56 @@ def run_fleet(
         obs_acc.snapshot() if obs_acc is not None and obs_acc.count else None
     )
     return FleetResult(plan=plan, wear=wear, sweep=result, obs_metrics=obs_metrics)
+
+
+def fleet_store_keys(plan: FleetPlan, name: str = "fleet") -> list[str]:
+    """The cache/store keys of ``plan``'s shards, in shard (device) order.
+
+    Exactly the keys :func:`run_fleet` persists under -- same sweep
+    name, version tag, grid, and derived seeds -- so a finished fleet's
+    column store can be queried without re-running anything.
+    """
+    grid = plan.shard_grid()
+    sweep = Sweep(
+        name=name,
+        fn=fleet_shard_point,
+        grid=grid,
+        base_seed=plan.seed,
+        version_tag=_FLEET_VERSION_TAG,
+    )
+    seeds = derive_seeds(plan.seed, len(grid))
+    return [sweep.point_key(i, seeds[i]) for i in range(len(grid))]
+
+
+def fleet_wear_from_store(
+    plan: FleetPlan,
+    cache_dir: str | Path,
+    name: str = "fleet",
+    column: str = "obs.wear",
+) -> WearDigest:
+    """Rebuild a finished fleet's wear digest *off-disk*, from the store.
+
+    Reads only the ``column`` entries of ``plan``'s shard keys out of
+    the cache's column store (block-indexed; no per-shard pickles are
+    rehydrated and nothing is recomputed), folding them in shard order
+    -- which **is** global device order, so exact-mode plans get the
+    identical exact vector, quantiles, and worn-out fraction the
+    in-memory :func:`run_fleet` reduction produced.  Raises ``KeyError``
+    when a shard is missing from the store (unfinished or damaged
+    fleet): a partial digest is never silently offered.
+    """
+    from repro.runner.cache import ResultCache
+    from repro.store import ColumnStore
+
+    path = Path(cache_dir) / ResultCache.STORE_FILE
+    store = ColumnStore(path, mode="read")
+    wear = WearDigest(keep_exact=plan.exact)
+    for index, key in enumerate(fleet_store_keys(plan, name=name)):
+        arrays = store.get(key, columns=[column])
+        if arrays is None:
+            raise KeyError(
+                f"shard {index} of fleet '{name}' is not in the store "
+                f"(key {key}); run the fleet to completion first"
+            )
+        wear.add_many(arrays[column])
+    return wear

@@ -29,6 +29,19 @@ hand-wave:
   still served, new stores are dropped (counted), and the sweep keeps
   running; other I/O errors drop the single store and count it.
 
+Values that carry numpy arrays (population-scale batch observables) do
+not pickle whole: the arrays are lifted out into a shared append-only
+:class:`repro.store.ColumnStore` file (``columns.rcs``, one per cache,
+block-compressed and footer-indexed), and the framed pickle keeps only
+a skeleton naming its columns.  Scalar values are byte-for-byte
+unaffected.  The store degrades exactly like the pickle path: a store
+that cannot be opened or appended falls back to whole-value pickles, a
+skeleton whose columns are missing or damaged quarantines as a miss
+and recomputes, and reads are *bit-identical or absent* -- never
+approximate.  The coordinator calls :meth:`ResultCache.finalize` once
+per sweep to flush and index the store; everything stays recoverable
+without it.
+
 All file I/O routes through the :mod:`repro.chaos` filesystem layer, so
 the chaos suite can fire ENOSPC/EIO/torn-write/failed-rename at seeded
 points; with chaos disabled the layer is a stateless pass-through.
@@ -155,12 +168,16 @@ class ResultCache:
     #: subdirectory quarantined (corrupt/invalid) records are moved to
     CORRUPT_DIR = "corrupt"
 
+    #: the shared column-store file for array payloads, one per cache
+    STORE_FILE = "columns.rcs"
+
     def __init__(
         self,
         root: str | Path,
         *,
         scan_stale_tmp: bool = False,
         durability: str = "rename",
+        store_codec: str = "zlib",
         fs=None,
     ) -> None:
         if durability not in DURABILITY_LEVELS:
@@ -170,6 +187,7 @@ class ResultCache:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.durability = durability
+        self.store_codec = store_codec
         self.fs = fs if fs is not None else get_fs()
         #: latched by the first ENOSPC: serve hits, drop new stores
         self.passthrough = False
@@ -181,11 +199,75 @@ class ResultCache:
         self.corrupt_quarantined = 0
         #: well-formed pickles whose payload shape was wrong
         self.invalid_payloads = 0
+        #: skeletons whose store columns were missing/damaged (recomputed)
+        self.column_misses = 0
+        #: column appends that failed and fell back to whole pickles
+        self.column_errors = 0
+        #: the lazily-opened ColumnStore (None until an array value
+        #: arrives or a skeleton is loaded); False = open failed, the
+        #: cache latched back to whole-value pickles
+        self._store = None
+        self._store_failed = False
         if scan_stale_tmp:
             self.remove_stale_tmp()
 
     def _path(self, key: str) -> Path:
         return self.root / f"{key}.pkl"
+
+    # -- the column store backend ----------------------------------------------
+
+    def _get_store(self, create: bool):
+        """The cache's ColumnStore, opened (or created) lazily.
+
+        Returns None when there is nothing to open (``create=False`` and
+        no file) or when opening failed -- the latter latches
+        ``_store_failed`` so the cache degrades to whole-value pickles
+        instead of retrying a broken store on every point.
+        """
+        if self._store is not None:
+            return self._store
+        if self._store_failed:
+            return None
+        path = self.root / self.STORE_FILE
+        if not create and not path.exists():
+            return None
+        from repro.store import ColumnStore, StoreError
+
+        try:
+            # block_bytes=1: every put flushes its own block, so a
+            # point's columns are CRC-framed on disk *before* its
+            # skeleton pickle becomes visible -- the sweep's
+            # persist-before-proceed invariant holds at the store too.
+            # compact() repacks into properly sized blocks afterwards.
+            self._store = ColumnStore(
+                path, mode="append", codec=self.store_codec,
+                block_bytes=1, durability=self.durability, fs=self.fs,
+            )
+        except (OSError, StoreError) as err:
+            self._store_failed = True
+            get_observer().count("cache.store_open_failed")
+            _LOG.warning(
+                "result cache %s: column store unavailable (%s); "
+                "falling back to whole-value pickles", self.root, err,
+            )
+            if isinstance(err, OSError):
+                self._degrade(err)
+            return None
+        return self._store
+
+    def finalize(self) -> None:
+        """Flush and index the column store (no-op without one).
+
+        The sweep coordinator calls this once per run; a cache that
+        never sees it stays fully recoverable (the store rebuilds its
+        index from block TOCs), finalizing just makes reopening O(1).
+        """
+        if self._store is None:
+            return
+        try:
+            self._store.checkpoint()
+        except OSError as err:
+            self._degrade(err)
 
     # -- reads -----------------------------------------------------------------
 
@@ -227,7 +309,38 @@ class ResultCache:
             get_observer().count("cache.invalid_payloads")
             self._quarantine(path, "invalid-payload")
             return None
-        return CacheEntry(value=payload["value"], wall_s=float(payload["wall_s"]))
+        value = payload["value"]
+        if "columns" in payload:
+            value = self._join_columns(key, path, payload)
+            if value is None:
+                return None
+        return CacheEntry(value=value, wall_s=float(payload["wall_s"]))
+
+    def _join_columns(self, key: str, path: Path, payload: dict):
+        """Rehydrate a skeleton payload from the column store.
+
+        Any trouble -- no store, missing key, missing column, damaged
+        block -- quarantines the skeleton and answers as a miss: the
+        point recomputes and re-stores, superseding the bad entry.
+        Served values are bit-identical to what was stored, or absent.
+        """
+        from repro.store import StoreError, join_value
+
+        store = self._get_store(create=False)
+        reason = "store-miss"
+        if store is not None:
+            try:
+                arrays = store.get(key, columns=payload["columns"])
+                if arrays is not None:
+                    return join_value(payload["value"], arrays)
+            except StoreError as err:
+                reason = f"store-{err.reason}"
+            except KeyError:
+                reason = "store-skeleton-mismatch"
+        self.column_misses += 1
+        get_observer().count("cache.column_misses")
+        self._quarantine(path, reason)
+        return None
 
     def _quarantine(self, path: Path, reason: str) -> None:
         """Move one damaged record to ``corrupt/``, once, loudly."""
@@ -259,7 +372,10 @@ class ResultCache:
             self.stores_dropped += 1
             get_observer().count("cache.stores_dropped")
             return
-        framed = frame_record(pickle.dumps({"value": value, "wall_s": wall_s}))
+        payload = self._split_columns(key, value, wall_s)
+        if self.passthrough:  # a store append just latched ENOSPC
+            return
+        framed = frame_record(pickle.dumps(payload))
         path = self._path(key)
         try:
             if self.durability == "none":
@@ -268,6 +384,38 @@ class ResultCache:
                 self._write_rename(path, framed)
         except OSError as err:
             self._degrade(err)
+
+    def _split_columns(self, key: str, value: Any, wall_s: float) -> dict:
+        """Build the pickle payload, lifting arrays into the column store.
+
+        Values without storable arrays produce the exact legacy payload
+        (and so the exact legacy bytes).  A failed append falls back to
+        the whole-value pickle -- except ENOSPC, which latches
+        passthrough via :meth:`_degrade` like any other full-disk write.
+        """
+        whole = {"value": value, "wall_s": wall_s}
+        from repro.store import split_value
+
+        skeleton, columns = split_value(value)
+        if not columns:
+            return whole
+        store = self._get_store(create=True)
+        if store is None:
+            return whole
+        try:
+            store.put(key, columns)
+        except OSError as err:
+            if err.errno == errno.ENOSPC:
+                self._degrade(err)
+                return whole
+            self.column_errors += 1
+            get_observer().count("cache.column_errors")
+            _LOG.warning(
+                "result cache %s: column append failed (%s); storing %s "
+                "as a whole pickle", self.root, err, key,
+            )
+            return whole
+        return {"value": skeleton, "wall_s": wall_s, "columns": sorted(columns)}
 
     def _write_in_place(self, path: Path, framed: bytes) -> None:
         fs = self.fs
@@ -319,8 +467,13 @@ class ResultCache:
     # -- reporting -------------------------------------------------------------
 
     def storage_report(self) -> dict:
-        """Plain-data degradation/durability summary for results and health."""
-        return {
+        """Plain-data degradation/durability summary for results and health.
+
+        The ``store`` sub-dict appears only when the column store is
+        active, so scalar-only caches report exactly what they always
+        did (the chaos transparency suite pins this).
+        """
+        report = {
             "durability": self.durability,
             "passthrough": self.passthrough,
             "stores_dropped": self.stores_dropped,
@@ -328,6 +481,24 @@ class ResultCache:
             "corrupt_quarantined": self.corrupt_quarantined,
             "invalid_payloads": self.invalid_payloads,
         }
+        if self._store is not None:
+            stats = self._store.stats()
+            report["store"] = {
+                "codec": stats.codec,
+                "file_bytes": stats.file_bytes,
+                "blocks": stats.blocks,
+                "keys": stats.keys,
+                "recovered": stats.recovered,
+                "column_misses": self.column_misses,
+                "column_errors": self.column_errors,
+            }
+        elif self._store_failed:
+            report["store"] = {
+                "failed": True,
+                "column_misses": self.column_misses,
+                "column_errors": self.column_errors,
+            }
+        return report
 
     @property
     def degraded(self) -> bool:

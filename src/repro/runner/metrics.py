@@ -76,8 +76,14 @@ def write_bench_json(
     path: str | Path,
     results: list[SweepResult],
     notes: str = "",
+    extras: dict | None = None,
 ) -> dict:
-    """Write a ``BENCH_runner.json`` perf baseline and return its payload."""
+    """Write a ``BENCH_runner.json`` perf baseline and return its payload.
+
+    ``extras`` merges additional top-level sections into the payload
+    (e.g. the ``store`` size/throughput comparison) without touching the
+    reserved keys; a collision raises rather than silently shadowing.
+    """
     payload = {
         "schema": BENCH_SCHEMA,
         "generated_unix": int(time.time()),
@@ -89,5 +95,10 @@ def write_bench_json(
         "notes": notes,
         "sweeps": [bench_record(r) for r in results],
     }
+    if extras:
+        clash = sorted(set(extras) & set(payload))
+        if clash:
+            raise ValueError(f"extras would shadow reserved bench keys: {clash}")
+        payload.update(extras)
     Path(path).write_text(json.dumps(payload, indent=2) + "\n")
     return payload

@@ -31,6 +31,7 @@ __all__ = [
     "sensitivity_batch_point",
     "population_point",
     "population_batch_point",
+    "population_batch_observables",
     "population_batch_grid",
     "fault_ablation_point",
 ]
@@ -294,20 +295,10 @@ def population_point(params: dict, seed: int) -> float:
     return result.final.sys_wear_fraction
 
 
-def population_batch_point(params: dict, seed: int) -> list[float]:
-    """One *chunk* of a device population in a single vectorized pass.
-
-    The batched replacement for per-user :func:`population_point` sweeps:
-    one sweep point simulates ``len(params["mixes"])`` devices through
-    :func:`repro.sim.batch.run_lifetime_batch` and returns their
-    end-of-life SYS wear fractions in user order.  ``run_sweep`` treats
-    the whole batch as one cached point.
-
-    params: ``mixes`` and ``workload_seeds`` (parallel per-device lists),
-    ``capacity_gb``, ``days``, optional ``build`` (ALL_BUILDERS key,
-    default ``tlc_baseline``) and ``faults`` (plain-data FaultConfig
-    mapping; per-device plans are seeded by each device's workload seed).
-    """
+def _population_batch_results(params: dict, seed: int) -> list:
+    """Shared body of the population batch points: one vectorized pass
+    over the chunk's devices, returning their ``LifetimeResult``s in
+    user order (see :func:`population_batch_point` for the params)."""
     from repro.sim.baselines import ALL_BUILDERS
     from repro.sim.batch import SummaryBatch, run_lifetime_batch
 
@@ -327,10 +318,54 @@ def population_batch_point(params: dict, seed: int) -> list[float]:
             _fault_plan(build, params["faults"], days, ws)
             for build, ws in zip(builds, seeds)
         ]
-    results = run_lifetime_batch(
+    return run_lifetime_batch(
         builds, SummaryBatch.from_volume_arrays(volumes), fault_plans=plans
     )
-    return [result.final.sys_wear_fraction for result in results]
+
+
+def population_batch_point(params: dict, seed: int) -> list[float]:
+    """One *chunk* of a device population in a single vectorized pass.
+
+    The batched replacement for per-user :func:`population_point` sweeps:
+    one sweep point simulates ``len(params["mixes"])`` devices through
+    :func:`repro.sim.batch.run_lifetime_batch` and returns their
+    end-of-life SYS wear fractions in user order.  ``run_sweep`` treats
+    the whole batch as one cached point.
+
+    params: ``mixes`` and ``workload_seeds`` (parallel per-device lists),
+    ``capacity_gb``, ``days``, optional ``build`` (ALL_BUILDERS key,
+    default ``tlc_baseline``) and ``faults`` (plain-data FaultConfig
+    mapping; per-device plans are seeded by each device's workload seed).
+    """
+    return [
+        result.final.sys_wear_fraction
+        for result in _population_batch_results(params, seed)
+    ]
+
+
+def population_batch_observables(params: dict, seed: int) -> dict:
+    """End-of-life observables of one population chunk, as columns.
+
+    Same params and per-device identity as :func:`population_batch_point`
+    (the ``wear`` column *is* that function's return, stacked), but every
+    final-day observable worth distribution queries comes back as one
+    float64/int64 array per column, in user order -- exactly the shape
+    the columnar result store packs into compressed blocks.
+    """
+    results = _population_batch_results(params, seed)
+    finals = [result.final for result in results]
+    return {
+        "wear": np.array([f.sys_wear_fraction for f in finals], dtype=np.float64),
+        "spare_wear": np.array(
+            [f.spare_wear_fraction for f in finals], dtype=np.float64
+        ),
+        "capacity_gb": np.array([f.capacity_gb for f in finals], dtype=np.float64),
+        "spare_quality": np.array([f.spare_quality for f in finals], dtype=np.float64),
+        "retired_groups": np.array([f.retired_groups for f in finals], dtype=np.int64),
+        "resuscitated_groups": np.array(
+            [f.resuscitated_groups for f in finals], dtype=np.int64
+        ),
+    }
 
 
 def population_batch_grid(

@@ -815,20 +815,26 @@ def run_sweep(
 
     pool_rebuilds = 0
     with obs.span("sweep.run"):
-        if jobs == 1 or not pending:
-            _run_serial(sweep, seeds, keys, cache, pending, retries,
-                        retry_backoff_s, keep_going, results, errors,
-                        collect_obs, on_point, keep_values, should_stop)
-        else:
-            coordinator = _Coordinator(
-                sweep, seeds, keys, cache, min(jobs, len(pending)),
-                retries, retry_backoff_s, timeout_s, keep_going,
-                collect_obs, on_point, keep_values, should_stop,
-            )
-            coordinator.run(pending)
-            results.update(coordinator.results)
-            errors.update(coordinator.errors)
-            pool_rebuilds = coordinator.pool_rebuilds
+        try:
+            if jobs == 1 or not pending:
+                _run_serial(sweep, seeds, keys, cache, pending, retries,
+                            retry_backoff_s, keep_going, results, errors,
+                            collect_obs, on_point, keep_values, should_stop)
+            else:
+                coordinator = _Coordinator(
+                    sweep, seeds, keys, cache, min(jobs, len(pending)),
+                    retries, retry_backoff_s, timeout_s, keep_going,
+                    collect_obs, on_point, keep_values, should_stop,
+                )
+                coordinator.run(pending)
+                results.update(coordinator.results)
+                errors.update(coordinator.errors)
+                pool_rebuilds = coordinator.pool_rebuilds
+        finally:
+            # flush + index the column store even on cancel/abort: the
+            # points persisted so far stay O(1) to reopen on resume
+            if cache is not None:
+                cache.finalize()
 
     return SweepResult(
         name=sweep.name,

@@ -75,11 +75,12 @@ class TestCrashResume:
         plan = _plan(shard_size=10, chunk=10)
         # warm exactly one shard by running a single-shard slice of the
         # same geometry through the same sweep name
+        from repro.fleet.run import _FLEET_VERSION_TAG
         from repro.runner import Sweep, run_sweep
 
         grid = plan.shard_grid()
         warm = Sweep(name="fleet", fn=fleet_shard_point, grid=grid,
-                     base_seed=plan.seed, version_tag="fleet-shard/v1")
+                     base_seed=plan.seed, version_tag=_FLEET_VERSION_TAG)
         # run the full sweep once to warm, then delete one entry
         run_sweep(warm, cache_dir=tmp_path)
         removed = 0
@@ -146,7 +147,14 @@ class TestShardPoint:
 
         digest = WearDigest.from_dict(out["wear"])
         assert out["devices"] == N_DEVICES
-        assert np.array_equal(np.asarray(digest.exact), golden_wear)
+        # v2 contract: the digest is histogram-only; exact per-device
+        # wear (device order) rides the shard's observable columns
+        assert digest.exact is None
+        assert digest.count == N_DEVICES
+        assert np.array_equal(out["obs"]["wear"], golden_wear)
+        assert out["obs"]["wear"].dtype == np.float64
+        assert set(out["obs"]) >= {"wear", "spare_wear", "capacity_gb",
+                                   "retired_groups", "resuscitated_groups"}
 
     def test_faults_ride_the_shard(self):
         plan = _plan(

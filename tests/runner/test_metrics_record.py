@@ -10,6 +10,8 @@ from __future__ import annotations
 
 import json
 
+import pytest
+
 from repro.runner.faultfns import flaky_point
 from repro.runner.metrics import BENCH_SCHEMA, bench_record, write_bench_json
 from repro.runner.sweep import Sweep, run_sweep
@@ -82,3 +84,14 @@ class TestWriteBenchJson:
         (sweep_rec,) = on_disk["sweeps"]
         for key in ("retry_attempts", "pool_rebuilds", "failed_points", "errors"):
             assert key in sweep_rec
+
+    def test_extras_merge_without_shadowing(self, tmp_path):
+        outcome = run_sweep(_flaky_sweep(tmp_path, "bench-extras"), retries=2)
+        path = tmp_path / "BENCH_runner.json"
+        payload = write_bench_json(
+            path, [outcome], extras={"store": {"ratio": 5.0}}
+        )
+        assert payload["store"] == {"ratio": 5.0}
+        assert json.loads(path.read_text())["store"] == {"ratio": 5.0}
+        with pytest.raises(ValueError):
+            write_bench_json(path, [outcome], extras={"sweeps": []})

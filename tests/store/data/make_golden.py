@@ -1,0 +1,80 @@
+"""Builds the golden store fixtures that pin ``repro.store/v1``.
+
+Run from the repo root to (re)generate::
+
+    PYTHONPATH=src python tests/store/data/make_golden.py
+
+The fixtures are committed; ``test_golden.py`` rebuilds them into a
+temp dir and asserts byte identity with the committed files.  If that
+test ever fails, the on-disk format changed: either revert the change,
+or -- deliberately -- bump :data:`repro.store.format.FORMAT` to v2,
+regenerate these files, and keep a v1 reader.  Silent drift is the one
+outcome this fixture exists to make impossible.
+
+Everything here must be deterministic: fixed bit patterns, fixed key
+order, fixed block geometry, no timestamps.
+"""
+
+from __future__ import annotations
+
+import struct
+import sys
+from pathlib import Path
+
+import numpy as np
+
+#: fixture file per codec; "none" pins the framing/TOC/index bytes
+#: independent of any compression library, "zlib" additionally pins the
+#: default codec's output
+CODECS = ("none", "zlib")
+
+
+def fixture_arrays() -> dict[str, dict[str, np.ndarray]]:
+    """The golden content: every dtype family and edge bit pattern."""
+    edge_bits = struct.pack(
+        "<6d", float("inf"), float("-inf"), 0.0, -0.0, 1.5, -1.5
+    ) + struct.pack("<2Q", 0x7FF8_0000_0000_0001, 0xFFF8_DEAD_BEEF_0000)
+    return {
+        "point-a": {
+            "wear": np.frombuffer(edge_bits, dtype="<f8"),
+            "retired": np.arange(-4, 4, dtype="<i8"),
+            "flags": np.array([True, False, True, True]),
+        },
+        "point-b": {
+            "wear": (np.arange(48, dtype="<f4") / 7.0).astype("<f4"),
+            "grid": np.arange(12, dtype="<u2").reshape(3, 4),
+            "z": np.array([1 + 2j, -0.5j], dtype="<c16"),
+        },
+        "point-empty": {
+            "nothing": np.array([], dtype="<f8"),
+            "scalar": np.array(3.25, dtype="<f8"),
+        },
+    }
+
+
+def build(path: Path, codec: str) -> Path:
+    """Write one fixture store (append history incl. a supersede)."""
+    from repro.store import ColumnStore
+
+    if path.exists():
+        path.unlink()
+    store = ColumnStore(path, codec=codec, block_bytes=96)
+    # a superseded first version of point-a stays in the file: the
+    # fixture pins the raw append history, not just the live view
+    store.put("point-a", {"wear": np.zeros(3, dtype="<f8")})
+    for key, cols in fixture_arrays().items():
+        store.put(key, cols)
+    store.close()
+    return path
+
+
+def main() -> int:
+    here = Path(__file__).resolve().parent
+    for codec in CODECS:
+        out = build(here / f"golden_v1_{codec}.rcs", codec)
+        print(f"wrote {out} ({out.stat().st_size} bytes)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

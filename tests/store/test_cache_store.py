@@ -1,0 +1,194 @@
+"""ResultCache x ColumnStore: arrays split out, everything else as was.
+
+The integration contract: scalar points keep the exact legacy framed
+pickle (bytes and all); array-carrying points persist a skeleton pickle
+plus columns in the shared ``columns.rcs``; every store-side failure
+degrades to a counted miss or a whole-value fallback -- the cache never
+raises out of a degraded store and never serves approximate arrays.
+"""
+
+from __future__ import annotations
+
+import errno
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.runner.cache import ResultCache
+from repro.runner.record import unframe_record
+from repro.store import COLUMN_SENTINEL, ColumnStore
+
+KEY = "a" * 64
+VALUE = {
+    "devices": 7,
+    "obs": {
+        "wear": np.array([0.1, np.nan, -0.0, 2.5]),
+        "retired": np.arange(7, dtype=np.int64),
+    },
+    "note": "scalars ride along",
+}
+
+
+def _payload(cache: ResultCache, key: str) -> dict:
+    return pickle.loads(unframe_record((cache.root / f"{key}.pkl").read_bytes()))
+
+
+class TestScalarPathUnchanged:
+    def test_exact_legacy_payload_and_no_store_file(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store(KEY, {"plain": [1, 2.5, "x"]}, wall_s=0.25)
+        assert _payload(cache, KEY) == {"value": {"plain": [1, 2.5, "x"]}, "wall_s": 0.25}
+        assert not (tmp_path / ResultCache.STORE_FILE).exists()
+        assert "store" not in cache.storage_report()
+
+    def test_unstorable_arrays_stay_in_the_pickle(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        value = {"names": np.array(["a", "b"])}
+        cache.store(KEY, value, wall_s=0.0)
+        assert not (tmp_path / ResultCache.STORE_FILE).exists()
+        loaded = cache.load(KEY)
+        assert np.array_equal(loaded.value["names"], value["names"])
+
+
+class TestArrayPath:
+    def test_skeleton_pickle_plus_store_columns(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store(KEY, VALUE, wall_s=1.5)
+        payload = _payload(cache, KEY)
+        assert payload["columns"] == ["obs.retired", "obs.wear"]
+        assert payload["value"]["obs"]["wear"] == {COLUMN_SENTINEL: "obs.wear"}
+        assert payload["value"]["note"] == "scalars ride along"
+        store = ColumnStore(tmp_path / ResultCache.STORE_FILE, mode="read")
+        assert store.columns(KEY) == ["obs.retired", "obs.wear"]
+
+    def test_fresh_cache_object_loads_bit_identical(self, tmp_path):
+        writer = ResultCache(tmp_path)
+        writer.store(KEY, VALUE, wall_s=1.5)
+        writer.finalize()
+        loaded = ResultCache(tmp_path).load(KEY)
+        assert loaded.wall_s == 1.5
+        assert loaded.value["devices"] == 7
+        for name in ("wear", "retired"):
+            got, want = loaded.value["obs"][name], VALUE["obs"][name]
+            assert got.dtype == want.dtype and got.tobytes() == want.tobytes()
+
+    def test_load_works_without_finalize_via_recovery(self, tmp_path):
+        writer = ResultCache(tmp_path)
+        writer.store(KEY, VALUE, wall_s=1.5)
+        # no finalize: the store file ends in block frames, no footer
+        reader = ResultCache(tmp_path)
+        assert reader.load(KEY) is not None
+        assert reader.storage_report()["store"]["recovered"] is True
+
+    def test_finalize_makes_reopen_clean(self, tmp_path):
+        writer = ResultCache(tmp_path)
+        writer.store(KEY, VALUE, wall_s=1.5)
+        writer.finalize()
+        store = ColumnStore(tmp_path / ResultCache.STORE_FILE, mode="read")
+        assert not store.recovered
+
+    def test_columns_are_on_disk_before_the_skeleton_appears(self, tmp_path):
+        """The persist-before-proceed invariant: the moment a skeleton
+        pickle is visible, its columns are already CRC-framed on disk
+        -- a crash right after ``store()`` returns loses nothing."""
+        cache = ResultCache(tmp_path)
+        cache.store(KEY, VALUE, wall_s=1.5)
+        # do NOT finalize and do NOT reuse the writer's open store:
+        # a brand new reader sees only what hit the disk
+        assert ResultCache(tmp_path).load(KEY) is not None
+
+    def test_storage_report_store_fields(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store(KEY, VALUE, wall_s=1.5)
+        report = cache.storage_report()["store"]
+        assert report["codec"] == "zlib"
+        assert report["keys"] == 1
+        assert report["file_bytes"] > 0
+        assert report["column_misses"] == 0 and report["column_errors"] == 0
+
+
+class TestDegradation:
+    def test_damaged_column_is_a_quarantined_miss_then_heals(self, tmp_path):
+        writer = ResultCache(tmp_path)
+        writer.store(KEY, VALUE, wall_s=1.5)
+        writer.finalize()
+        store_path = tmp_path / ResultCache.STORE_FILE
+        data = bytearray(store_path.read_bytes())
+        data[60] ^= 0xFF  # inside the first block frame
+        store_path.write_bytes(bytes(data))
+        reader = ResultCache(tmp_path)
+        assert reader.load(KEY) is None  # miss, never wrong bytes
+        assert reader.column_misses == 1
+        assert reader.corrupt_quarantined == 1
+        assert not (tmp_path / f"{KEY}.pkl").exists()  # skeleton quarantined
+        # the sweep recomputes and re-stores; the cache self-heals
+        reader.store(KEY, VALUE, wall_s=2.0)
+        reader.finalize()
+        healed = ResultCache(tmp_path).load(KEY)
+        assert healed is not None
+        assert healed.value["obs"]["wear"].tobytes() == VALUE["obs"]["wear"].tobytes()
+
+    def test_missing_store_file_is_a_counted_miss(self, tmp_path):
+        writer = ResultCache(tmp_path)
+        writer.store(KEY, VALUE, wall_s=1.5)
+        writer.finalize()
+        (tmp_path / ResultCache.STORE_FILE).unlink()
+        reader = ResultCache(tmp_path)
+        assert reader.load(KEY) is None
+        assert reader.column_misses == 1
+
+    def test_enospc_on_column_append_latches_passthrough(self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path)
+        monkeypatch.setattr(
+            ColumnStore, "put",
+            lambda self, key, arrays: (_ for _ in ()).throw(
+                OSError(errno.ENOSPC, "disk full")
+            ),
+        )
+        cache.store(KEY, VALUE, wall_s=1.5)
+        assert cache.passthrough
+        assert cache.stores_dropped == 1
+        assert not (tmp_path / f"{KEY}.pkl").exists()  # dropped, like any ENOSPC
+        # hits for other (scalar) keys would still be served; new stores drop
+        cache.store("b" * 64, {"plain": 1}, wall_s=0.0)
+        assert cache.stores_dropped == 2
+
+    def test_other_column_errors_fall_back_to_whole_pickle(self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path)
+        monkeypatch.setattr(
+            ColumnStore, "put",
+            lambda self, key, arrays: (_ for _ in ()).throw(
+                OSError(errno.EIO, "io error")
+            ),
+        )
+        cache.store(KEY, VALUE, wall_s=1.5)
+        assert cache.column_errors == 1
+        assert not cache.passthrough
+        payload = _payload(cache, KEY)
+        assert "columns" not in payload  # whole-value fallback
+        monkeypatch.undo()
+        loaded = ResultCache(tmp_path).load(KEY)
+        assert loaded.value["obs"]["wear"].tobytes() == VALUE["obs"]["wear"].tobytes()
+
+    def test_unopenable_store_degrades_to_whole_pickles(self, tmp_path):
+        # a directory where the store file should be: open fails forever
+        (tmp_path / ResultCache.STORE_FILE).mkdir()
+        cache = ResultCache(tmp_path)
+        cache.store(KEY, VALUE, wall_s=1.5)
+        report = cache.storage_report()["store"]
+        assert report["failed"] is True
+        assert "columns" not in _payload(cache, KEY)
+        assert cache.load(KEY).value["obs"]["wear"].tobytes() == \
+            VALUE["obs"]["wear"].tobytes()
+
+
+class TestStoreCodecChoice:
+    @pytest.mark.parametrize("codec", ["none", "lzma"])
+    def test_cache_store_codec_is_respected(self, tmp_path, codec):
+        cache = ResultCache(tmp_path, store_codec=codec)
+        cache.store(KEY, VALUE, wall_s=0.5)
+        cache.finalize()
+        store = ColumnStore(tmp_path / ResultCache.STORE_FILE, mode="read")
+        assert store.codec == codec
+        assert ResultCache(tmp_path).load(KEY) is not None

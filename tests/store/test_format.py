@@ -1,0 +1,250 @@
+"""The pinned v1 layout primitives: framing, footer, block bodies, arrays.
+
+Everything here tests :mod:`repro.store.format` in isolation -- the
+byte-level contracts the golden fixture and the property suite build
+on.  The overarching rule, inherited from the framed-record layer: any
+damage is *detected* (a :class:`StoreError` with a stable reason tag),
+never interpreted.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+
+import numpy as np
+import pytest
+
+from repro.runner.record import MAGIC
+from repro.store.format import (
+    CODECS,
+    FOOTER_MAGIC,
+    FOOTER_SIZE,
+    FORMAT,
+    StoreError,
+    TAG_BLOCK,
+    TAG_HEADER,
+    TAG_INDEX,
+    canon_json,
+    compress,
+    decompress,
+    frame,
+    pack_array,
+    pack_block_body,
+    pack_footer,
+    read_frame,
+    unpack_array,
+    unpack_block_body,
+    unpack_footer,
+)
+
+
+def _read(data: bytes, offset: int = 0):
+    return read_frame(io.BytesIO(data), offset, len(data))
+
+
+class TestPinnedConstants:
+    """The format identity: changing any of these is a format bump."""
+
+    def test_format_tag(self):
+        assert FORMAT == "repro.store/v1"
+
+    def test_codecs(self):
+        assert CODECS == ("lzma", "none", "zlib")
+
+    def test_tags_are_single_bytes(self):
+        assert (TAG_HEADER, TAG_BLOCK, TAG_INDEX) == (b"H", b"B", b"I")
+
+    def test_footer_shape(self):
+        assert FOOTER_MAGIC == b"RCSF"
+        assert FOOTER_SIZE == 16
+
+
+class TestCanonJson:
+    def test_sorted_and_compact(self):
+        assert canon_json({"b": 1, "a": [1, 2]}) == b'{"a":[1,2],"b":1}'
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            canon_json({"x": float("nan")})
+
+
+class TestFraming:
+    def test_round_trip_splits_tag(self):
+        tag, payload, end = _read(frame(TAG_BLOCK, b"hello"))
+        assert (tag, payload) == (TAG_BLOCK, b"hello")
+        assert end == len(frame(TAG_BLOCK, b"hello"))
+
+    def test_frame_uses_shared_magic(self):
+        assert frame(TAG_HEADER, b"x")[:4] == MAGIC
+
+    def test_every_single_byte_flip_is_detected(self):
+        framed = frame(TAG_BLOCK, b"some payload bytes")
+        for offset in range(len(framed)):
+            damaged = bytearray(framed)
+            damaged[offset] ^= 0x40
+            with pytest.raises(StoreError):
+                _read(bytes(damaged))
+
+    def test_every_truncation_is_detected(self):
+        framed = frame(TAG_INDEX, b"payload")
+        for cut in range(len(framed)):
+            with pytest.raises(StoreError) as exc:
+                _read(framed[:cut])
+            assert exc.value.reason in ("truncated-header", "length-mismatch")
+
+    def test_tagless_frame_is_rejected(self):
+        from repro.runner.record import frame_record
+
+        with pytest.raises(StoreError) as exc:
+            _read(frame_record(b""))
+        assert exc.value.reason == "empty-frame"
+
+    def test_frame_past_eof_is_length_mismatch(self):
+        framed = frame(TAG_BLOCK, b"abc")
+        with pytest.raises(StoreError) as exc:
+            read_frame(io.BytesIO(framed), 0, len(framed) - 1)
+        assert exc.value.reason == "length-mismatch"
+
+
+class TestFooter:
+    def test_round_trip(self):
+        assert unpack_footer(pack_footer(12345)) == 12345
+
+    def test_size(self):
+        assert len(pack_footer(0)) == FOOTER_SIZE
+
+    def test_wrong_length(self):
+        with pytest.raises(StoreError) as exc:
+            unpack_footer(b"short")
+        assert exc.value.reason == "bad-footer"
+
+    def test_every_single_byte_flip_is_detected(self):
+        footer = pack_footer(999)
+        for offset in range(FOOTER_SIZE):
+            damaged = bytearray(footer)
+            damaged[offset] ^= 0x01
+            with pytest.raises(StoreError) as exc:
+                unpack_footer(bytes(damaged))
+            assert exc.value.reason == "bad-footer"
+
+
+class TestCodecs:
+    @pytest.mark.parametrize("codec", CODECS)
+    def test_round_trip(self, codec):
+        data = b"the same bytes back" * 37
+        assert decompress(codec, compress(codec, data)) == data
+
+    def test_unknown_codec(self):
+        for fn in (compress, decompress):
+            with pytest.raises(StoreError) as exc:
+                fn("zstd", b"x")
+            assert exc.value.reason == "unknown-codec"
+
+    @pytest.mark.parametrize("codec", ["zlib", "lzma"])
+    def test_garbage_is_decompress_failed(self, codec):
+        with pytest.raises(StoreError) as exc:
+            decompress(codec, b"\x00\x01not compressed")
+        assert exc.value.reason == "decompress-failed"
+
+
+class TestBlockBody:
+    def test_round_trip(self):
+        toc = {"entries": [{"key": "k", "column": "c", "offset": 0}]}
+        body = pack_block_body(toc, b"columnbytes")
+        parsed, data_start = unpack_block_body(body)
+        assert parsed == toc
+        assert body[data_start:] == b"columnbytes"
+
+    def test_short_body(self):
+        with pytest.raises(StoreError) as exc:
+            unpack_block_body(b"\x01")
+        assert exc.value.reason == "bad-block"
+
+    def test_toc_len_past_end(self):
+        with pytest.raises(StoreError) as exc:
+            unpack_block_body(struct.pack("<I", 999) + b"{}")
+        assert exc.value.reason == "bad-block"
+
+    def test_toc_not_json(self):
+        with pytest.raises(StoreError) as exc:
+            unpack_block_body(struct.pack("<I", 3) + b"%%%")
+        assert exc.value.reason == "bad-block"
+
+    def test_toc_without_entries(self):
+        bad = canon_json({"no": "entries"})
+        with pytest.raises(StoreError) as exc:
+            unpack_block_body(struct.pack("<I", len(bad)) + bad)
+        assert exc.value.reason == "bad-block"
+
+
+class TestArrayPacking:
+    def test_round_trip_preserves_bits(self):
+        # NaN with a payload, -0.0, and infinities must come back with
+        # the exact bit patterns they went in with
+        raw = struct.pack(
+            "<4d", float("-inf"), -0.0, float("inf"), 1.5
+        ) + struct.pack("<Q", 0x7FF8_0000_DEAD_BEEF)
+        arr = np.frombuffer(raw, dtype="<f8")
+        data, dtype, shape = pack_array(arr)
+        out = unpack_array(data, dtype, shape)
+        assert out.tobytes() == arr.tobytes()
+        assert out.dtype == np.dtype("<f8")
+
+    def test_big_endian_is_canonicalized_not_rounded(self):
+        arr = np.array([1.0, float("inf"), -0.0], dtype=">f8")
+        data, dtype, shape = pack_array(arr)
+        assert dtype == "<f8"
+        out = unpack_array(data, dtype, shape)
+        assert out.tobytes() == arr.byteswap().tobytes()
+
+    def test_fortran_order_becomes_c_order(self):
+        arr = np.asfortranarray(np.arange(12, dtype=np.int32).reshape(3, 4))
+        data, dtype, shape = pack_array(arr)
+        out = unpack_array(data, dtype, shape)
+        assert np.array_equal(out, arr)
+        assert out.flags["C_CONTIGUOUS"]
+
+    @pytest.mark.parametrize("shape", [(), (0,), (3, 0, 2)])
+    def test_degenerate_shapes(self, shape):
+        arr = np.zeros(shape, dtype=np.float32)
+        data, dtype, out_shape = pack_array(arr)
+        out = unpack_array(data, dtype, out_shape)
+        assert out.shape == shape and out.dtype == np.float32
+
+    @pytest.mark.parametrize(
+        "arr",
+        [
+            np.array(["a", "b"]),
+            np.array([object()]),
+            np.array(["2026-08-07"], dtype="datetime64[D]"),
+            np.zeros(2, dtype=[("a", "i4"), ("b", "f8")]),
+        ],
+        ids=["str", "object", "datetime", "structured"],
+    )
+    def test_unstorable_dtypes_rejected(self, arr):
+        with pytest.raises(StoreError) as exc:
+            pack_array(arr)
+        assert exc.value.reason == "unsupported-dtype"
+
+    def test_non_array_rejected(self):
+        with pytest.raises(StoreError) as exc:
+            pack_array([1, 2, 3])
+        assert exc.value.reason == "not-an-array"
+
+    def test_byte_count_mismatch_detected(self):
+        with pytest.raises(StoreError) as exc:
+            unpack_array(b"\x00" * 7, "<f8", (1,))
+        assert exc.value.reason == "bad-column"
+
+    def test_unpack_rejects_unstorable_dtype(self):
+        with pytest.raises(StoreError) as exc:
+            unpack_array(b"", "O", (0,))
+        assert exc.value.reason == "unsupported-dtype"
+
+    def test_unpacked_array_is_writable_copy(self):
+        arr = np.arange(4, dtype=np.int64)
+        data, dtype, shape = pack_array(arr)
+        out = unpack_array(data, dtype, shape)
+        out[0] = 99  # would raise on a read-only frombuffer view
+        assert arr[0] == 0
