@@ -22,6 +22,13 @@ pickle-per-point counterfactual (one framed pickle per device, the
 scalar engine's cache granularity) -- the ``>= 5x`` smaller claim, as a
 number.
 
+A top-level ``ftl_bench`` section records the page-level FTL's perf
+claims: single-device replay throughput on the bit-exact + scalar-GC
+path vs the analytic + vectorized path (the ``>= 5x`` replay speedup,
+with an equivalence self-check -- both paths must land identical
+``FtlStats``), and the first FTL fleet-scaling curve
+(``ftl-scaling-{10,50,200}`` sweeps, devices/s at 90 days each).
+
 The scalar/batch pair records the batching speedup, the scaling rows
 the sharding throughput, as part of the perf trajectory: compare
 ``total_wall_s`` across sweeps.
@@ -69,6 +76,74 @@ FLEET_SCALING = (
 #: the store size/throughput comparison: the fleet-scaling-10k plan,
 #: run once more *with* a cache so observables land in columns.rcs
 STORE_BENCH_DEVICES = 10_000
+
+#: the FTL replay benchmark horizon and scaling curve:
+#: (label, devices, shard_size, chunk) at FTL_REPLAY_DAYS each
+FTL_REPLAY_DAYS = 90
+FTL_SCALING = (
+    ("ftl-scaling-10", 10, 5, 5),
+    ("ftl-scaling-50", 50, 25, 25),
+    ("ftl-scaling-200", 200, 50, 50),
+)
+
+
+def ftl_bench(results: list) -> dict:
+    """FTL replay throughput (scalar vs vectorized) + fleet curve.
+
+    Best-of-3 per path so one scheduler hiccup can't misstate the
+    speedup; the two paths must agree on ``FtlStats`` exactly or the
+    regeneration aborts (the perf claim is only meaningful if the fast
+    path is also the *correct* path).
+    """
+    from repro.ftl.replay import FtlReplayConfig, replay
+
+    modes = {
+        "scalar": dict(analytic=False, vectorized_gc=False),
+        "vectorized": dict(analytic=True, vectorized_gc=True),
+    }
+    best: dict[str, object] = {}
+    for label, flags in modes.items():
+        runs = [
+            replay(FtlReplayConfig(days=FTL_REPLAY_DAYS, seed=3, **flags))
+            for _ in range(3)
+        ]
+        best[label] = max(runs, key=lambda r: r.ops_per_s)
+    if best["scalar"].stats != best["vectorized"].stats:
+        raise AssertionError("analytic fast path diverged from bit-exact")
+    speedup = best["vectorized"].ops_per_s / best["scalar"].ops_per_s
+    print(f"ftl replay ({FTL_REPLAY_DAYS} days): "
+          f"scalar {best['scalar'].ops_per_s:,.0f} ops/s, "
+          f"vectorized {best['vectorized'].ops_per_s:,.0f} ops/s "
+          f"({speedup:.1f}x, stats identical)")
+
+    curve = []
+    for label, devices, shard_size, chunk in FTL_SCALING:
+        plan = FleetPlan(n_devices=devices, days=FTL_REPLAY_DAYS,
+                         capacity_gb=64.0, seed=606,
+                         mix_weights=DEFAULT_MIX_WEIGHTS,
+                         shard_size=shard_size, chunk=chunk,
+                         fidelity="ftl")
+        fleet = run_fleet(plan, jobs=1, name=label)
+        results.append(fleet.sweep)
+        wall = fleet.sweep.total_wall_s
+        curve.append({
+            "label": label, "devices": devices, "days": FTL_REPLAY_DAYS,
+            "shard_size": shard_size, "chunk": chunk,
+            "wall_s": wall,
+            "devices_per_s": round(devices / wall, 2) if wall else None,
+            "p99_wear": fleet.wear.quantile(0.99),
+        })
+        print(f"{label}: {devices} devices x {FTL_REPLAY_DAYS} days in "
+              f"{wall:.1f} s ({devices / wall:,.1f} devices/s)")
+    return {
+        "replay_days": FTL_REPLAY_DAYS,
+        "replay_host_ops": best["vectorized"].host_ops,
+        "scalar_ops_per_s": round(best["scalar"].ops_per_s),
+        "vectorized_ops_per_s": round(best["vectorized"].ops_per_s),
+        "replay_speedup": round(speedup, 2),
+        "stats_identical": True,
+        "scaling": curve,
+    }
 
 
 def store_bench() -> dict:
@@ -195,8 +270,11 @@ def main(path: str) -> int:
           f"{store['size_ratio']:.1f}x smaller; wear scan "
           f"{store['scan_values_per_s']:,} values/s")
 
+    ftl = ftl_bench(results)
+
     write_bench_json(
-        path, results, notes="scripts/regen_bench.py", extras={"store": store}
+        path, results, notes="scripts/regen_bench.py",
+        extras={"store": store, "ftl_bench": ftl},
     )
     print(f"wrote {path}")
     return 0

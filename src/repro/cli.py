@@ -273,6 +273,11 @@ def _cmd_population(args: argparse.Namespace) -> int:
     )
 
     days = int(args.years * 365)
+    fidelity = getattr(args, "fidelity", "epoch")
+    if args.compare_scalar and fidelity != "epoch":
+        print("--compare-scalar compares against the scalar *epoch* engine; "
+              "it cannot be combined with --fidelity ftl")
+        return 2
     plan = FleetPlan(
         n_devices=args.devices,
         days=days,
@@ -282,6 +287,7 @@ def _cmd_population(args: argparse.Namespace) -> int:
         chunk=args.chunk,
         build=args.build,
         exact_cap=args.exact_cap,
+        fidelity=fidelity,
     )
     if args.compare_scalar and not plan.exact:
         print(f"--compare-scalar needs per-device values: raise --exact-cap "
@@ -942,6 +948,11 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--compare-scalar", action="store_true",
                    help="also run the per-device scalar engine and verify "
                         "the sharded wear values match it (exact mode only)")
+    p.add_argument("--fidelity", default="epoch", choices=("epoch", "ftl"),
+                   help="device simulation fidelity: 'epoch' runs the batched "
+                        "lifetime model, 'ftl' replays every device through "
+                        "the page-mapped FTL (GC, wear leveling, per-block "
+                        "PEC) on the analytic fast path")
     p.add_argument("--bench-json", default=None, metavar="PATH",
                    help="write per-point wall times (BENCH_runner.json format)")
     p.set_defaults(func=_cmd_population)

@@ -65,6 +65,16 @@ class PageCodec:
                 )
             self.payload_bytes = (self._codewords * k) // 8
 
+    @property
+    def transparent(self) -> bool:
+        """True when the policy applies no codec (payload passes through).
+
+        Transparent, parity-free streams are exactly the ones whose FTL
+        behaviour never depends on page *content* -- the precondition for
+        the analytic (no byte materialization) chip fast path.
+        """
+        return self._codec is None
+
     def encode(self, payload: bytes) -> bytes:
         """Encode ``payload`` (<= :attr:`payload_bytes`) into page bytes."""
         if len(payload) > self.payload_bytes:

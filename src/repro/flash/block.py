@@ -15,6 +15,29 @@ Blocks follow NAND programming constraints from §2.1:
 A block whose PEC exceeds its mode's rated endurance does not refuse
 writes -- real flash does not either -- but its RBER keeps climbing, which
 is exactly the degradation SOS exploits and guards against.
+
+Two representations coexist per page:
+
+* **bit-exact** -- :meth:`Block.program`/:meth:`Block.read` materialize and
+  corrupt real page bytes (the seed behaviour, unchanged);
+* **analytic** -- :meth:`Block.program_analytic`/:meth:`Block.read_analytic`
+  keep every piece of wear/retention/read-disturb book-keeping (and the
+  same sequential-programming rules) but never allocate payload bytes or
+  consume the corruption RNG; the read path returns the page's RBER so
+  callers can accrue expected errors instead of injecting them.  Valid
+  only for content-independent protection (no codec, no parity) -- the
+  FTL enforces that.
+
+Per-page metadata (written-at time, reads since write, PEC at write) lives
+in flat numpy arrays either way, so analytic batch reads
+(:meth:`Block.read_analytic_many`) evaluate a whole block's RBER in one
+vectorized :meth:`~repro.flash.error_model.ErrorModel.rber_many` call.
+
+Chip-wide per-block state (PEC, retirement, usable pages, last write time)
+lives in a shared :class:`BlockArrays` owned by the chip; ``Block.pec`` and
+``Block.retired`` are array-backed properties, so both direct attribute
+writes (tests do ``block.pec = 100_000``) and the vectorized GC victim
+selector observe the same numbers with no mirroring step.
 """
 
 from __future__ import annotations
@@ -27,22 +50,90 @@ from .cell import CellMode
 from .error_model import ErrorModel
 from .geometry import Geometry
 
-__all__ = ["Block", "PageState", "ProgramError"]
+__all__ = ["Block", "BlockArrays", "PageArrays", "PageState", "ProgramError"]
 
 
 class ProgramError(Exception):
     """Raised on violations of NAND programming rules."""
 
 
-@dataclass(slots=True)
-class PageState:
-    """Book-keeping for a single physical page."""
+class BlockArrays:
+    """Shared per-block state columns for one chip's blocks.
 
-    data: np.ndarray | None = None
-    written_at_years: float = 0.0
-    reads_since_write: int = 0
-    #: PEC of the block at the moment this page was programmed.
-    pec_at_write: int = 0
+    One row per block; every field the GC victim selector and wear
+    leveler score on, kept incrementally up to date by the owning
+    :class:`Block`'s operations (program/erase/retire/reconfigure) so
+    victim selection is a masked argmin over these arrays instead of
+    per-candidate Python attribute walks.
+    """
+
+    __slots__ = ("pec", "rated_pec", "usable_pages", "retired", "last_write_years")
+
+    def __init__(self, n_blocks: int) -> None:
+        self.pec = np.zeros(n_blocks, dtype=np.int64)
+        self.rated_pec = np.ones(n_blocks, dtype=np.int64)
+        self.usable_pages = np.zeros(n_blocks, dtype=np.int64)
+        self.retired = np.zeros(n_blocks, dtype=bool)
+        #: newest programmed page's write time per block; 0.0 when empty.
+        #: Maintained on program/erase, equal to
+        #: :meth:`Block.last_write_time_years` because pages program
+        #: sequentially under a monotonic clock.
+        self.last_write_years = np.zeros(n_blocks, dtype=np.float64)
+
+
+class PageArrays:
+    """Chip-wide per-page metadata columns, one row per *native* page.
+
+    Blocks operate on numpy views of their window, so single-block code
+    is unchanged while chip-level batch operations (analytic reads that
+    scatter across many blocks) gather and scatter on the flat arrays
+    directly -- no per-block Python dispatch on the hot path.  Pseudo
+    modes simply never touch the tail rows of their window.
+    """
+
+    __slots__ = ("written_at", "reads", "pec_at_write", "programmed")
+
+    def __init__(self, n_pages: int) -> None:
+        self.written_at = np.zeros(n_pages, dtype=np.float64)
+        self.reads = np.zeros(n_pages, dtype=np.int64)
+        self.pec_at_write = np.zeros(n_pages, dtype=np.int64)
+        self.programmed = np.zeros(n_pages, dtype=bool)
+
+
+class PageState:
+    """Live book-keeping view of a single physical page.
+
+    ``data`` reads and writes the stored payload in place (fault-injection
+    tests corrupt pages by assigning it); the remaining fields mirror the
+    block's per-page metadata arrays.
+    """
+
+    __slots__ = ("_block", "_page_index")
+
+    def __init__(self, block: Block, page_index: int) -> None:
+        self._block = block
+        self._page_index = page_index
+
+    @property
+    def data(self) -> np.ndarray | None:
+        return self._block._data[self._page_index]
+
+    @data.setter
+    def data(self, value: np.ndarray | None) -> None:
+        self._block._data[self._page_index] = value
+
+    @property
+    def written_at_years(self) -> float:
+        return float(self._block._written_at[self._page_index])
+
+    @property
+    def reads_since_write(self) -> int:
+        return int(self._block._reads[self._page_index])
+
+    @property
+    def pec_at_write(self) -> int:
+        """PEC of the block at the moment this page was programmed."""
+        return int(self._block._pec_at_write[self._page_index])
 
 
 @dataclass(slots=True)
@@ -50,6 +141,8 @@ class _BlockStats:
     programs: int = 0
     reads: int = 0
     injected_bit_errors: int = 0
+    #: analytic-path accrual: sum over reads of RBER x page bits
+    expected_bit_errors: float = 0.0
 
 
 class Block:
@@ -65,18 +158,70 @@ class Block:
     rng:
         Source of randomness for error injection.  Deterministic when
         seeded by the caller.
+    arrays:
+        Shared :class:`BlockArrays` this block's row lives in (the chip
+        passes its own); standalone blocks allocate a private 1-row set.
+    index:
+        This block's row in ``arrays``.
     """
 
-    def __init__(self, geometry: Geometry, mode: CellMode, rng: np.random.Generator) -> None:
+    def __init__(
+        self,
+        geometry: Geometry,
+        mode: CellMode,
+        rng: np.random.Generator,
+        arrays: BlockArrays | None = None,
+        index: int = 0,
+        pages: PageArrays | None = None,
+    ) -> None:
         self.geometry = geometry
         self._rng = rng
-        self.pec = 0
-        self.retired = False
+        self._arrays = arrays if arrays is not None else BlockArrays(1)
+        self._index = index if arrays is not None else 0
         self.stats = _BlockStats()
         self._mode = mode
         self._error_model = ErrorModel(mode)
-        self._pages: list[PageState] = [PageState() for _ in range(geometry.pages_per_block)]
+        n_pages = geometry.pages_per_block
+        self._data: list[np.ndarray | None] = [None] * n_pages
+        # per-page metadata: views into the chip's shared PageArrays (or
+        # a private single-block set), so block-local updates and chip
+        # batch operations observe one store
+        page_arrays = pages if pages is not None else PageArrays(n_pages)
+        lo = self._index * n_pages if pages is not None else 0
+        self._written_at = page_arrays.written_at[lo: lo + n_pages]
+        self._reads = page_arrays.reads[lo: lo + n_pages]
+        self._pec_at_write = page_arrays.pec_at_write[lo: lo + n_pages]
+        self._programmed = page_arrays.programmed[lo: lo + n_pages]
         self._next_page = 0
+        i = self._index
+        self._arrays.pec[i] = 0
+        self._arrays.retired[i] = False
+        self._arrays.rated_pec[i] = self._error_model.rated_pec
+        self._arrays.usable_pages[i] = self._usable_pages_for(mode)
+        self._arrays.last_write_years[i] = 0.0
+
+    def _usable_pages_for(self, mode: CellMode) -> int:
+        return int(self.geometry.pages_per_block * mode.capacity_fraction())
+
+    # -- shared-array-backed state ----------------------------------------
+
+    @property
+    def pec(self) -> int:
+        """Accrued program/erase cycles."""
+        return int(self._arrays.pec[self._index])
+
+    @pec.setter
+    def pec(self, value: int) -> None:
+        self._arrays.pec[self._index] = value
+
+    @property
+    def retired(self) -> bool:
+        """Whether the block has been taken out of service."""
+        return bool(self._arrays.retired[self._index])
+
+    @retired.setter
+    def retired(self, value: bool) -> None:
+        self._arrays.retired[self._index] = value
 
     # -- mode management -------------------------------------------------
 
@@ -92,12 +237,14 @@ class Block:
         physically meaningful.  Accrued PEC carries over -- wear lives in
         the silicon, not the mode.
         """
-        if any(p.data is not None for p in self._pages):
+        if self._programmed.any():
             raise ProgramError("cannot reconfigure a block holding data; erase first")
         if mode.technology is not self._mode.technology:
             raise ProgramError("cannot change manufactured technology of a block")
         self._mode = mode
         self._error_model = ErrorModel(mode)
+        self._arrays.rated_pec[self._index] = self._error_model.rated_pec
+        self._arrays.usable_pages[self._index] = self._usable_pages_for(mode)
 
     @property
     def page_capacity_bytes(self) -> int:
@@ -112,7 +259,12 @@ class Block:
         a pseudo mode exposes ``operating_bits / native_bits`` of the
         native page count -- same page size, fewer pages.
         """
-        return int(self.geometry.pages_per_block * self._mode.capacity_fraction())
+        return int(self._arrays.usable_pages[self._index])
+
+    @property
+    def error_model(self) -> ErrorModel:
+        """Analytic RBER model for the current operating mode."""
+        return self._error_model
 
     @property
     def rated_pec(self) -> int:
@@ -130,12 +282,16 @@ class Block:
         """Erase the block, wiping all pages and incrementing PEC."""
         if self.retired:
             raise ProgramError("block is retired")
-        self.pec += 1
-        self._pages = [PageState() for _ in range(self.geometry.pages_per_block)]
+        self._arrays.pec[self._index] += 1
+        self._data = [None] * self.geometry.pages_per_block
+        self._written_at.fill(0.0)
+        self._reads.fill(0)
+        self._pec_at_write.fill(0)
+        self._programmed.fill(False)
         self._next_page = 0
+        self._arrays.last_write_years[self._index] = 0.0
 
-    def program(self, page_index: int, data: bytes) -> None:
-        """Program one page.  Pages must be written in order, once each."""
+    def _check_programmable(self, page_index: int) -> None:
         if self.retired:
             raise ProgramError("block is retired")
         if page_index != self._next_page:
@@ -147,22 +303,68 @@ class Block:
                 f"page {page_index} beyond usable range "
                 f"({self.usable_pages} pages in mode {self._mode.name})"
             )
+
+    def _record_program(self, page_index: int) -> None:
+        self._written_at[page_index] = self._now_years
+        self._reads[page_index] = 0
+        self._pec_at_write[page_index] = self.pec
+        self._programmed[page_index] = True
+        self._next_page += 1
+        self.stats.programs += 1
+        self._arrays.last_write_years[self._index] = self._now_years
+
+    def program(self, page_index: int, data: bytes) -> None:
+        """Program one page.  Pages must be written in order, once each."""
+        self._check_programmable(page_index)
         if len(data) > self.page_capacity_bytes:
             raise ProgramError(
                 f"payload {len(data)}B exceeds page capacity "
                 f"{self.page_capacity_bytes}B in mode {self._mode.name}"
             )
-        page = self._pages[page_index]
-        page.data = np.frombuffer(data.ljust(self.page_capacity_bytes, b"\x00"), dtype=np.uint8).copy()
-        page.written_at_years = self._now_years
-        page.reads_since_write = 0
-        page.pec_at_write = self.pec
-        self._next_page += 1
-        self.stats.programs += 1
+        self._data[page_index] = np.frombuffer(
+            data.ljust(self.page_capacity_bytes, b"\x00"), dtype=np.uint8
+        ).copy()
+        self._record_program(page_index)
+
+    def program_analytic(self, page_index: int) -> None:
+        """Program one page without materializing payload bytes.
+
+        Same ordering/capacity rules and wear book-keeping as
+        :meth:`program`; the page is marked programmed but holds no data
+        (reads must go through :meth:`read_analytic`).
+        """
+        self._check_programmable(page_index)
+        self._record_program(page_index)
+
+    def program_analytic_many(self, count: int) -> None:
+        """Program the next ``count`` pages analytically in one step.
+
+        Equivalent to ``count`` sequential :meth:`program_analytic`
+        calls (pages are always programmed in order, so the batch form
+        needs no page indices); per-page metadata updates collapse to
+        array slice assignments.
+        """
+        if count <= 0:
+            return
+        if self.retired:
+            raise ProgramError("block is retired")
+        lo = self._next_page
+        if lo + count > self.usable_pages:
+            raise ProgramError(
+                f"programming {count} pages from page {lo} exceeds usable range "
+                f"({self.usable_pages} pages in mode {self._mode.name})"
+            )
+        self._written_at[lo: lo + count] = self._now_years
+        self._reads[lo: lo + count] = 0
+        self._pec_at_write[lo: lo + count] = self.pec
+        self._programmed[lo: lo + count] = True
+        self._next_page += count
+        self.stats.programs += count
+        self._arrays.last_write_years[self._index] = self._now_years
 
     def is_programmed(self, page_index: int) -> bool:
-        """Whether the page currently holds data."""
-        return self._pages[page_index].data is not None
+        """Whether the page has been programmed since the last erase."""
+        return bool(self._programmed[page_index])
 
     @property
     def free_pages(self) -> int:
@@ -180,51 +382,105 @@ class Block:
             Simulation time of the read; defaults to the block clock set
             via :meth:`advance_time`.
         """
-        page = self._pages[page_index]
-        if page.data is None:
+        data = self._data[page_index]
+        if data is None:
             raise ProgramError(f"page {page_index} is not programmed")
         now = self._now_years if now_years is None else now_years
-        age = max(0.0, now - page.written_at_years)
+        age = max(0.0, now - float(self._written_at[page_index]))
         rber = self._error_model.rber(
-            pec=self.pec, years_since_write=age, reads_since_write=page.reads_since_write
+            pec=self.pec,
+            years_since_write=age,
+            reads_since_write=int(self._reads[page_index]),
         )
-        page.reads_since_write += 1
+        self._reads[page_index] += 1
         self.stats.reads += 1
-        return self._corrupt(page.data, rber)
+        return self._corrupt(data, rber)
+
+    def read_analytic(self, page_index: int, now_years: float | None = None) -> float:
+        """Read a page analytically: no bytes, no RNG; returns its RBER.
+
+        Performs the same read book-keeping as :meth:`read` (read-disturb
+        counter, block stats) and accrues ``rber x page bits`` into
+        ``stats.expected_bit_errors`` in lieu of injected errors.
+        """
+        if not self._programmed[page_index]:
+            raise ProgramError(f"page {page_index} is not programmed")
+        now = self._now_years if now_years is None else now_years
+        age = max(0.0, now - float(self._written_at[page_index]))
+        rber = self._error_model.rber(
+            pec=self.pec,
+            years_since_write=age,
+            reads_since_write=int(self._reads[page_index]),
+        )
+        self._reads[page_index] += 1
+        self.stats.reads += 1
+        self.stats.expected_bit_errors += rber * self.page_capacity_bytes * 8
+        return rber
+
+    def read_analytic_many(
+        self, page_indices: np.ndarray, now_years: float | None = None
+    ) -> np.ndarray:
+        """Vectorized :meth:`read_analytic` over many pages of this block.
+
+        One :meth:`~repro.flash.error_model.ErrorModel.rber_many` call
+        evaluates every page's RBER; read-disturb counters and stats
+        accrue in bulk.  Used by analytic GC migration, where a victim's
+        whole live set is read at once.
+        """
+        idx = np.asarray(page_indices, dtype=np.int64)
+        if idx.size == 0:
+            return np.zeros(0, dtype=np.float64)
+        if not self._programmed[idx].all():
+            raise ProgramError("read_analytic_many on unprogrammed page(s)")
+        now = self._now_years if now_years is None else now_years
+        ages = np.maximum(0.0, now - self._written_at[idx])
+        rbers = self._error_model.rber_many(
+            float(self.pec), ages, self._reads[idx].astype(np.float64)
+        )
+        # np.add.at: duplicate page indices (one page read twice in a
+        # batch) must bump the read-disturb counter once per occurrence.
+        # Their RBERs all use the pre-batch count -- an ulp-level
+        # difference in expected_bit_errors vs sequential reads, never
+        # in any mapping, wear, or FtlStats observable.
+        np.add.at(self._reads, idx, 1)
+        self.stats.reads += idx.size
+        self.stats.expected_bit_errors += float(rbers.sum()) * self.page_capacity_bytes * 8
+        return rbers
 
     def read_clean(self, page_index: int) -> bytes:
         """Read a page without error injection (oracle view for tests)."""
-        page = self._pages[page_index]
-        if page.data is None:
+        data = self._data[page_index]
+        if data is None:
             raise ProgramError(f"page {page_index} is not programmed")
-        return page.data.tobytes()
+        return data.tobytes()
 
     def rber_now(self, page_index: int, now_years: float | None = None) -> float:
         """Predicted RBER for a page at the current stress point."""
-        page = self._pages[page_index]
-        if page.data is None:
+        if not self._programmed[page_index]:
             raise ProgramError(f"page {page_index} is not programmed")
         now = self._now_years if now_years is None else now_years
-        age = max(0.0, now - page.written_at_years)
-        return self._error_model.rber(self.pec, age, page.reads_since_write)
+        age = max(0.0, now - float(self._written_at[page_index]))
+        return self._error_model.rber(self.pec, age, int(self._reads[page_index]))
 
     def retire(self) -> None:
         """Mark the block unusable (worn out); §4.3 capacity variance."""
         self.retired = True
 
     def page_info(self, page_index: int) -> PageState:
-        """Book-keeping for one page (written time, read count)."""
-        return self._pages[page_index]
+        """Live book-keeping view of one page (written time, read count)."""
+        return PageState(self, page_index)
 
     def last_write_time_years(self) -> float:
         """Simulation time of the newest programmed page (0.0 if empty)."""
-        times = [p.written_at_years for p in self._pages if p.data is not None]
-        return max(times) if times else 0.0
+        if not self._programmed.any():
+            return 0.0
+        return float(self._written_at[self._programmed].max())
 
     def oldest_write_time_years(self) -> float:
         """Simulation time of the oldest programmed page (0.0 if empty)."""
-        times = [p.written_at_years for p in self._pages if p.data is not None]
-        return min(times) if times else 0.0
+        if not self._programmed.any():
+            return 0.0
+        return float(self._written_at[self._programmed].min())
 
     # -- time ------------------------------------------------------------
 

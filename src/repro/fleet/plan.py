@@ -87,6 +87,13 @@ class FleetPlan:
         wear values through the reduction (bit-exact quantiles and a
         device-ordered wear vector); larger fleets use histogram
         estimates so shard values stay O(bins).
+    fidelity:
+        Device simulation fidelity: ``"epoch"`` (default) runs the
+        batched epoch-level lifetime model; ``"ftl"`` replays each
+        device through the page-mapped FTL
+        (:func:`repro.runner.points.ftl_population_observables`).
+        Per-device identity (mix, workload seed) is the same under
+        either fidelity.
     """
 
     n_devices: int
@@ -102,8 +109,13 @@ class FleetPlan:
     workload_seed_base: int = 1000
     faults: tuple[tuple[str, float], ...] | None = None
     exact_cap: int = DEFAULT_EXACT_CAP
+    fidelity: str = "epoch"
 
     def __post_init__(self) -> None:
+        if self.fidelity not in ("epoch", "ftl"):
+            raise ValueError("fidelity must be 'epoch' or 'ftl'")
+        if self.fidelity == "ftl" and self.faults is not None:
+            raise ValueError("fault injection is epoch-fidelity only")
         if self.n_devices <= 0:
             raise ValueError("n_devices must be positive")
         if self.days <= 0:
@@ -164,5 +176,9 @@ class FleetPlan:
             }
             if self.faults:
                 params["faults"] = dict(self.faults)
+            # added only when non-default so pre-existing epoch-fleet
+            # cache keys (which never carried the key) stay valid
+            if self.fidelity != "epoch":
+                params["fidelity"] = self.fidelity
             grid.append(params)
         return tuple(grid)

@@ -26,7 +26,9 @@ def fleet_shard_point(params: dict, seed: int) -> dict:
     params (see :meth:`repro.fleet.plan.FleetPlan.shard_grid`):
     ``start``, ``count``, ``pop_seed``, ``mix_weights`` (ordered
     ``[name, weight]`` pairs), ``capacity_gb``, ``days``, ``build``,
-    ``workload_seed_base``, ``chunk``, ``exact``, optional ``faults``.
+    ``workload_seed_base``, ``chunk``, ``exact``, optional ``faults``,
+    optional ``fidelity`` (``"ftl"`` replays each device through the
+    page-mapped FTL instead of the epoch lifetime model).
 
     Returns ``{"devices", "start", "wear", "obs"}``: ``wear`` is a
     serialized histogram-only :class:`WearDigest`, and ``obs`` holds the
@@ -40,13 +42,24 @@ def fleet_shard_point(params: dict, seed: int) -> dict:
     """
     import numpy as np
 
-    from repro.runner.points import assign_mixes, population_batch_observables
+    from repro.runner.points import (
+        assign_mixes,
+        ftl_population_observables,
+        population_batch_observables,
+    )
 
     start = int(params["start"])
     count = int(params["count"])
     chunk = int(params["chunk"])
     if count <= 0 or chunk <= 0:
         raise ValueError("shard count and chunk must be positive")
+    fidelity = params.get("fidelity", "epoch")
+    if fidelity not in ("epoch", "ftl"):
+        raise ValueError("fidelity must be 'epoch' or 'ftl'")
+    observe = (
+        ftl_population_observables if fidelity == "ftl"
+        else population_batch_observables
+    )
     base = int(params["workload_seed_base"])
     digest = WearDigest()
     parts: list[dict] = []
@@ -62,7 +75,7 @@ def fleet_shard_point(params: dict, seed: int) -> dict:
         }
         if params.get("faults"):
             batch_params["faults"] = params["faults"]
-        chunk_obs = population_batch_observables(batch_params, seed)
+        chunk_obs = observe(batch_params, seed)
         digest.add_many(chunk_obs["wear"])
         parts.append(chunk_obs)
     obs_columns = {

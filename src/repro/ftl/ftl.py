@@ -22,13 +22,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.ecc.page_codec import PageCodec, PageReadResult
 from repro.flash.chip import FlashChip
 from repro.flash.timing import TimingModel
 from repro.obs import get_observer
 
 from .bad_blocks import assess_block
-from .gc import select_victim
+from .gc import select_victim, select_victim_arrays
 from .mapping import PageMap
 from .streams import StreamConfig
 from .wear_leveling import WearLeveler
@@ -66,6 +68,10 @@ class _Stream:
     def __init__(self, config: StreamConfig, block_indices: list[int], page_size: int) -> None:
         self.config = config
         self.blocks = list(block_indices)
+        #: sorted block indices as an array: the vectorized GC victim
+        #: selector's candidate universe (sorted => argmin tie-breaks on
+        #: lowest block index, matching the scalar oracle)
+        self.block_arr = np.sort(np.asarray(block_indices, dtype=np.int64))
         self.codec = PageCodec(config.protection, page_size)
         self.free: list[int] = list(block_indices)
         self.open_block: int | None = None
@@ -75,6 +81,9 @@ class _Stream:
         #: page of each block for an XOR of the block's data pages
         self.parity_enabled = config.protection.block_parity
         self._parity_acc = bytearray(page_size)
+        #: set by the Ftl: True when this stream runs the analytic chip
+        #: fast path (transparent codec, no parity, Ftl(analytic=True))
+        self.analytic = False
 
     def reset_parity(self) -> None:
         """Clear the running parity accumulator (new open block)."""
@@ -107,6 +116,22 @@ class Ftl:
     stream_blocks:
         Disjoint physical block index lists, one per stream, covering any
         subset of the chip.
+    analytic:
+        Opt into the analytic chip fast path for eligible streams.  A
+        stream is eligible when its protection never inspects page
+        content: a transparent codec (``ProtectionLevel.NONE``) and no
+        block parity.  Eligible streams skip byte materialization and
+        error-injection RNG entirely (expected bit errors accrue
+        analytically on the blocks); BCH/Hamming- or parity-protected
+        streams always keep the bit-exact path, even under
+        ``analytic=True``.  ``FtlStats`` is pinned identical between the
+        two paths on eligible streams -- reads just return empty
+        payloads.
+    vectorized_gc:
+        Select GC victims with the masked-argmin array selector
+        (:func:`repro.ftl.gc.select_victim_arrays`).  ``False`` keeps
+        the per-candidate scalar scan as a test oracle; both choose the
+        identical victim on every invocation.
     """
 
     def __init__(
@@ -114,6 +139,9 @@ class Ftl:
         chip: FlashChip,
         streams: list[StreamConfig],
         stream_blocks: dict[str, list[int]],
+        *,
+        analytic: bool = False,
+        vectorized_gc: bool = True,
     ) -> None:
         if {s.name for s in streams} != set(stream_blocks):
             raise ValueError("streams and stream_blocks must name the same streams")
@@ -126,6 +154,8 @@ class Ftl:
         self.chip = chip
         self.page_map = PageMap(chip.geometry.total_blocks, chip.geometry.pages_per_block)
         self.stats = FtlStats()
+        self.analytic = analytic
+        self.vectorized_gc = vectorized_gc
         self._streams: dict[str, _Stream] = {}
         self._lpn_stream: dict[int, str] = {}
         for config in streams:
@@ -133,9 +163,11 @@ class Ftl:
             for block_index in indices:
                 if chip.blocks[block_index].mode != config.mode:
                     chip.reconfigure_block(block_index, config.mode)
-            self._streams[config.name] = _Stream(
-                config, indices, chip.geometry.page_size_bytes
+            stream = _Stream(config, indices, chip.geometry.page_size_bytes)
+            stream.analytic = (
+                analytic and stream.codec.transparent and not stream.parity_enabled
             )
+            self._streams[config.name] = stream
 
     # -- capacity / introspection -------------------------------------------
 
@@ -184,9 +216,14 @@ class Ftl:
                 f"payload {len(payload)}B exceeds stream '{stream_name}' "
                 f"logical page size {stream.codec.payload_bytes}B"
             )
-        encoded = stream.codec.encode(payload)
-        addr = self._allocate_page(stream)
-        self._program(stream, addr, encoded)
+        if stream.analytic:
+            addr = self._allocate_page(stream)
+            self.chip.program_analytic(addr)
+            self.stats.program_time_us += stream.timing.times().program_us
+        else:
+            encoded = stream.codec.encode(payload)
+            addr = self._allocate_page(stream)
+            self._program(stream, addr, encoded)
         self.page_map.record_write(lpn, addr)
         self._lpn_stream[lpn] = stream_name
         self.stats.host_writes += 1
@@ -202,14 +239,25 @@ class Ftl:
         if addr is None:
             raise KeyError(f"LPN {lpn} is not mapped")
         stream = self._streams[self._lpn_stream[lpn]]
-        raw = self.chip.read(addr)
-        self.stats.read_time_us += stream.timing.times().read_us
-        result = stream.codec.decode(raw)
-        if result.uncorrectable_codewords > 0 and stream.parity_enabled:
-            recovered = self._parity_reconstruct(stream, addr)
-            if recovered is not None and recovered.uncorrectable_codewords == 0:
-                self.stats.parity_recoveries += 1
-                result = recovered
+        if stream.analytic:
+            # transparent codec: the decode would report 0 corrections and
+            # 0 uncorrectable words whatever the bytes were, so the stats
+            # trajectory matches the bit-exact path exactly; only the
+            # payload (which analytic streams never materialize) is empty
+            self.chip.read_analytic(addr)
+            self.stats.read_time_us += stream.timing.times().read_us
+            result = PageReadResult(
+                payload=b"", corrected_bits=0, uncorrectable_codewords=0
+            )
+        else:
+            raw = self.chip.read(addr)
+            self.stats.read_time_us += stream.timing.times().read_us
+            result = stream.codec.decode(raw)
+            if result.uncorrectable_codewords > 0 and stream.parity_enabled:
+                recovered = self._parity_reconstruct(stream, addr)
+                if recovered is not None and recovered.uncorrectable_codewords == 0:
+                    self.stats.parity_recoveries += 1
+                    result = recovered
         self.stats.host_reads += 1
         self.stats.corrected_bits += result.corrected_bits
         self.stats.uncorrectable_codewords += result.uncorrectable_codewords
@@ -219,6 +267,82 @@ class Ftl:
         """Invalidate an LPN (host delete)."""
         self.page_map.invalidate(lpn)
         self._lpn_stream.pop(lpn, None)
+
+    # -- batched host operations (vectorized hot path) ---------------------
+
+    def write_many(self, lpns, stream_name: str) -> None:
+        """Write many logical pages with empty payloads, in order.
+
+        Equivalent to ``write(lpn, b"", stream_name)`` per LPN.  On an
+        analytic stream the batch is the vectorized hot path: writes are
+        split into open-block-sized runs, each run programs its pages
+        and updates the page map in a handful of array operations, and
+        GC/wear bookkeeping happens at exactly the block boundaries the
+        scalar sequence would hit -- so mapping state, wear, GC victims,
+        and ``FtlStats`` are identical to the scalar loop (NAND time
+        counters are integer-valued microseconds, so ``n`` equal float
+        adds equal one ``n``-scaled add exactly).  Non-analytic streams
+        fall back to the scalar loop.
+        """
+        stream = self._streams[stream_name]
+        arr = np.asarray(lpns, dtype=np.int64)
+        if not stream.analytic:
+            for lpn in arr.tolist():
+                self.write(lpn, b"", stream_name)
+            return
+        times = stream.timing.times()
+        pos = 0
+        while pos < arr.size:
+            if (
+                stream.open_block is None
+                or self.chip.blocks[stream.open_block].free_pages <= 0
+            ):
+                self._seal_parity(stream)
+                self._open_new_block(stream)
+            block = self.chip.blocks[stream.open_block]  # type: ignore[index]
+            run = min(block.free_pages, arr.size - pos)
+            start_page = block.usable_pages - block.free_pages
+            block.program_analytic_many(run)
+            self.stats.program_time_us += times.program_us * run
+            self.page_map.record_writes(
+                arr[pos: pos + run], stream.open_block, start_page
+            )
+            pos += run
+        self._lpn_stream.update(dict.fromkeys(arr.tolist(), stream_name))
+        self.stats.host_writes += int(arr.size)
+
+    def read_many(self, lpns, stream_name: str) -> int:
+        """Read many logical pages, skipping unmapped LPNs; returns reads.
+
+        Equivalent to ``read(lpn)`` for every *mapped* LPN in order.
+        Every mapped LPN must currently live in ``stream_name`` (batch
+        callers own their placement; this is not checked per LPN).  On
+        an analytic stream the mapped set resolves to physical pages in
+        one lookup and each touched block evaluates its RBERs in a
+        single vectorized call.
+        """
+        stream = self._streams[stream_name]
+        arr = np.asarray(lpns, dtype=np.int64)
+        if not stream.analytic:
+            count = 0
+            for lpn in arr.tolist():
+                if self.page_map.is_mapped(lpn):
+                    self.read(lpn)
+                    count += 1
+            return count
+        mapped = arr[self.page_map.is_mapped_many(arr)]
+        if mapped.size:
+            self.chip.read_analytic_many(self.page_map.lookup_flat_many(mapped))
+            self.stats.read_time_us += stream.timing.times().read_us * int(mapped.size)
+        self.stats.host_reads += int(mapped.size)
+        return int(mapped.size)
+
+    def trim_many(self, lpns) -> int:
+        """Invalidate many LPNs; returns how many were actually mapped."""
+        freed = self.page_map.invalidate_many(np.asarray(lpns, dtype=np.int64))
+        for lpn in freed.tolist():
+            self._lpn_stream.pop(lpn, None)
+        return int(freed.size)
 
     def relocate(self, lpn: int, target_stream: str) -> PageReadResult:
         """Move an LPN's current payload to another stream (SOS placement).
@@ -408,41 +532,114 @@ class Ftl:
         attempts = 0
         while len(stream.free) < target and attempts < len(stream.blocks):
             attempts += 1
-            # candidates: closed blocks (full or abandoned part-written)
-            candidates = [
-                (i, self.chip.blocks[i])
-                for i in stream.blocks
-                if i != stream.open_block
-                and i not in stream.free
-                and not self.chip.blocks[i].retired
-            ]
-            victim = select_victim(
-                candidates, self.page_map, stream.config.gc_policy, self.chip.now_years
-            )
+            victim = self._select_gc_victim(stream)
             if victim is None:
                 break
             self._migrate_block(stream, victim)
             self.stats.gc_erases += 1
 
+    def _select_gc_victim(self, stream: _Stream) -> int | None:
+        """One victim choice among the stream's closed blocks.
+
+        The vectorized path masks the stream's (sorted) block array by
+        open/free/retired status and reduces to an argmin over the shared
+        chip state arrays; the scalar path rebuilds the per-candidate
+        list and scans it -- kept as the equivalence oracle.  Both return
+        the identical victim (ties to the lowest block index).
+        """
+        if self.vectorized_gc:
+            blocks = stream.block_arr
+            mask = ~self.chip.arrays.retired[blocks]
+            if stream.open_block is not None:
+                mask &= blocks != stream.open_block
+            if stream.free:
+                # block_arr is sorted, and the free pool is tiny: probe
+                # each free block's slot instead of a full isin sweep
+                free = np.asarray(stream.free, dtype=np.int64)
+                slots = np.searchsorted(blocks, free)
+                hit = (slots < blocks.size) & (blocks[np.minimum(slots, blocks.size - 1)] == free)
+                mask[slots[hit]] = False
+            return select_victim_arrays(
+                blocks[mask],
+                self.page_map,
+                stream.config.gc_policy,
+                self.chip.now_years,
+                self.chip.arrays,
+            )
+        # candidates: closed blocks (full or abandoned part-written)
+        candidates = [
+            (i, self.chip.blocks[i])
+            for i in stream.blocks
+            if i != stream.open_block
+            and i not in stream.free
+            and not self.chip.blocks[i].retired
+        ]
+        return select_victim(
+            candidates, self.page_map, stream.config.gc_policy, self.chip.now_years
+        )
+
     def _migrate_block(self, stream: _Stream, victim_index: int) -> int:
         """Move a block's live pages to the write path, then free it."""
         migrated = 0
-        for _page_index, lpn in self.page_map.live_lpns(victim_index):
-            addr = self.page_map.lookup(lpn)
-            if addr is None or addr[0] != victim_index:
-                continue
-            raw = self.chip.read(addr)
-            self.stats.read_time_us += stream.timing.times().read_us
-            result = stream.codec.decode(raw)
-            encoded = stream.codec.encode(result.payload)
-            new_addr = self._allocate_page(stream, during_gc=True)
-            self._program(stream, new_addr, encoded)
-            self.page_map.record_write(lpn, new_addr)
-            migrated += 1
-            self.stats.gc_migrations += 1
+        if stream.analytic:
+            migrated = self._migrate_block_analytic(stream, victim_index)
+        else:
+            for _page_index, lpn in self.page_map.live_lpns(victim_index):
+                addr = self.page_map.lookup(lpn)
+                if addr is None or addr[0] != victim_index:
+                    continue
+                raw = self.chip.read(addr)
+                self.stats.read_time_us += stream.timing.times().read_us
+                result = stream.codec.decode(raw)
+                encoded = stream.codec.encode(result.payload)
+                new_addr = self._allocate_page(stream, during_gc=True)
+                self._program(stream, new_addr, encoded)
+                self.page_map.record_write(lpn, new_addr)
+                migrated += 1
+                self.stats.gc_migrations += 1
         victim = self.chip.blocks[victim_index]
         victim.erase()
         self.page_map.on_erase(victim_index)
         self.stats.erase_time_us += stream.timing.times().erase_us
         stream.free.append(victim_index)
         return migrated
+
+    def _migrate_block_analytic(self, stream: _Stream, victim_index: int) -> int:
+        """Analytic-mode migration: no byte materialization.
+
+        The victim's live pages are "read" in one vectorized batch (wear
+        and expected-error bookkeeping only -- migration never inspects
+        content on a transparent codec), then rewritten in open-block
+        runs like :meth:`write_many`.  Safe to batch the reads up front:
+        destination programs go to the open block, never the victim, and
+        per-page read counts are independent, so the chip-side accruals
+        match the interleaved scalar order exactly (time counters are
+        integer-valued microseconds -- scaled adds equal repeated adds).
+        """
+        pages, lpns = self.page_map.live_lpns_arrays(victim_index)
+        if not lpns.size:
+            return 0
+        block = self.chip.blocks[victim_index]
+        block.read_analytic_many(pages, self.chip.now_years)
+        times = stream.timing.times()
+        self.stats.read_time_us += times.read_us * int(lpns.size)
+        pos = 0
+        while pos < lpns.size:
+            if (
+                stream.open_block is None
+                or self.chip.blocks[stream.open_block].free_pages <= 0
+            ):
+                self._seal_parity(stream)
+                self._open_new_block(stream, during_gc=True)
+            dest = self.chip.blocks[stream.open_block]  # type: ignore[index]
+            run = min(dest.free_pages, lpns.size - pos)
+            start_page = dest.usable_pages - dest.free_pages
+            dest.program_analytic_many(run)
+            self.stats.program_time_us += times.program_us * run
+            self.page_map.record_writes(
+                lpns[pos: pos + run], stream.open_block, start_page,
+                assume_unique=True,
+            )
+            pos += run
+        self.stats.gc_migrations += int(lpns.size)
+        return int(lpns.size)

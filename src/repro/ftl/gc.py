@@ -19,12 +19,14 @@ from __future__ import annotations
 import enum
 from collections.abc import Callable, Iterable
 
-from repro.flash.block import Block
+import numpy as np
+
+from repro.flash.block import Block, BlockArrays
 from repro.obs import get_observer
 
 from .mapping import PageMap
 
-__all__ = ["GcPolicy", "select_victim"]
+__all__ = ["GcPolicy", "select_victim", "select_victim_arrays"]
 
 
 class GcPolicy(enum.Enum):
@@ -75,23 +77,113 @@ def select_victim(
     """Choose a GC victim among ``candidates``; None if no block qualifies.
 
     Candidates should be full (no free pages) and not retired; blocks that
-    are entirely valid are never chosen (no space to reclaim).
+    are entirely valid are never chosen (no space to reclaim).  Ties are
+    broken by the **lowest block index** regardless of candidate order --
+    the pinned contract :func:`select_victim_arrays` reproduces with a
+    sorted argmin.
+
+    Observer interaction is one span and one count per *invocation* (never
+    per candidate), and a disarmed observer skips span construction
+    entirely, keeping the "observability off is free" guarantee on this
+    hot path.
     """
+    obs = get_observer()
+    if not obs.enabled:
+        best_index, _considered = _scan_candidates(
+            candidates, page_map, policy, now_years
+        )
+        return best_index
+    with obs.span("gc.select_victim"):
+        best_index, considered = _scan_candidates(
+            candidates, page_map, policy, now_years
+        )
+    obs.count("gc.candidates_considered", considered)
+    return best_index
+
+
+def _scan_candidates(
+    candidates: Iterable[tuple[int, Block]],
+    page_map: PageMap,
+    policy: GcPolicy,
+    now_years: float,
+) -> tuple[int | None, int]:
+    """Scalar victim scan: (best index, candidates considered)."""
     scorer = _SCORERS[policy]
     best_index: int | None = None
     best_score = float("inf")
     considered = 0
-    with get_observer().span("gc.select_victim"):
-        for block_index, block in candidates:
-            if block.retired:
-                continue
-            valid = page_map.valid_pages(block_index)
-            if valid >= block.usable_pages:
-                continue
-            considered += 1
-            score = scorer(block_index, block, page_map, now_years)
-            if score < best_score:
-                best_score = score
-                best_index = block_index
-    get_observer().count("gc.candidates_considered", considered)
-    return best_index
+    for block_index, block in candidates:
+        if block.retired:
+            continue
+        valid = page_map.valid_pages(block_index)
+        if valid >= block.usable_pages:
+            continue
+        considered += 1
+        score = scorer(block_index, block, page_map, now_years)
+        if score < best_score or (
+            score == best_score
+            and best_index is not None
+            and block_index < best_index
+        ):
+            best_score = score
+            best_index = block_index
+    return best_index, considered
+
+
+def select_victim_arrays(
+    candidate_indices: np.ndarray,
+    page_map: PageMap,
+    policy: GcPolicy,
+    now_years: float,
+    block_arrays: BlockArrays,
+) -> int | None:
+    """Vectorized :func:`select_victim`: a masked argmin over state arrays.
+
+    ``candidate_indices`` are block indices (any order); eligibility,
+    scores, and the winner come from ``block_arrays`` (maintained by the
+    chip on every program/erase/retire) and the page map's valid-count
+    column -- no per-candidate Python calls.  Scores are computed with
+    the exact floating-point operation sequence of the scalar scorers,
+    elementwise, so the chosen victim is identical per invocation
+    (including lowest-index tie-breaking: candidates are sorted and
+    ``argmin`` returns the first minimum).
+    """
+    idx = np.asarray(candidate_indices, dtype=np.int64)
+    obs = get_observer()
+    if not obs.enabled:
+        return _argmin_victim(idx, page_map, policy, now_years, block_arrays)[0]
+    with obs.span("gc.select_victim"):
+        best, considered = _argmin_victim(
+            idx, page_map, policy, now_years, block_arrays
+        )
+    obs.count("gc.candidates_considered", considered)
+    return best
+
+
+def _argmin_victim(
+    idx: np.ndarray,
+    page_map: PageMap,
+    policy: GcPolicy,
+    now_years: float,
+    arrays: BlockArrays,
+) -> tuple[int | None, int]:
+    if idx.size == 0:
+        return None, 0
+    idx = np.sort(idx)
+    valid = page_map.valid_counts(idx)
+    usable = arrays.usable_pages[idx]
+    eligible = ~arrays.retired[idx] & (valid < usable)
+    considered = int(eligible.sum())
+    if not considered:
+        return None, 0
+    if policy is GcPolicy.GREEDY:
+        scores = valid.astype(np.float64)
+    else:
+        # mirror _cost_benefit_score's op order exactly (IEEE elementwise)
+        u = valid / np.maximum(1, usable)
+        age = np.maximum(0.0, now_years - arrays.last_write_years[idx])
+        wear_ratio = arrays.pec[idx] / arrays.rated_pec[idx]
+        wear_penalty = 1.0 / (1.0 + np.maximum(0.0, wear_ratio - 1.0))
+        scores = -(((1.0 - u) / (1.0 + u)) * (age + 1e-6) * wear_penalty)
+    scores = np.where(eligible, scores, np.inf)
+    return int(idx[np.argmin(scores)]), considered

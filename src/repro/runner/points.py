@@ -33,6 +33,8 @@ __all__ = [
     "population_batch_point",
     "population_batch_observables",
     "population_batch_grid",
+    "ftl_population_point",
+    "ftl_population_observables",
     "fault_ablation_point",
 ]
 
@@ -406,6 +408,70 @@ def population_batch_grid(
         }
         for start in range(0, n_users, chunk)
     )
+
+
+def ftl_population_observables(params: dict, seed: int) -> dict:
+    """End-of-life observables of one population chunk at FTL fidelity.
+
+    The page-level sibling of :func:`population_batch_observables`: the
+    same params (``mixes``/``workload_seeds`` parallel per-device lists,
+    ``capacity_gb``, ``days``) and the same per-device identity
+    convention, but each device is replayed through the page-mapped FTL
+    (:func:`repro.ftl.replay.replay` on the analytic chip fast path)
+    instead of the epoch-level lifetime model.  Devices are independent
+    and each is a pure function of its own ``(mix, days, capacity_gb,
+    workload_seed)``, so any chunking of a population produces
+    bit-identical columns.
+
+    Columns (device order): ``wear`` (mean PEC-over-rated across live
+    blocks -- the digest input), ``max_wear``, and int64 activity
+    counters ``gc_erases``, ``gc_migrations``, ``wl_migrations``,
+    ``host_writes``, ``retired_blocks``.
+    """
+    from repro.ftl.replay import FtlReplayConfig, replay
+
+    mixes = list(params["mixes"])
+    seeds = list(params["workload_seeds"])
+    if len(mixes) != len(seeds):
+        raise ValueError("mixes and workload_seeds must be parallel lists")
+    results = [
+        replay(
+            FtlReplayConfig(
+                mix=mix,
+                days=int(params["days"]),
+                capacity_gb=float(params["capacity_gb"]),
+                seed=int(ws),
+            )
+        )
+        for mix, ws in zip(mixes, seeds)
+    ]
+    return {
+        "wear": np.array([r.mean_wear for r in results], dtype=np.float64),
+        "max_wear": np.array([r.max_wear for r in results], dtype=np.float64),
+        "gc_erases": np.array([r.stats.gc_erases for r in results], dtype=np.int64),
+        "gc_migrations": np.array(
+            [r.stats.gc_migrations for r in results], dtype=np.int64
+        ),
+        "wl_migrations": np.array(
+            [r.stats.wl_migrations for r in results], dtype=np.int64
+        ),
+        "host_writes": np.array(
+            [r.stats.host_writes for r in results], dtype=np.int64
+        ),
+        "retired_blocks": np.array(
+            [r.retired_blocks for r in results], dtype=np.int64
+        ),
+    }
+
+
+def ftl_population_point(params: dict, seed: int) -> list[float]:
+    """Per-device mean wear of one FTL-fidelity population chunk.
+
+    Same params and identity as :func:`ftl_population_observables`;
+    returns just the ``wear`` column as a list (the sweep-point shape
+    ``run_sweep`` caches for scalar grids).
+    """
+    return ftl_population_observables(params, seed)["wear"].tolist()
 
 
 def sensitivity_batch_point(params: dict, seed: int) -> list[dict]:

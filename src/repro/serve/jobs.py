@@ -71,6 +71,7 @@ TERMINAL_STATES = frozenset({"done", "failed", "cancelled"})
 SWEEP_POINT_FNS: dict[str, str] = {
     "lifetime": "repro.runner.points:lifetime_point",
     "population_batch": "repro.runner.points:population_batch_point",
+    "ftl_population": "repro.runner.points:ftl_population_point",
     "flaky": "repro.runner.faultfns:flaky_point",
     "crash": "repro.runner.faultfns:crash_point",
     "sleepy": "repro.runner.faultfns:sleepy_point",
@@ -154,6 +155,15 @@ class JobSpec:
             ):
                 raise ValueError("'faults' must map fault names to rates")
             out["faults"] = {k: float(v) for k, v in sorted(faults.items())}
+        fidelity = params.get("fidelity", "epoch")
+        if fidelity not in ("epoch", "ftl"):
+            raise ValueError("'fidelity' must be 'epoch' or 'ftl'")
+        if fidelity != "epoch":
+            # key present only when non-default, mirroring
+            # FleetPlan.shard_grid: epoch job ids stay stable
+            if out.get("faults"):
+                raise ValueError("fault injection is epoch-fidelity only")
+            out["fidelity"] = fidelity
         return out
 
     @staticmethod
@@ -509,6 +519,7 @@ def _execute_population(
         build=p["build"],
         exact_cap=p["exact_cap"],
         faults=tuple(sorted(p["faults"].items())) if p.get("faults") else None,
+        fidelity=p.get("fidelity", "epoch"),
     )
 
     def report(done: int, total: int, devices: int) -> None:

@@ -1,0 +1,93 @@
+"""The FTL fast-path equivalence suite.
+
+The perf work gives the FTL three independent accelerations -- the
+analytic chip path (no byte materialization), the vectorized GC victim
+selector, and batched host operations -- and this suite pins the
+contract that makes them safe: **every combination produces the
+identical** :class:`~repro.ftl.ftl.FtlStats` **and wear outcome** for
+the same replay config.  NAND timing constants are integer-valued
+floats, so even the accumulated device-time counters must match
+exactly, not approximately.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.ecc.policy import ProtectionLevel
+from repro.ftl.replay import FtlReplayConfig, FtlReplayResult, replay
+
+BASE = dict(days=30, seed=5, capacity_gb=64.0)
+
+
+def _outcome(result: FtlReplayResult) -> tuple:
+    return (result.stats, result.mean_wear, result.max_wear,
+            result.host_ops, result.retired_blocks)
+
+
+@pytest.fixture(scope="module")
+def bit_exact_baseline() -> FtlReplayResult:
+    """The ground truth: byte-materializing chip, scalar GC, scalar ops."""
+    return replay(FtlReplayConfig(analytic=False, vectorized_gc=False, **BASE))
+
+
+@pytest.mark.parametrize(
+    "analytic,vectorized_gc",
+    [(False, True), (True, False), (True, True)],
+    ids=["vec-gc-only", "analytic-only", "analytic+vec-gc"],
+)
+def test_fast_paths_land_identical_stats(bit_exact_baseline, analytic,
+                                         vectorized_gc):
+    fast = replay(
+        FtlReplayConfig(analytic=analytic, vectorized_gc=vectorized_gc, **BASE)
+    )
+    assert _outcome(fast) == _outcome(bit_exact_baseline)
+
+
+@pytest.mark.parametrize("mix", ["light", "heavy"])
+def test_equivalence_holds_across_mixes(mix):
+    slow = replay(FtlReplayConfig(mix=mix, days=20, seed=9, analytic=False,
+                                  vectorized_gc=False))
+    fast = replay(FtlReplayConfig(mix=mix, days=20, seed=9, analytic=True,
+                                  vectorized_gc=True))
+    assert _outcome(fast) == _outcome(slow)
+
+
+def test_protected_streams_refuse_the_analytic_shortcut():
+    """WEAK protection needs real bytes through the codec: requesting
+    ``analytic=True`` must quietly run bit-exact, not corrupt stats.
+
+    A deliberately tiny device: the pure-python BCH codec costs ~10 ms
+    per page, so the standard replay chip would take minutes here.
+    """
+    tiny = dict(days=3, seed=2, page_size_bytes=512, pages_per_block=8,
+                blocks=12, protection=ProtectionLevel.WEAK)
+    protected = replay(FtlReplayConfig(analytic=True, **tiny))
+    reference = replay(FtlReplayConfig(analytic=False, **tiny))
+    assert _outcome(protected) == _outcome(reference)
+    # the codec actually ran: ECC-corrected bits are possible, and the
+    # host op counts still line up with the unprotected replay's shape
+    assert protected.stats.host_writes == reference.stats.host_writes
+
+
+def test_replay_is_deterministic_in_config():
+    config = FtlReplayConfig(days=15, seed=123)
+    first, second = replay(config), replay(config)
+    assert _outcome(first) == _outcome(second)
+    different = replay(dataclasses.replace(config, seed=124))
+    assert different.stats != first.stats
+
+
+def test_replay_exercises_the_mechanisms_it_claims_to_model():
+    """Guard against a hollow benchmark: the default horizon must drive
+    real GC, wear-leveling, and wear accumulation."""
+    result = replay(FtlReplayConfig(days=45, seed=0))
+    assert result.stats.gc_erases > 0
+    assert result.stats.gc_migrations > 0
+    assert result.stats.host_writes > result.host_ops // 3
+    # WL passes run weekly; at 45-day wear spreads they rightly find
+    # nothing to move, so only the erase/migration machinery is asserted
+    assert 0.0 < result.mean_wear <= result.max_wear

@@ -1,0 +1,104 @@
+"""FTL-fidelity jobs through the gateway's validation + execution core.
+
+The gateway exposes the page-level fleet bridge two ways: a
+``population`` job with ``fidelity: "ftl"`` (a full sharded fleet) and
+a ``sweep`` job naming the registered ``ftl_population`` point.  Both
+must validate strictly off the wire and produce results identical to
+driving the underlying engines directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fleet import FleetPlan, run_fleet
+from repro.serve import JobRecord, JobSpec, execute_job
+
+
+def _population_spec(**overrides) -> JobSpec:
+    params = {"devices": 6, "days": 20, "seed": 7, "shard_size": 3,
+              "chunk": 3, "fidelity": "ftl"}
+    params.update(overrides)
+    return JobSpec.from_wire(
+        {"client": "t", "kind": "population", "params": params}
+    )
+
+
+class TestValidation:
+    def test_fidelity_key_only_when_non_default(self):
+        assert _population_spec().params["fidelity"] == "ftl"
+        epoch = _population_spec(fidelity="epoch")
+        assert "fidelity" not in epoch.params
+        # epoch job ids are unchanged by the field existing at all
+        omitted = JobSpec.from_wire(
+            {"client": "t", "kind": "population",
+             "params": {"devices": 6, "days": 20, "seed": 7,
+                        "shard_size": 3, "chunk": 3}}
+        )
+        assert epoch.job_id() == omitted.job_id()
+        assert _population_spec().job_id() != omitted.job_id()
+
+    def test_unknown_fidelity_is_a_client_error(self):
+        with pytest.raises(ValueError, match="fidelity"):
+            _population_spec(fidelity="quantum")
+
+    def test_faults_cannot_ride_an_ftl_job(self):
+        with pytest.raises(ValueError, match="epoch"):
+            _population_spec(faults={"flaky": 0.5})
+
+    def test_ftl_population_sweep_fn_is_registered(self):
+        spec = JobSpec.from_wire(
+            {"client": "t", "kind": "sweep",
+             "params": {"fn": "ftl_population",
+                        "grid": [{"mixes": ["light"],
+                                  "workload_seeds": [1000],
+                                  "capacity_gb": 64.0, "days": 5}]}}
+        )
+        assert spec.params["fn"] == "ftl_population"
+
+
+class TestExecution:
+    def test_ftl_population_job_end_to_end(self, tmp_path):
+        """Gateway answer == driving the fleet engine directly."""
+        record = JobRecord.fresh(_population_spec())
+        seen = []
+        result = execute_job(
+            record, cache_dir=tmp_path / "cache", jobs=2,
+            on_progress=seen.append,
+        )
+        assert result["complete"] is True
+        assert result["devices"] == 6
+        assert result["errors"] == []
+        assert seen[-1]["devices_done"] == 6
+
+        direct = run_fleet(
+            FleetPlan(n_devices=6, days=20, capacity_gb=64.0, seed=7,
+                      shard_size=3, chunk=3, fidelity="ftl")
+        )
+        stats = direct.summary()
+        for quantile in ("median", "p90", "p99", "max"):
+            assert result[quantile] == stats[quantile]
+
+    def test_ftl_sweep_job_end_to_end(self, tmp_path):
+        from repro.runner.points import ftl_population_point
+
+        grid = [
+            {"mixes": ["light", "heavy"], "workload_seeds": [1000, 1001],
+             "capacity_gb": 64.0, "days": 10},
+            {"mixes": ["typical"], "workload_seeds": [1002],
+             "capacity_gb": 64.0, "days": 10},
+        ]
+        spec = JobSpec.from_wire(
+            {"client": "t", "kind": "sweep",
+             "params": {"fn": "ftl_population", "grid": grid,
+                        "base_seed": 3}}
+        )
+        result = execute_job(
+            JobRecord.fresh(spec), cache_dir=tmp_path / "cache", jobs=1
+        )
+        assert result["complete"] is True
+        assert result["errors"] == []
+        values = result["values"]
+        assert values[0] == ftl_population_point(grid[0], 0)
+        assert values[1] == ftl_population_point(grid[1], 0)

@@ -77,7 +77,8 @@ class TestJobSpec:
         from repro.serve import SWEEP_POINT_FNS
 
         assert set(SWEEP_POINT_FNS) == {
-            "lifetime", "population_batch", "flaky", "crash", "sleepy"
+            "lifetime", "population_batch", "ftl_population",
+            "flaky", "crash", "sleepy",
         }
         for target in SWEEP_POINT_FNS.values():
             assert target.startswith("repro.runner.")
